@@ -1,0 +1,84 @@
+// bench_extension_blocking - beyond-paper: IP blocking under rotation.
+//
+// The paper's conclusion: "The IPv4 paradigm of denying or rate-limiting a
+// single address or range of addresses is ineffective when client prefixes
+// may rotate daily" and calls for future work on defenses. This harness
+// quantifies the trade-off for a defender facing an abuser inside a
+// Versatel-like daily-rotating /46: block scope vs (block rate, collateral
+// damage, blocklist growth) over a two-week episode — including the
+// paper-inspired defensive use of the attack itself (following the
+// abuser's EUI-64 scent and moving a single /64 block).
+#include <cstdio>
+#include <iostream>
+
+#include "bench_util.h"
+#include "core/blocklist.h"
+
+int main() {
+  using namespace scent;
+  bench::banner("Extension - abuse blocking under daily prefix rotation",
+                "/128 and /56 blocks are evaded daily; pool-wide blocks "
+                "work at total collateral; following the EUI-64 scent "
+                "blocks precisely");
+
+  sim::PaperWorld world = sim::make_tiny_world(0xB10C, 512);
+  const auto& pool = world.internet.provider(world.versatel).pools()[0];
+  constexpr unsigned kDays = 14;
+
+  core::TextTable table{{"block scope", "days blocked", "days evaded",
+                         "innocent blocked device-days", "entries"}};
+
+  const core::BlockScope scopes[] = {
+      core::BlockScope::kAddress, core::BlockScope::kSlash64,
+      core::BlockScope::kAllocation, core::BlockScope::kPool,
+      core::BlockScope::kEuiFollow};
+
+  core::BlockingOutcome pool_outcome;
+  core::BlockingOutcome follow_outcome;
+  core::BlockingOutcome address_outcome;
+  for (const auto scope : scopes) {
+    sim::VirtualClock clock{sim::hours(12)};
+    core::BlockingPolicyEvaluator evaluator{
+        scope, pool.config().allocation_length, pool.config().prefix};
+    for (unsigned day = 0; day < kDays; ++day) {
+      clock.advance_to(sim::days(day) + sim::hours(12));
+      const net::Ipv6Address abuser = pool.wan_address_of(0, clock.now());
+      std::vector<net::Ipv6Address> innocents;
+      innocents.reserve(pool.devices().size() - 1);
+      for (std::size_t d = 1; d < pool.devices().size(); ++d) {
+        innocents.push_back(pool.wan_address_of(d, clock.now()));
+      }
+      evaluator.day(abuser, innocents, clock.now());
+    }
+    const auto outcome = evaluator.outcome();
+    if (scope == core::BlockScope::kPool) pool_outcome = outcome;
+    if (scope == core::BlockScope::kEuiFollow) follow_outcome = outcome;
+    if (scope == core::BlockScope::kAddress) address_outcome = outcome;
+    table.add_row({std::string{core::to_string(scope)},
+                   std::to_string(outcome.days_abuser_blocked),
+                   std::to_string(outcome.days_abuser_evaded),
+                   std::to_string(outcome.innocent_blocked_device_days),
+                   std::to_string(outcome.blocklist_entries)});
+  }
+
+  std::printf("\n(abuser: 1 device; innocents: %zu devices; %u days; "
+              "daily stride rotation in a /46 pool of /56 allocations)\n\n",
+              pool.devices().size() - 1, kDays);
+  table.print(std::cout);
+
+  std::printf("\nreading: the IPv4-style /128 block never fires under "
+              "rotation; blocking the whole inferred pool stops the abuse "
+              "but takes every customer down with it; a defender that "
+              "follows the EUI-64 scent gets both precision and coverage — "
+              "the same legacy identifier that broke client privacy.\n");
+
+  const bool ok = address_outcome.days_abuser_blocked == 0 &&
+                  pool_outcome.days_abuser_blocked >= kDays - 1 &&
+                  pool_outcome.innocent_blocked_device_days >
+                      100 * follow_outcome.innocent_blocked_device_days &&
+                  follow_outcome.days_abuser_blocked >= kDays - 1 &&
+                  follow_outcome.innocent_blocked_device_days <
+                      pool_outcome.innocent_blocked_device_days / 100;
+  std::printf("\nshape check: %s\n", ok ? "yes" : "NO");
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,162 @@
+// bench_util.h - shared scaffolding for the experiment harnesses.
+//
+// Every bench binary regenerates one of the paper's tables or figures
+// against the simulated Internet. Most need the same pipeline front end:
+// build the paper-shaped world, run the §4 discovery funnel, then (for the
+// longitudinal figures) the §5 campaign. This header provides that pipeline
+// with bench-friendly defaults, wall-clock stage timing, and the shared
+// output helpers.
+#pragma once
+
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "core/bootstrap.h"
+#include "core/io.h"
+#include "core/campaign.h"
+#include "core/report.h"
+#include "probe/prober.h"
+#include "sim/scenario.h"
+
+namespace scent::bench {
+
+/// Wall-clock stopwatch for stage banners.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(std::chrono::steady_clock::now()) {}
+
+  [[nodiscard]] double seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_)
+        .count();
+  }
+
+  void lap(const char* label) {
+    std::printf("  [%6.2fs] %s\n", seconds(), label);
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// Prints the standard bench banner.
+inline void banner(const char* experiment, const char* paper_claim) {
+  std::printf("==============================================================\n");
+  std::printf("%s\n", experiment);
+  std::printf("paper: %s\n", paper_claim);
+  std::printf("==============================================================\n");
+}
+
+/// The common world + funnel front end.
+struct Pipeline {
+  sim::PaperWorld world;
+  sim::VirtualClock clock{sim::hours(10)};
+  std::unique_ptr<probe::Prober> prober;
+  core::BootstrapResult funnel;
+
+  /// Builds the world and runs the §4 funnel. Probing uses the logical
+  /// fast path at an elevated virtual rate so multi-million-probe stages
+  /// finish inside one virtual day, exactly as the paper's zmap runs did
+  /// in wall-clock hours. The funnel's rotating-/48 list is cached on disk
+  /// (keyed by world seed) so the figure benches that share the default
+  /// world do not each re-pay the ~50M-probe discovery cost; pass
+  /// use_cache=false to force a fresh funnel.
+  explicit Pipeline(const sim::PaperWorldOptions& world_options,
+                    bool run_funnel = true, bool use_cache = true) {
+    Stopwatch timer;
+    world = sim::make_paper_world(world_options);
+    timer.lap("world built");
+
+    probe::ProberOptions probe_options;
+    probe_options.wire_mode = false;
+    probe_options.packets_per_second = 2000000;
+    prober = std::make_unique<probe::Prober>(world.internet, clock,
+                                             probe_options);
+
+    if (!run_funnel) return;
+
+    const std::string cache_path = cache_file(world_options);
+    if (use_cache && load_rotating_cache(cache_path)) {
+      std::printf("  funnel: %zu rotating /48s (cached: %s)\n",
+                  funnel.rotating_48s.size(), cache_path.c_str());
+      timer.lap("funnel loaded from cache");
+      return;
+    }
+
+    core::BootstrapOptions boot;
+    boot.probes_per_48 = 8;
+    funnel = core::run_bootstrap(world.internet, clock, *prober, boot);
+    std::printf("  funnel: %llu probes, %zu seed /48s, %zu expanded, "
+                "%zu high-density, %zu rotating /48s\n",
+                static_cast<unsigned long long>(funnel.probes_sent),
+                funnel.seed_48s.size(), funnel.expanded_48s.size(),
+                funnel.high_density_48s.size(), funnel.rotating_48s.size());
+    timer.lap("funnel complete");
+    if (use_cache) save_rotating_cache(cache_path);
+  }
+
+  /// Cache path keyed by the world-shaping options (a changed world must
+  /// not reuse a stale rotating-/48 list).
+  [[nodiscard]] static std::string cache_file(
+      const sim::PaperWorldOptions& o) {
+    const std::uint64_t key = sim::mix64(
+        o.seed, sim::mix64(o.tail_as_count,
+                           static_cast<std::uint64_t>(o.scale * 1000)),
+        sim::mix64(o.devices_per_tail_pool, o.versatel_pool_count,
+                   o.inject_pathologies ? 1 : 0));
+    char name[64];
+    std::snprintf(name, sizeof name, ".scent_funnel_cache_%016llx.txt",
+                  static_cast<unsigned long long>(key));
+    return name;
+  }
+
+  bool load_rotating_cache(const std::string& path) {
+    const auto prefixes = core::load_prefixes(path);
+    if (!prefixes || prefixes->empty()) return false;
+    funnel.rotating_48s = *prefixes;
+    return true;
+  }
+
+  void save_rotating_cache(const std::string& path) const {
+    core::save_prefixes(path, funnel.rotating_48s,
+                        "scent funnel cache: rotating /48s");
+  }
+
+  /// Runs the §5 campaign over the funnel's rotating /48s.
+  core::CampaignResult campaign(unsigned days) {
+    Stopwatch timer;
+    core::CampaignOptions options;
+    options.days = days;
+    auto result = core::run_campaign(world.internet, clock, *prober,
+                                     funnel.rotating_48s, options);
+    std::printf("  campaign: %u days, %llu probes, %llu responses, "
+                "%zu unique IIDs\n",
+                days, static_cast<unsigned long long>(result.probes_sent),
+                static_cast<unsigned long long>(result.responses),
+                result.observations.unique_eui64_iids());
+    timer.lap("campaign complete");
+    return result;
+  }
+};
+
+/// Prints a CDF as a fixed set of (value, fraction) steps.
+inline void print_cdf(const char* title, const core::Cdf& cdf,
+                      const char* value_label) {
+  std::printf("\n%s  (n=%zu)\n", title, cdf.size());
+  std::printf("  %-14s cum.fraction\n", value_label);
+  for (const auto& [value, fraction] : cdf.steps()) {
+    std::printf("  %-14.6g %.4f\n", value, fraction);
+  }
+}
+
+/// Compact quantile summary for wide CDFs.
+inline void print_quantiles(const char* title, const core::Cdf& cdf) {
+  std::printf("%s: min=%g p10=%g p25=%g p50=%g p75=%g p90=%g max=%g (n=%zu)\n",
+              title, cdf.min(), cdf.quantile(0.10), cdf.quantile(0.25),
+              cdf.quantile(0.50), cdf.quantile(0.75), cdf.quantile(0.90),
+              cdf.max(), cdf.size());
+}
+
+}  // namespace scent::bench

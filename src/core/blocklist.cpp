@@ -1,0 +1,65 @@
+#include "core/blocklist.h"
+
+#include "netbase/eui64.h"
+
+namespace scent::core {
+
+net::Prefix BlockingPolicyEvaluator::scope_prefix(
+    net::Ipv6Address abuser) const {
+  switch (scope_) {
+    case BlockScope::kAddress:
+      return net::Prefix{abuser, 128};
+    case BlockScope::kSlash64:
+    case BlockScope::kEuiFollow:  // follow re-blocks /64s as it goes
+      return net::Prefix{abuser, 64};
+    case BlockScope::kAllocation:
+      return net::Prefix{abuser, allocation_length_};
+    case BlockScope::kPool:
+      return pool_;
+  }
+  return net::Prefix{abuser, 128};
+}
+
+void BlockingPolicyEvaluator::day(
+    net::Ipv6Address abuser, const std::vector<net::Ipv6Address>& innocents,
+    sim::TimePoint now) {
+  ++outcome_.days;
+
+  // kEuiFollow proactively re-blocks the abuser's new location if its
+  // EUI-64 scent is visible among the day's observed addresses — modeling
+  // a defender that runs the paper's tracking technique defensively.
+  if (scope_ == BlockScope::kEuiFollow) {
+    const auto mac = net::embedded_mac(abuser);
+    if (mac) {
+      if (!follow_armed_) {
+        follow_armed_ = true;
+        followed_mac_ = *mac;
+      }
+      if (*mac == followed_mac_) {
+        // Move the block: retire yesterday's /64 so innocents rotating
+        // into it are not hit, then block today's.
+        const net::Prefix today{abuser, 64};
+        if (follow_block_active_ && follow_block_ != today) {
+          blocklist_.unblock(follow_block_);
+        }
+        blocklist_.block(today, now);
+        follow_block_ = today;
+        follow_block_active_ = true;
+      }
+    }
+  }
+
+  if (blocklist_.blocked(abuser)) {
+    ++outcome_.days_abuser_blocked;
+  } else {
+    ++outcome_.days_abuser_evaded;
+    // Reactive block: the attack got through today; scope a new entry.
+    blocklist_.block(scope_prefix(abuser), now);
+  }
+
+  for (const auto& innocent : innocents) {
+    if (blocklist_.blocked(innocent)) ++outcome_.innocent_blocked_device_days;
+  }
+}
+
+}  // namespace scent::core

@@ -1,0 +1,128 @@
+// blocklist.h - IP-based blocking under prefix rotation (§2.2, §9).
+//
+// The paper's closing observation: the IPv4 habit of blocking an abusive
+// source address (or a fixed-size prefix around it) breaks when providers
+// rotate customer prefixes daily — the abuser walks out of the block while
+// innocent customers rotate *into* it. The defensive flip side of the
+// tracking attack is that a defender who runs the same Algorithm-2
+// inference can block (or rate-limit) the abuser's *rotation pool*, or
+// track the abuser's EUI-64 scent and follow them — trading collateral
+// damage against evasion resistance. This module quantifies that trade-off.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "netbase/ipv6_address.h"
+#include "netbase/mac_address.h"
+#include "netbase/prefix.h"
+#include "routing/prefix_trie.h"
+#include "sim/sim_time.h"
+
+namespace scent::core {
+
+/// How the defender scopes a block after observing one abusive address.
+enum class BlockScope : std::uint8_t {
+  kAddress,     ///< Exact /128 (classic IPv4-style blocking).
+  kSlash64,     ///< The containing /64.
+  kAllocation,  ///< The inferred customer allocation (e.g. /56).
+  kPool,        ///< The inferred rotation pool (e.g. /46).
+  kEuiFollow,   ///< Follow the EUI-64 IID: re-block wherever it reappears.
+};
+
+[[nodiscard]] constexpr std::string_view to_string(BlockScope s) noexcept {
+  switch (s) {
+    case BlockScope::kAddress: return "/128 address";
+    case BlockScope::kSlash64: return "/64";
+    case BlockScope::kAllocation: return "allocation";
+    case BlockScope::kPool: return "rotation pool";
+    case BlockScope::kEuiFollow: return "EUI-64 follow";
+  }
+  return "unknown";
+}
+
+/// A prefix blocklist with longest-prefix-match semantics, as a content
+/// provider's edge would implement it.
+class Blocklist {
+ public:
+  void block(net::Prefix prefix, sim::TimePoint at) {
+    if (trie_.insert(prefix, at)) ++entries_;
+  }
+
+  /// Removes an entry (a follow-style defender moves its block as the
+  /// target moves; leaving stale entries behind blocks innocents that
+  /// rotate into them). Returns true if an entry was removed.
+  bool unblock(net::Prefix prefix) {
+    if (!trie_.erase(prefix)) return false;
+    --entries_;
+    return true;
+  }
+
+  [[nodiscard]] bool blocked(net::Ipv6Address a) const {
+    return trie_.longest_match(a).has_value();
+  }
+
+  [[nodiscard]] std::size_t entries() const noexcept { return entries_; }
+
+ private:
+  routing::PrefixTrie<sim::TimePoint> trie_;
+  std::size_t entries_ = 0;
+};
+
+/// Outcome of one blocking policy evaluated over a multi-day episode.
+struct BlockingOutcome {
+  BlockScope scope = BlockScope::kAddress;
+  unsigned days = 0;
+  unsigned days_abuser_blocked = 0;   ///< Attack stopped at the edge.
+  unsigned days_abuser_evaded = 0;    ///< Attack got through.
+  std::uint64_t innocent_blocked_device_days = 0;  ///< Collateral damage.
+  std::size_t blocklist_entries = 0;
+
+  [[nodiscard]] double block_rate() const noexcept {
+    return days == 0 ? 0.0
+                     : static_cast<double>(days_abuser_blocked) /
+                           static_cast<double>(days);
+  }
+};
+
+/// Evaluates one scope against a daily episode. The caller supplies, per
+/// day, the abuser's current address and the addresses of the innocent
+/// population (both as the defender's edge would see them). The defender
+/// blocks on every day it observes an *unblocked* attack, scoping the new
+/// entry per the policy; with kEuiFollow the defender re-blocks the /64 of
+/// any EUI-64 address carrying the abuser's IID.
+class BlockingPolicyEvaluator {
+ public:
+  BlockingPolicyEvaluator(BlockScope scope, unsigned allocation_length,
+                          net::Prefix pool)
+      : scope_(scope), allocation_length_(allocation_length), pool_(pool) {}
+
+  /// Feeds one day. `abuser` is the attack source that day; `innocents`
+  /// are legitimate client addresses active that day.
+  void day(net::Ipv6Address abuser,
+           const std::vector<net::Ipv6Address>& innocents,
+           sim::TimePoint now);
+
+  [[nodiscard]] BlockingOutcome outcome() const {
+    BlockingOutcome result = outcome_;
+    result.scope = scope_;
+    result.blocklist_entries = blocklist_.entries();
+    return result;
+  }
+
+ private:
+  [[nodiscard]] net::Prefix scope_prefix(net::Ipv6Address abuser) const;
+
+  BlockScope scope_;
+  unsigned allocation_length_;
+  net::Prefix pool_;
+  Blocklist blocklist_;
+  BlockingOutcome outcome_;
+  bool follow_armed_ = false;
+  net::MacAddress followed_mac_;
+  net::Prefix follow_block_;  ///< Current kEuiFollow entry, moved each day.
+  bool follow_block_active_ = false;
+};
+
+}  // namespace scent::core

@@ -1,0 +1,227 @@
+#include "core/bootstrap.h"
+
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "netbase/eui64.h"
+#include "probe/target_generator.h"
+#include "probe/traceroute.h"
+#include "sim/rng.h"
+
+namespace scent::core {
+namespace {
+
+/// Deduplicates and sorts a prefix list.
+std::vector<net::Prefix> sorted_unique(std::vector<net::Prefix> prefixes) {
+  std::sort(prefixes.begin(), prefixes.end());
+  prefixes.erase(std::unique(prefixes.begin(), prefixes.end()),
+                 prefixes.end());
+  return prefixes;
+}
+
+std::vector<RotatorGroup> group_rotators(
+    const std::vector<net::Prefix>& rotating_48s,
+    const routing::BgpTable& bgp, bool by_country) {
+  std::map<std::string, std::uint64_t> counts;
+  for (const auto& prefix : rotating_48s) {
+    const auto attribution = bgp.lookup(prefix.base());
+    if (!attribution) continue;
+    const std::string key = by_country
+                                ? attribution->country
+                                : std::to_string(attribution->origin_asn);
+    ++counts[key];
+  }
+  std::vector<RotatorGroup> out;
+  out.reserve(counts.size());
+  for (const auto& [key, count] : counts) out.push_back({key, count});
+  std::sort(out.begin(), out.end(),
+            [](const RotatorGroup& a, const RotatorGroup& b) {
+              if (a.count != b.count) return a.count > b.count;
+              return a.key < b.key;
+            });
+  return out;
+}
+
+}  // namespace
+
+std::vector<RotatorGroup> rotators_by_asn(
+    const std::vector<net::Prefix>& rotating_48s,
+    const routing::BgpTable& bgp) {
+  return group_rotators(rotating_48s, bgp, /*by_country=*/false);
+}
+
+std::vector<RotatorGroup> rotators_by_country(
+    const std::vector<net::Prefix>& rotating_48s,
+    const routing::BgpTable& bgp) {
+  return group_rotators(rotating_48s, bgp, /*by_country=*/true);
+}
+
+BootstrapResult run_bootstrap(sim::Internet& internet,
+                              sim::VirtualClock& clock,
+                              probe::Prober& prober,
+                              const BootstrapOptions& options) {
+  BootstrapResult result;
+  const std::uint64_t base_sent = prober.counters().sent;
+
+  // ---- Stage 0: seed. One last-hop probe per /48 of every advertised
+  // prefix that is /32-or-more-specific but shorter than /48.
+  std::vector<net::Prefix> advertisements;
+  for (const auto& ad : internet.bgp().dump()) {
+    if (ad.prefix.length() >= options.min_advert_length &&
+        ad.prefix.length() < 48) {
+      advertisements.push_back(ad.prefix);
+    }
+  }
+  advertisements = sorted_unique(std::move(advertisements));
+
+  // EUI last hop per probed /48; /48s sharing a last-hop EUI with another
+  // /48 are discarded (not a per-customer /48, per the paper's "unique
+  // responsive EUI-64 last hop" filter).
+  std::unordered_map<net::MacAddress, std::vector<net::Prefix>,
+                     net::MacAddressHash>
+      seed_by_mac;
+  for (const auto& advert : advertisements) {
+    for (unsigned round = 0; round < options.probes_per_48; ++round) {
+      probe::SubnetTargets targets{advert, 48,
+                                   sim::mix64(options.seed, 0x5EED, round)};
+      net::Ipv6Address target;
+      while (targets.next(target)) {
+        // Probe a random IID in a pseudorandom /64 of the /48 (the /48
+        // subnet target already randomizes all bits below /48).
+        if (options.seed_with_traceroute) {
+          // Literal CAIDA-style seeding: a full traceroute whose last
+          // responsive hop is the periphery.
+          const auto trace =
+              probe::traceroute(prober, target, options.traceroute_max_hops);
+          const auto last = trace.last_hop();
+          if (!last) continue;
+          result.observations.add(Observation{
+              target, last->address, wire::Icmpv6Type::kTimeExceeded, 0,
+              clock.now()});
+          if (const auto mac = net::embedded_mac(last->address)) {
+            seed_by_mac[*mac].push_back(net::Prefix{target, 48});
+          }
+          continue;
+        }
+        const auto r = prober.probe_one(target);
+        if (!r.responded) continue;
+        result.observations.add(r);
+        if (const auto mac = net::embedded_mac(r.response_source)) {
+          seed_by_mac[*mac].push_back(net::Prefix{target, 48});
+        }
+      }
+    }
+  }
+  for (auto& [mac, prefixes] : seed_by_mac) {
+    const auto distinct = sorted_unique(std::move(prefixes));
+    if (distinct.size() == 1) result.seed_48s.push_back(distinct.front());
+  }
+  result.seed_48s = sorted_unique(std::move(result.seed_48s));
+
+  // The /32s (covering advertisements) containing seed /48s.
+  {
+    std::vector<net::Prefix> seed_32s;
+    for (const auto& p48 : result.seed_48s) {
+      const auto attribution = internet.bgp().lookup(p48.base());
+      if (attribution) seed_32s.push_back(attribution->bgp_prefix);
+    }
+    result.seed_32s = sorted_unique(std::move(seed_32s));
+  }
+
+  // ---- Stage 1 (§4.1): exhaustive /48 expansion of the seed /32s.
+  std::unordered_map<net::MacAddress, std::vector<net::Prefix>,
+                     net::MacAddressHash>
+      expand_by_mac;
+  for (const auto& p32 : result.seed_32s) {
+    for (unsigned round = 0; round < options.probes_per_48; ++round) {
+      probe::SubnetTargets targets{p32, 48,
+                                   sim::mix64(options.seed, 0xE49A, round)};
+      net::Ipv6Address target;
+      while (targets.next(target)) {
+        const auto r = prober.probe_one(target);
+        if (!r.responded) continue;
+        result.observations.add(r);
+        if (const auto mac = net::embedded_mac(r.response_source)) {
+          expand_by_mac[*mac].push_back(net::Prefix{target, 48});
+        }
+      }
+    }
+  }
+  {
+    std::vector<net::Prefix> expanded;
+    for (auto& [mac, prefixes] : expand_by_mac) {
+      const auto distinct = sorted_unique(std::move(prefixes));
+      if (distinct.size() == 1) expanded.push_back(distinct.front());
+    }
+    result.expanded_48s = sorted_unique(std::move(expanded));
+  }
+
+  // ---- Stage 2 (§4.2): density classification, one probe per /56.
+  for (const auto& p48 : result.expanded_48s) {
+    probe::SubnetTargets targets{p48, 56, sim::mix64(options.seed, 0xDE45)};
+    std::vector<probe::ProbeResult> responsive;
+    net::Ipv6Address target;
+    std::uint64_t sent = 0;
+    while (targets.next(target)) {
+      ++sent;
+      const auto r = prober.probe_one(target);
+      if (r.responded) {
+        responsive.push_back(r);
+        result.observations.add(r);
+      }
+    }
+    const DensityResult density = classify_density(
+        p48, sent, responsive, options.density_low_threshold);
+    result.densities.push_back(density);
+    switch (density.klass) {
+      case DensityClass::kHigh:
+        result.high_density_48s.push_back(p48);
+        break;
+      case DensityClass::kLow:
+        result.low_density_48s.push_back(p48);
+        break;
+      case DensityClass::kUnresponsive:
+        result.unresponsive_48s.push_back(p48);
+        break;
+    }
+  }
+
+  // ---- Stage 3 (§4.3): two same-seed snapshots, one probe per /64 of
+  // every high-density /48, `snapshot_gap` apart.
+  const auto take_snapshot = [&](Snapshot& snap) {
+    for (const auto& p48 : result.high_density_48s) {
+      probe::SubnetTargets targets{p48, 64,
+                                   sim::mix64(options.seed, 0x5A59)};
+      net::Ipv6Address target;
+      while (targets.next(target)) {
+        const auto r = prober.probe_one(target);
+        if (!r.responded) continue;
+        result.observations.add(r);
+        snap.record(r.target, r.response_source);
+      }
+    }
+  };
+
+  Snapshot first;
+  Snapshot second;
+  const sim::TimePoint snap1_start = clock.now();
+  take_snapshot(first);
+  clock.advance_to(snap1_start + options.snapshot_gap);
+  take_snapshot(second);
+
+  result.verdicts = detect_rotation(first, second);
+  for (const auto& v : result.verdicts) {
+    if (v.rotating) result.rotating_48s.push_back(v.prefix);
+  }
+
+  // ---- Funnel accounting.
+  result.probes_sent = prober.counters().sent - base_sent;
+  result.total_addresses = result.observations.unique_responses();
+  result.eui64_addresses = result.observations.unique_eui64_responses();
+  result.unique_iids = result.observations.unique_eui64_iids();
+  return result;
+}
+
+}  // namespace scent::core

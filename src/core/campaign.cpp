@@ -1,0 +1,99 @@
+#include "core/campaign.h"
+
+#include <unordered_set>
+
+#include "probe/target_generator.h"
+#include "sim/rng.h"
+
+namespace scent::core {
+namespace {
+
+/// Sweeps one /48 at the given subnet granularity, recording responsive
+/// probes into the store and the day's summary.
+void sweep_prefix(probe::Prober& prober, net::Prefix prefix,
+                  unsigned sub_length, std::uint64_t seed,
+                  ObservationStore& store, DaySummary& summary,
+                  std::unordered_set<net::MacAddress, net::MacAddressHash>&
+                      day_macs) {
+  probe::SubnetTargets targets{prefix, sub_length, seed};
+  net::Ipv6Address target;
+  while (targets.next(target)) {
+    ++summary.probes;
+    const auto r = prober.probe_one(target);
+    if (!r.responded) continue;
+    ++summary.responses;
+    store.add(r);
+    if (const auto mac = net::embedded_mac(r.response_source)) {
+      day_macs.insert(*mac);
+    }
+  }
+}
+
+}  // namespace
+
+CampaignResult run_campaign(sim::Internet& internet, sim::VirtualClock& clock,
+                            probe::Prober& prober,
+                            const std::vector<net::Prefix>& targets,
+                            const CampaignOptions& options) {
+  CampaignResult result;
+  const std::uint64_t base_sent = prober.counters().sent;
+  const std::uint64_t base_received = prober.counters().received;
+
+  const std::int64_t first_day = sim::day_of(clock.now());
+
+  // Day 0: full per-/64 sweep; feeds Algorithm 1 per AS.
+  AllocationSizeInference global_alloc;
+  std::map<routing::Asn, AllocationSizeInference> per_as_alloc;
+
+  for (unsigned day = 0; day < options.days; ++day) {
+    const std::int64_t abs_day = first_day + day;
+    clock.advance_to(abs_day * sim::kDay + options.scan_time_of_day);
+
+    DaySummary summary;
+    summary.day = abs_day;
+    std::unordered_set<net::MacAddress, net::MacAddressHash> day_macs;
+
+    for (const auto& p48 : targets) {
+      unsigned granularity = 64;
+      if (day > 0 && options.allocation_granularity_after_day0) {
+        const auto attribution = internet.bgp().lookup(p48.base());
+        if (attribution) {
+          const auto it =
+              result.allocation_length_by_as.find(attribution->origin_asn);
+          if (it != result.allocation_length_by_as.end()) {
+            granularity = it->second;
+          }
+        }
+      }
+      // Same seed every day: identical targets, identical order (§5).
+      sweep_prefix(prober, p48, granularity,
+                   sim::mix64(options.seed, p48.base().network(), granularity),
+                   result.observations, summary, day_macs);
+    }
+
+    summary.unique_eui64_iids = day_macs.size();
+    result.daily.push_back(summary);
+
+    if (day == 0) {
+      // Run Algorithm 1 on the full-granularity day and freeze the per-AS
+      // allocation sizes used by subsequent days (and by trackers).
+      for (const auto& obs : result.observations.all()) {
+        const auto attribution = internet.bgp().lookup(obs.response);
+        if (!attribution) continue;
+        per_as_alloc[attribution->origin_asn].observe(obs.target,
+                                                      obs.response);
+      }
+      for (const auto& [asn, inference] : per_as_alloc) {
+        if (const auto median = inference.median_length()) {
+          result.allocation_length_by_as[asn] = *median;
+        }
+      }
+    }
+  }
+
+  result.probes_sent = prober.counters().sent - base_sent;
+  result.responses = prober.counters().received - base_received;
+  return result;
+}
+
+}  // namespace scent::core

@@ -1,0 +1,67 @@
+#include "core/homogeneity.h"
+
+#include <algorithm>
+
+namespace scent::core {
+
+std::vector<AsHomogeneity> analyze_homogeneity(const ObservationStore& store,
+                                               const routing::BgpTable& bgp,
+                                               const oui::Registry& registry,
+                                               std::size_t min_iids) {
+  // asn -> vendor -> set of distinct MACs. A MAC observed in several ASes
+  // (pathological reuse) counts once in each — the paper's per-AS counts
+  // are per-AS unique.
+  struct AsAccumulator {
+    std::string country;
+    std::unordered_map<std::string, std::unordered_set<net::MacAddress,
+                                                       net::MacAddressHash>>
+        vendor_macs;
+    std::unordered_set<net::MacAddress, net::MacAddressHash> all_macs;
+  };
+  std::unordered_map<routing::Asn, AsAccumulator> per_as;
+
+  for (const auto& [mac, indices] : store.by_mac()) {
+    // Attribute each observation of this MAC; the same MAC may map to
+    // multiple ASes.
+    std::unordered_set<routing::Asn> seen_as;
+    for (const std::size_t i : indices) {
+      const auto attribution = bgp.lookup(store.all()[i].response);
+      if (!attribution) continue;
+      if (!seen_as.insert(attribution->origin_asn).second) continue;
+      AsAccumulator& acc = per_as[attribution->origin_asn];
+      acc.country = attribution->country;
+      const auto vendor = registry.vendor(mac);
+      acc.vendor_macs[vendor ? std::string{*vendor} : "(unknown)"].insert(mac);
+      acc.all_macs.insert(mac);
+    }
+  }
+
+  std::vector<AsHomogeneity> out;
+  out.reserve(per_as.size());
+  for (auto& [asn, acc] : per_as) {
+    if (acc.all_macs.size() < min_iids) continue;
+    AsHomogeneity h;
+    h.asn = asn;
+    h.country = acc.country;
+    h.unique_iids = acc.all_macs.size();
+    h.vendors.reserve(acc.vendor_macs.size());
+    for (const auto& [vendor, macs] : acc.vendor_macs) {
+      h.vendors.push_back(VendorCount{vendor, macs.size()});
+    }
+    std::sort(h.vendors.begin(), h.vendors.end(),
+              [](const VendorCount& a, const VendorCount& b) {
+                if (a.unique_iids != b.unique_iids) {
+                  return a.unique_iids > b.unique_iids;
+                }
+                return a.vendor < b.vendor;
+              });
+    out.push_back(std::move(h));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const AsHomogeneity& a, const AsHomogeneity& b) {
+              return a.asn < b.asn;
+            });
+  return out;
+}
+
+}  // namespace scent::core

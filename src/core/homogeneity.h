@@ -1,0 +1,57 @@
+// homogeneity.h - per-AS CPE manufacturer analysis (§5.1, Figure 4).
+//
+// Every EUI-64 response address embeds the CPE's MAC, whose OUI names the
+// manufacturer. Grouping distinct IIDs by origin AS and counting vendors
+// yields the paper's homogeneity index:
+//   homogeneity(ASN) = max_vendor(unique IIDs of vendor / unique IIDs)
+// High homogeneity (one vendor >= 80-90% of a network's fleet) is the norm,
+// which helps attackers target vendor-specific vulnerabilities.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "core/observation.h"
+#include "netbase/mac_address.h"
+#include "oui/oui_registry.h"
+#include "routing/bgp_table.h"
+
+namespace scent::core {
+
+struct VendorCount {
+  std::string vendor;  ///< "(unknown)" for unregistered OUIs.
+  std::size_t unique_iids = 0;
+};
+
+struct AsHomogeneity {
+  routing::Asn asn = 0;
+  std::string country;
+  std::size_t unique_iids = 0;
+  std::vector<VendorCount> vendors;  ///< Sorted descending by count.
+
+  /// The homogeneity index: dominant vendor's share of unique IIDs.
+  [[nodiscard]] double index() const noexcept {
+    if (unique_iids == 0 || vendors.empty()) return 0.0;
+    return static_cast<double>(vendors.front().unique_iids) /
+           static_cast<double>(unique_iids);
+  }
+
+  [[nodiscard]] const std::string& dominant_vendor() const {
+    static const std::string kNone = "(none)";
+    return vendors.empty() ? kNone : vendors.front().vendor;
+  }
+};
+
+/// Computes per-AS vendor distributions from a corpus. ASes with fewer than
+/// `min_iids` distinct IIDs are excluded, as in the paper (< 100 IIDs skew
+/// the distribution).
+[[nodiscard]] std::vector<AsHomogeneity> analyze_homogeneity(
+    const ObservationStore& store, const routing::BgpTable& bgp,
+    const oui::Registry& registry, std::size_t min_iids = 100);
+
+}  // namespace scent::core

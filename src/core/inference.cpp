@@ -1,0 +1,87 @@
+#include "core/inference.h"
+
+namespace scent::core {
+
+std::optional<unsigned> median_of(std::vector<unsigned> values) {
+  if (values.empty()) return std::nullopt;
+  const std::size_t mid = (values.size() - 1) / 2;
+  std::nth_element(values.begin(),
+                   values.begin() + static_cast<std::ptrdiff_t>(mid),
+                   values.end());
+  return values[mid];
+}
+
+void AllocationSizeInference::observe(net::Ipv6Address target,
+                                      net::Ipv6Address response) {
+  const auto mac = net::embedded_mac(response);
+  if (!mac) return;
+  const std::uint64_t network = target.network();
+  auto [it, created] = spans_.try_emplace(*mac, Span{network, network});
+  if (!created) {
+    it->second.lo = std::min(it->second.lo, network);
+    it->second.hi = std::max(it->second.hi, network);
+  }
+}
+
+std::optional<unsigned> AllocationSizeInference::length_for(
+    net::MacAddress mac) const {
+  const auto it = spans_.find(mac);
+  if (it == spans_.end()) return std::nullopt;
+  return span_to_prefix_length(it->second.lo, it->second.hi);
+}
+
+std::vector<unsigned> AllocationSizeInference::per_device_lengths() const {
+  std::vector<unsigned> out;
+  out.reserve(spans_.size());
+  for (const auto& [mac, span] : spans_) {
+    out.push_back(span_to_prefix_length(span.lo, span.hi));
+  }
+  return out;
+}
+
+void RotationPoolInference::observe(net::Ipv6Address response) {
+  const auto mac = net::embedded_mac(response);
+  if (!mac) return;
+  const std::uint64_t network = response.network();
+  auto [it, created] = spans_.try_emplace(*mac, Span{network, network});
+  if (!created) {
+    it->second.lo = std::min(it->second.lo, network);
+    it->second.hi = std::max(it->second.hi, network);
+  }
+}
+
+std::optional<unsigned> RotationPoolInference::length_for(
+    net::MacAddress mac) const {
+  const auto it = spans_.find(mac);
+  if (it == spans_.end()) return std::nullopt;
+  return span_to_prefix_length(it->second.lo, it->second.hi);
+}
+
+std::vector<unsigned> RotationPoolInference::per_device_lengths() const {
+  std::vector<unsigned> out;
+  out.reserve(spans_.size());
+  for (const auto& [mac, span] : spans_) {
+    out.push_back(span_to_prefix_length(span.lo, span.hi));
+  }
+  return out;
+}
+
+std::optional<net::Prefix> RotationPoolInference::pool_for(
+    net::MacAddress mac, unsigned pool_length) const {
+  const auto it = spans_.find(mac);
+  if (it == spans_.end()) return std::nullopt;
+  // Align the observed low end down to the pool size; if the observed high
+  // end spills past that aligned block (the device straddled an alignment
+  // boundary), widen to the next shorter aligned prefix that covers both.
+  unsigned length = pool_length;
+  for (;;) {
+    const net::Prefix candidate{net::Ipv6Address{it->second.lo, 0}, length};
+    if (candidate.contains(net::Ipv6Address{it->second.hi, 0})) {
+      return candidate;
+    }
+    if (length == 0) return std::nullopt;
+    --length;
+  }
+}
+
+}  // namespace scent::core

@@ -1,0 +1,130 @@
+// inference.h - the paper's Algorithms 1 and 2.
+//
+// Algorithm 1 (Allocation_Size): for each EUI-64 IID, the numeric span of
+// *probed target* /64 networks that elicited responses from that IID bounds
+// the customer's delegated prefix from inside; the per-AS median of those
+// spans is the provider's allocation size. A tracker that knows a provider
+// hands out /56s needs to probe only one address per /56 — a 256x saving
+// over the naive per-/64 sweep (§3.2.1).
+//
+// Algorithm 2 (Rotation_Pool_Size): for each EUI-64 IID, the numeric span of
+// *response* /64 networks the IID was observed in bounds the rotation pool
+// it moves within; the per-AS median is the provider's pool size. The pool
+// bounds the tracking search space from above (§3.2.2).
+//
+// Both algorithms express sizes as prefix lengths: a span of up to 2^k /64
+// networks corresponds to a /(64-k).
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "core/observation.h"
+#include "netbase/mac_address.h"
+#include "netbase/uint128.h"
+
+namespace scent::core {
+
+/// Prefix length whose /64 span covers [lo, hi] (inclusive, in units of the
+/// upper-64-bit network value). A single /64 (span 0) is a /64; a span of
+/// 255 /64s fits a /56; and so on. This is the paper's
+/// `size = log2(max_r - min_r)` recast as a prefix length.
+[[nodiscard]] constexpr unsigned span_to_prefix_length(
+    std::uint64_t lo, std::uint64_t hi) noexcept {
+  const std::uint64_t distance = hi - lo;
+  if (distance == 0) return 64;
+  // Number of /64-index bits needed to cover the distance.
+  unsigned bits = 0;
+  std::uint64_t v = distance;
+  while (v != 0) {
+    v >>= 1;
+    ++bits;
+  }
+  return bits >= 64 ? 0 : 64 - bits;
+}
+
+/// Median of a small vector (by partial sort); returns nullopt when empty.
+/// For even sizes, the lower median is returned — prefix lengths are
+/// ordinal, and the paper's algorithm takes a plain median of integer sizes.
+[[nodiscard]] std::optional<unsigned> median_of(std::vector<unsigned> values);
+
+/// Accumulates per-EUI target spans and infers allocation sizes
+/// (Algorithm 1).
+class AllocationSizeInference {
+ public:
+  /// Feeds one <target, response> pair; ignored unless the response carries
+  /// an EUI-64 IID.
+  void observe(net::Ipv6Address target, net::Ipv6Address response);
+
+  void observe_all(const ObservationStore& store) {
+    for (const auto& obs : store.all()) observe(obs.target, obs.response);
+  }
+
+  /// Inferred allocation prefix length for one device.
+  [[nodiscard]] std::optional<unsigned> length_for(net::MacAddress mac) const;
+
+  /// All per-device inferred lengths (the distribution behind Fig 5a).
+  [[nodiscard]] std::vector<unsigned> per_device_lengths() const;
+
+  /// Median across devices (the per-AS aggregate of the paper when fed one
+  /// AS's observations; Fig 5b).
+  [[nodiscard]] std::optional<unsigned> median_length() const {
+    return median_of(per_device_lengths());
+  }
+
+  [[nodiscard]] std::size_t device_count() const noexcept {
+    return spans_.size();
+  }
+
+ private:
+  struct Span {
+    std::uint64_t lo = 0;
+    std::uint64_t hi = 0;
+  };
+  std::unordered_map<net::MacAddress, Span, net::MacAddressHash> spans_;
+};
+
+/// Accumulates per-EUI response spans and infers rotation pool sizes
+/// (Algorithm 2).
+class RotationPoolInference {
+ public:
+  /// Feeds one response address; ignored unless it carries an EUI-64 IID.
+  void observe(net::Ipv6Address response);
+
+  void observe_all(const ObservationStore& store) {
+    for (const auto& obs : store.all()) observe(obs.response);
+  }
+
+  /// Inferred rotation pool prefix length for one device: the span of /64s
+  /// its WAN address was seen in. /64 means "never observed moving".
+  [[nodiscard]] std::optional<unsigned> length_for(net::MacAddress mac) const;
+
+  [[nodiscard]] std::vector<unsigned> per_device_lengths() const;
+
+  /// Median across devices: the provider's inferred pool size (Fig 7).
+  [[nodiscard]] std::optional<unsigned> median_length() const {
+    return median_of(per_device_lengths());
+  }
+
+  /// The concrete pool range for one device: the tightest
+  /// median-pool-length-aligned prefix covering everywhere it was seen.
+  /// This is what the tracker probes (§6).
+  [[nodiscard]] std::optional<net::Prefix> pool_for(net::MacAddress mac,
+                                                    unsigned pool_length) const;
+
+  [[nodiscard]] std::size_t device_count() const noexcept {
+    return spans_.size();
+  }
+
+ private:
+  struct Span {
+    std::uint64_t lo = 0;
+    std::uint64_t hi = 0;
+  };
+  std::unordered_map<net::MacAddress, Span, net::MacAddressHash> spans_;
+};
+
+}  // namespace scent::core

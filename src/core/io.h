@@ -1,0 +1,45 @@
+// io.h - persistence for measurement artifacts.
+//
+// Campaigns are expensive; their outputs are plain data. This module
+// serializes the two artifacts worth keeping — prefix target lists (e.g.
+// the funnel's rotating /48s) and observation corpora — as line-oriented
+// text that diffs, greps, and survives versioning. Parsers are tolerant:
+// blank lines and '#' comments are skipped, malformed lines are counted
+// and reported, never fatal (real measurement data is messy).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/observation.h"
+#include "netbase/prefix.h"
+
+namespace scent::core {
+
+struct LoadStats {
+  std::size_t loaded = 0;
+  std::size_t skipped = 0;  ///< Malformed (non-blank, non-comment) lines.
+};
+
+/// Writes one prefix per line. Returns false on I/O failure.
+bool save_prefixes(const std::string& path,
+                   const std::vector<net::Prefix>& prefixes,
+                   const std::string& header_comment = {});
+
+/// Reads a prefix-per-line file; nullopt if the file cannot be opened.
+std::optional<std::vector<net::Prefix>> load_prefixes(const std::string& path,
+                                                      LoadStats* stats = nullptr);
+
+/// Observation CSV: `target,response,type,code,time_us` with a header row.
+bool save_observations(const std::string& path, const ObservationStore& store);
+
+/// Loads an observation CSV; nullopt if the file cannot be opened.
+std::optional<ObservationStore> load_observations(const std::string& path,
+                                                  LoadStats* stats = nullptr);
+
+/// Parses one observation CSV row (exposed for tests and other ingesters).
+std::optional<Observation> parse_observation_row(std::string_view line);
+
+}  // namespace scent::core

@@ -1,0 +1,133 @@
+// observation.h - the measurement corpus: every <target, response, time>
+// tuple a campaign collects, indexed the ways the paper's analyses need.
+//
+// All downstream inference (Algorithms 1 and 2, density, rotation detection,
+// homogeneity, pathology hunting, tracking validation) consumes exactly this
+// data; nothing reads simulator ground truth. That separation is what makes
+// the reproduction honest: the analysis side sees only what a real scanning
+// vantage would see.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "netbase/eui64.h"
+#include "netbase/ipv6_address.h"
+#include "netbase/mac_address.h"
+#include "probe/prober.h"
+#include "sim/sim_time.h"
+#include "wire/icmpv6.h"
+
+namespace scent::core {
+
+/// One responsive probe.
+struct Observation {
+  net::Ipv6Address target;
+  net::Ipv6Address response;
+  wire::Icmpv6Type type = wire::Icmpv6Type::kDestinationUnreachable;
+  std::uint8_t code = 0;
+  sim::TimePoint time = 0;
+};
+
+/// Append-only store of observations with lazy per-EUI indexing.
+class ObservationStore {
+ public:
+  void add(const Observation& obs) {
+    observations_.push_back(obs);
+    index_dirty_ = true;
+  }
+
+  void add(const probe::ProbeResult& r) {
+    if (!r.responded) return;
+    add(Observation{r.target, r.response_source, r.type, r.code, r.sent_at});
+  }
+
+  template <typename Range>
+  void add_all(const Range& results) {
+    for (const auto& r : results) add(r);
+  }
+
+  [[nodiscard]] const std::vector<Observation>& all() const noexcept {
+    return observations_;
+  }
+  [[nodiscard]] std::size_t size() const noexcept {
+    return observations_.size();
+  }
+  [[nodiscard]] bool empty() const noexcept { return observations_.empty(); }
+
+  /// Observation indices grouped by embedded MAC, for EUI-64 responses only.
+  /// Rebuilt lazily after mutation.
+  [[nodiscard]] const std::unordered_map<net::MacAddress,
+                                         std::vector<std::size_t>,
+                                         net::MacAddressHash>&
+  by_mac() const {
+    rebuild_if_dirty();
+    return by_mac_;
+  }
+
+  /// Distinct response addresses seen (any IID class).
+  [[nodiscard]] std::size_t unique_responses() const {
+    rebuild_if_dirty();
+    return unique_responses_;
+  }
+
+  /// Distinct EUI-64 response addresses seen.
+  [[nodiscard]] std::size_t unique_eui64_responses() const {
+    rebuild_if_dirty();
+    return unique_eui64_responses_;
+  }
+
+  /// Distinct EUI-64 IIDs (== distinct embedded MACs).
+  [[nodiscard]] std::size_t unique_eui64_iids() const {
+    rebuild_if_dirty();
+    return by_mac_.size();
+  }
+
+  /// Distinct /64 networks in which a given MAC's EUI-64 address was seen.
+  [[nodiscard]] std::vector<std::uint64_t> networks_of(
+      net::MacAddress mac) const {
+    rebuild_if_dirty();
+    std::vector<std::uint64_t> out;
+    const auto it = by_mac_.find(mac);
+    if (it == by_mac_.end()) return out;
+    std::unordered_set<std::uint64_t> seen;
+    for (const std::size_t i : it->second) {
+      if (seen.insert(observations_[i].response.network()).second) {
+        out.push_back(observations_[i].response.network());
+      }
+    }
+    return out;
+  }
+
+ private:
+  void rebuild_if_dirty() const {
+    if (!index_dirty_) return;
+    by_mac_.clear();
+    std::unordered_set<net::Ipv6Address, net::Ipv6AddressHash> responses;
+    std::unordered_set<net::Ipv6Address, net::Ipv6AddressHash> eui_responses;
+    for (std::size_t i = 0; i < observations_.size(); ++i) {
+      const auto& obs = observations_[i];
+      responses.insert(obs.response);
+      if (const auto mac = net::embedded_mac(obs.response)) {
+        eui_responses.insert(obs.response);
+        by_mac_[*mac].push_back(i);
+      }
+    }
+    unique_responses_ = responses.size();
+    unique_eui64_responses_ = eui_responses.size();
+    index_dirty_ = false;
+  }
+
+  std::vector<Observation> observations_;
+  mutable std::unordered_map<net::MacAddress, std::vector<std::size_t>,
+                             net::MacAddressHash>
+      by_mac_;
+  mutable std::size_t unique_responses_ = 0;
+  mutable std::size_t unique_eui64_responses_ = 0;
+  mutable bool index_dirty_ = false;
+};
+
+}  // namespace scent::core

@@ -1,0 +1,97 @@
+#include "core/pathology.h"
+
+#include <algorithm>
+
+namespace scent::core {
+namespace {
+
+bool is_default_mac(net::MacAddress mac) noexcept {
+  // The all-zero MAC is the one the paper observed (12 ASes); broadcast and
+  // the all-one pattern are equally meaningless as identifiers.
+  return mac.bits() == 0 || mac.bits() == 0xffffffffffffULL;
+}
+
+}  // namespace
+
+DailyAsPresence presence_of(net::MacAddress mac, const ObservationStore& store,
+                            const routing::BgpTable& bgp) {
+  DailyAsPresence presence;
+  const auto it = store.by_mac().find(mac);
+  if (it == store.by_mac().end()) return presence;
+  for (const std::size_t i : it->second) {
+    const Observation& obs = store.all()[i];
+    const auto attribution = bgp.lookup(obs.response);
+    if (!attribution) continue;
+    presence.days[sim::day_of(obs.time)].insert(attribution->origin_asn);
+  }
+  return presence;
+}
+
+std::vector<MultiAsIid> find_multi_as_iids(const ObservationStore& store,
+                                           const routing::BgpTable& bgp,
+                                           const PathologyOptions& options) {
+  std::vector<MultiAsIid> out;
+  for (const auto& [mac, indices] : store.by_mac()) {
+    // Cheap prefilter: distinct ASes across all observations.
+    std::set<routing::Asn> asns;
+    for (const std::size_t i : indices) {
+      const auto attribution = bgp.lookup(store.all()[i].response);
+      if (attribution) asns.insert(attribution->origin_asn);
+    }
+    if (asns.size() < 2) continue;
+
+    MultiAsIid entry;
+    entry.mac = mac;
+    entry.asns.assign(asns.begin(), asns.end());
+
+    const DailyAsPresence presence = presence_of(mac, store, bgp);
+    for (const auto& [day, day_asns] : presence.days) {
+      if (day_asns.size() >= 2) ++entry.concurrent_days;
+    }
+
+    if (is_default_mac(mac)) {
+      entry.kind = PathologyKind::kDefaultMac;
+    } else if (entry.concurrent_days >= options.min_concurrent_days) {
+      entry.kind = PathologyKind::kConcurrentReuse;
+    } else if (asns.size() == 2 && entry.concurrent_days == 0) {
+      // Candidate provider switch: check for a clean temporal hand-off —
+      // one AS strictly before some day, the other strictly after.
+      const routing::Asn a = entry.asns[0];
+      const routing::Asn b = entry.asns[1];
+      std::int64_t last_a = INT64_MIN, first_a = INT64_MAX;
+      std::int64_t last_b = INT64_MIN, first_b = INT64_MAX;
+      for (const auto& [day, day_asns] : presence.days) {
+        if (day_asns.contains(a)) {
+          last_a = std::max(last_a, day);
+          first_a = std::min(first_a, day);
+        }
+        if (day_asns.contains(b)) {
+          last_b = std::max(last_b, day);
+          first_b = std::min(first_b, day);
+        }
+      }
+      if (last_a < first_b) {
+        entry.kind = PathologyKind::kProviderSwitch;
+        entry.switch_from = a;
+        entry.switch_to = b;
+        entry.switch_day = first_b;
+      } else if (last_b < first_a) {
+        entry.kind = PathologyKind::kProviderSwitch;
+        entry.switch_from = b;
+        entry.switch_to = a;
+        entry.switch_day = first_a;
+      } else {
+        entry.kind = PathologyKind::kMultiAsOther;
+      }
+    } else {
+      entry.kind = PathologyKind::kMultiAsOther;
+    }
+    out.push_back(std::move(entry));
+  }
+  std::sort(out.begin(), out.end(), [](const MultiAsIid& a, const MultiAsIid& b) {
+    return a.mac < b.mac;
+  });
+  return out;
+}
+
+}  // namespace scent::core

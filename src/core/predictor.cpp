@@ -1,0 +1,91 @@
+#include "core/predictor.h"
+
+#include <algorithm>
+#include <map>
+
+#include "probe/permutation.h"
+
+namespace scent::core {
+
+std::uint64_t StrideModel::predict_slot(std::int64_t day) const noexcept {
+  const std::uint64_t n = slots();
+  if (n == 0) return 0;
+  const std::int64_t sn = static_cast<std::int64_t>(n);
+  const std::int64_t delta = day - anchor_day;
+  const std::uint64_t steps =
+      static_cast<std::uint64_t>(((delta % sn) + sn) % sn);
+  const std::uint64_t advance = probe::mul_mod_u64(steps, stride % n, n);
+  return (anchor_slot % n + advance) % n;
+}
+
+std::optional<StrideModel> fit_stride(const std::vector<Sighting>& sightings,
+                                      net::Prefix pool,
+                                      unsigned allocation_length,
+                                      double min_support) {
+  if (sightings.size() < 2 || allocation_length < pool.length()) {
+    return std::nullopt;
+  }
+
+  StrideModel model;
+  model.pool = pool;
+  model.allocation_length = allocation_length;
+  const std::uint64_t n = model.slots();
+  if (n < 2) return std::nullopt;
+
+  // Convert each sighting's /64 network to a slot index within the pool.
+  struct Point {
+    std::int64_t day;
+    std::uint64_t slot;
+  };
+  std::vector<Point> points;
+  points.reserve(sightings.size());
+  // `network` values count /64s; an allocation spans 2^(64 - alloc_len) of
+  // them, so the slot index is the offset shifted by that many bits.
+  const unsigned alloc_shift = 64 - (allocation_length > 64 ? 64
+                                                            : allocation_length);
+  const std::uint64_t pool_base = pool.base().network();
+  for (const auto& s : sightings) {
+    if (!pool.contains(net::Ipv6Address{s.network, 0})) continue;
+    const std::uint64_t offset = s.network - pool_base;
+    points.push_back(Point{s.day, offset >> alloc_shift});
+  }
+  if (points.size() < 2) return std::nullopt;
+  std::sort(points.begin(), points.end(),
+            [](const Point& a, const Point& b) { return a.day < b.day; });
+
+  // Per-day stride candidates from consecutive sighting pairs: the modular
+  // slot difference divided by the day gap (only exact divisions count —
+  // a gap the stride doesn't evenly explain supports no candidate).
+  std::map<std::uint64_t, std::size_t> votes;
+  std::size_t pairs = 0;
+  for (std::size_t i = 1; i < points.size(); ++i) {
+    const std::int64_t day_gap = points[i].day - points[i - 1].day;
+    if (day_gap <= 0) continue;
+    ++pairs;
+    const std::uint64_t slot_diff =
+        (points[i].slot + n - points[i - 1].slot) % n;
+    if (day_gap == 1) {
+      ++votes[slot_diff];
+    } else if (slot_diff % static_cast<std::uint64_t>(day_gap) == 0) {
+      // Ambiguous across the wrap, but the unwrapped candidate is by far
+      // the likeliest for the short gaps trackers see.
+      ++votes[slot_diff / static_cast<std::uint64_t>(day_gap)];
+    }
+  }
+  if (pairs == 0 || votes.empty()) return std::nullopt;
+
+  const auto best = std::max_element(
+      votes.begin(), votes.end(), [](const auto& a, const auto& b) {
+        return a.second < b.second;
+      });
+  model.stride = best->first;
+  model.support =
+      static_cast<double>(best->second) / static_cast<double>(pairs);
+  if (model.stride == 0 || model.support < min_support) return std::nullopt;
+
+  model.anchor_day = points.back().day;
+  model.anchor_slot = points.back().slot;
+  return model;
+}
+
+}  // namespace scent::core

@@ -1,0 +1,60 @@
+// predictor.h - next-prefix prediction for stride rotators (§5.4).
+//
+// Figure 9 shows AS8881 advancing each customer's /64 by a constant stride
+// every day, wrapping modulo the /46 rotation pool. An attacker who has
+// observed a device in two or more prefixes can therefore estimate the
+// stride and *predict* where the device will be tomorrow — collapsing the
+// tracking search from "the whole pool" to a handful of candidate
+// allocations. This module fits that model to an observed
+// (day, /64-network) series and scores its own confidence.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "netbase/prefix.h"
+#include "sim/sim_time.h"
+
+namespace scent::core {
+
+/// One sighting of a device: the day and the /64 network it occupied.
+struct Sighting {
+  std::int64_t day = 0;
+  std::uint64_t network = 0;  ///< Upper 64 bits of the observed address.
+};
+
+struct StrideModel {
+  net::Prefix pool;          ///< The rotation pool the model is relative to.
+  std::uint64_t stride = 0;  ///< Slots (allocation units) advanced per day.
+  unsigned allocation_length = 64;
+  double support = 0.0;  ///< Fraction of consecutive-sighting pairs the
+                         ///< fitted stride explains.
+
+  /// Predicted slot index for a given day (wraps modulo the pool; works for
+  /// days before the anchor too).
+  [[nodiscard]] std::uint64_t predict_slot(std::int64_t day) const noexcept;
+
+  /// Predicted allocation prefix for a given day.
+  [[nodiscard]] net::Prefix predict_allocation(std::int64_t day) const {
+    return pool.subnet(allocation_length, net::Uint128{predict_slot(day)});
+  }
+
+  [[nodiscard]] std::uint64_t slots() const noexcept {
+    const unsigned bits = allocation_length - pool.length();
+    return std::uint64_t{1} << (bits > 40 ? 40 : bits);
+  }
+
+  std::uint64_t anchor_slot = 0;
+  std::int64_t anchor_day = 0;
+};
+
+/// Fits a constant-stride-mod-pool model to a device's sightings. Requires
+/// at least two sightings in distinct slots; returns nullopt when the data
+/// is non-rotating or inconsistent (support < min_support).
+[[nodiscard]] std::optional<StrideModel> fit_stride(
+    const std::vector<Sighting>& sightings, net::Prefix pool,
+    unsigned allocation_length, double min_support = 0.6);
+
+}  // namespace scent::core

@@ -1,0 +1,172 @@
+// report.h - presentation utilities for experiment harnesses.
+//
+// The bench binaries regenerate the paper's tables and figures as text:
+// CDFs printed at fixed quantiles or as full series, fixed-width tables,
+// and the Figure 3 style allocation maps rendered as character grids. These
+// helpers keep every bench's output consistent and diff-friendly.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <iomanip>
+#include <map>
+#include <ostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace scent::core {
+
+/// Empirical CDF over numeric samples.
+class Cdf {
+ public:
+  Cdf() = default;
+  explicit Cdf(std::vector<double> samples) : samples_(std::move(samples)) {
+    std::sort(samples_.begin(), samples_.end());
+  }
+
+  template <typename T>
+  static Cdf of(const std::vector<T>& values) {
+    std::vector<double> samples;
+    samples.reserve(values.size());
+    for (const T& v : values) samples.push_back(static_cast<double>(v));
+    return Cdf{std::move(samples)};
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return samples_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return samples_.empty(); }
+
+  /// Fraction of samples <= x.
+  [[nodiscard]] double at(double x) const {
+    if (samples_.empty()) return 0.0;
+    const auto it = std::upper_bound(samples_.begin(), samples_.end(), x);
+    return static_cast<double>(it - samples_.begin()) /
+           static_cast<double>(samples_.size());
+  }
+
+  /// The q-quantile (q in [0, 1]).
+  [[nodiscard]] double quantile(double q) const {
+    if (samples_.empty()) return 0.0;
+    const double clamped = std::clamp(q, 0.0, 1.0);
+    const auto index = static_cast<std::size_t>(
+        clamped * static_cast<double>(samples_.size() - 1) + 0.5);
+    return samples_[index];
+  }
+
+  [[nodiscard]] double min() const { return empty() ? 0.0 : samples_.front(); }
+  [[nodiscard]] double max() const { return empty() ? 0.0 : samples_.back(); }
+
+  /// Distinct values with their cumulative fractions — the exact step
+  /// function, suitable for plotting or table output.
+  [[nodiscard]] std::vector<std::pair<double, double>> steps() const {
+    std::vector<std::pair<double, double>> out;
+    for (std::size_t i = 0; i < samples_.size(); ++i) {
+      if (i + 1 == samples_.size() || samples_[i + 1] != samples_[i]) {
+        out.emplace_back(samples_[i], static_cast<double>(i + 1) /
+                                          static_cast<double>(samples_.size()));
+      }
+    }
+    return out;
+  }
+
+ private:
+  std::vector<double> samples_;
+};
+
+/// Minimal fixed-width text table.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> headers)
+      : headers_(std::move(headers)) {}
+
+  void add_row(std::vector<std::string> cells) {
+    rows_.push_back(std::move(cells));
+  }
+
+  void print(std::ostream& os) const {
+    std::vector<std::size_t> widths(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      widths[c] = headers_[c].size();
+    }
+    for (const auto& row : rows_) {
+      for (std::size_t c = 0; c < row.size() && c < widths.size(); ++c) {
+        widths[c] = std::max(widths[c], row[c].size());
+      }
+    }
+    const auto print_row = [&](const std::vector<std::string>& row) {
+      for (std::size_t c = 0; c < widths.size(); ++c) {
+        os << "| " << std::setw(static_cast<int>(widths[c])) << std::left
+           << (c < row.size() ? row[c] : "") << ' ';
+      }
+      os << "|\n";
+    };
+    print_row(headers_);
+    for (std::size_t c = 0; c < widths.size(); ++c) {
+      os << "|" << std::string(widths[c] + 2, '-');
+    }
+    os << "|\n";
+    for (const auto& row : rows_) print_row(row);
+  }
+
+  [[nodiscard]] std::string to_string() const {
+    std::ostringstream os;
+    print(os);
+    return os.str();
+  }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Figure-3-style allocation map: a 2D character grid over (byte 7, byte 8)
+/// of probed /64s, where each distinct responding source address maps to a
+/// letter and silence maps to '.'. Rows are the 7th byte (0..255, sampled),
+/// columns the 8th byte.
+class AllocationGrid {
+ public:
+  AllocationGrid() : cells_(256 * 256, -1) {}
+
+  /// Records that the /64 with bytes (b7, b8) was answered by `source_id`
+  /// (any stable small integer per distinct source; use intern()).
+  void mark(std::uint8_t b7, std::uint8_t b8, int source_id) {
+    cells_[static_cast<std::size_t>(b7) * 256 + b8] = source_id;
+  }
+
+  /// Interns a source address value into a stable small id.
+  int intern(std::uint64_t source_key) {
+    const auto [it, created] =
+        ids_.try_emplace(source_key, static_cast<int>(ids_.size()));
+    return it->second;
+  }
+
+  [[nodiscard]] std::size_t distinct_sources() const noexcept {
+    return ids_.size();
+  }
+
+  /// Renders a rows x cols downsampled view. Distinct ids cycle over
+  /// letters/digits; '.' is unresponsive.
+  [[nodiscard]] std::string render(unsigned rows = 32,
+                                   unsigned cols = 64) const {
+    static constexpr char kPalette[] =
+        "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789";
+    std::string out;
+    out.reserve(static_cast<std::size_t>(rows) * (cols + 1));
+    for (unsigned r = 0; r < rows; ++r) {
+      for (unsigned c = 0; c < cols; ++c) {
+        const unsigned b7 = r * 256 / rows;
+        const unsigned b8 = c * 256 / cols;
+        const int id = cells_[b7 * 256 + b8];
+        out += id < 0 ? '.' : kPalette[static_cast<unsigned>(id) % 62];
+      }
+      out += '\n';
+    }
+    return out;
+  }
+
+ private:
+  std::vector<int> cells_;
+  std::map<std::uint64_t, int> ids_;
+};
+
+}  // namespace scent::core

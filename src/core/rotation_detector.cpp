@@ -1,0 +1,53 @@
+#include "core/rotation_detector.h"
+
+#include <algorithm>
+
+namespace scent::core {
+
+std::vector<RotationVerdict> detect_rotation(const Snapshot& first,
+                                             const Snapshot& second,
+                                             std::uint64_t churn_threshold) {
+  struct Counts {
+    std::uint64_t eui_targets = 0;
+    std::uint64_t changed = 0;
+  };
+  std::unordered_map<net::Prefix, Counts, net::PrefixHash> per_48;
+
+  const auto prefix48 = [](net::Ipv6Address a) {
+    return net::Prefix{a, 48};
+  };
+
+  // Targets responsive in the first snapshot: changed if missing from or
+  // different in the second.
+  for (const auto& [target, response] : first.map()) {
+    Counts& c = per_48[prefix48(target)];
+    ++c.eui_targets;
+    const auto it = second.map().find(target);
+    if (it == second.map().end() || it->second != response) ++c.changed;
+  }
+  // Targets that appeared only in the second snapshot are also churn.
+  for (const auto& [target, response] : second.map()) {
+    if (first.map().contains(target)) continue;
+    Counts& c = per_48[prefix48(target)];
+    ++c.eui_targets;
+    ++c.changed;
+  }
+
+  std::vector<RotationVerdict> verdicts;
+  verdicts.reserve(per_48.size());
+  for (const auto& [prefix, counts] : per_48) {
+    RotationVerdict v;
+    v.prefix = prefix;
+    v.eui_targets = counts.eui_targets;
+    v.changed = counts.changed;
+    v.rotating = counts.changed > churn_threshold;
+    verdicts.push_back(v);
+  }
+  std::sort(verdicts.begin(), verdicts.end(),
+            [](const RotationVerdict& a, const RotationVerdict& b) {
+              return a.prefix < b.prefix;
+            });
+  return verdicts;
+}
+
+}  // namespace scent::core

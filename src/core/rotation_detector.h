@@ -1,0 +1,63 @@
+// rotation_detector.h - two-snapshot prefix-rotation detection (§4.3).
+//
+// Scan the same targets, in the same order, 24 hours apart. For every target
+// whose response was an EUI-64 address in either snapshot, compare the
+// <target, response> pairs: any difference — a different EUI-64, a
+// disappearance, or a fresh appearance — marks the target's /48 as
+// exhibiting rotation-like churn. The paper deliberately sets no churn
+// threshold so gradual or non-uniform rotation still registers; this
+// implementation exposes the threshold as a parameter (default 0) so the
+// ablation bench can sweep it.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "netbase/eui64.h"
+#include "netbase/ipv6_address.h"
+#include "netbase/prefix.h"
+#include "probe/prober.h"
+
+namespace scent::core {
+
+/// A snapshot: target -> EUI-64 response address (non-EUI and silent
+/// targets are simply absent).
+class Snapshot {
+ public:
+  void record(net::Ipv6Address target, net::Ipv6Address response) {
+    if (net::is_eui64(response)) map_[target] = response;
+  }
+
+  void record_all(const std::vector<probe::ProbeResult>& results) {
+    for (const auto& r : results) {
+      if (r.responded) record(r.target, r.response_source);
+    }
+  }
+
+  [[nodiscard]] const std::unordered_map<net::Ipv6Address, net::Ipv6Address,
+                                         net::Ipv6AddressHash>&
+  map() const noexcept {
+    return map_;
+  }
+
+ private:
+  std::unordered_map<net::Ipv6Address, net::Ipv6Address, net::Ipv6AddressHash>
+      map_;
+};
+
+struct RotationVerdict {
+  net::Prefix prefix;              ///< The /48 under test.
+  std::uint64_t eui_targets = 0;   ///< Targets EUI-responsive in either snap.
+  std::uint64_t changed = 0;       ///< Pairs that differ between snaps.
+  bool rotating = false;
+};
+
+/// Compares two snapshots and classifies each /48 (grouping targets by
+/// their covering /48). A /48 is flagged when the changed-pair count
+/// exceeds `churn_threshold` (paper default: any change at all).
+[[nodiscard]] std::vector<RotationVerdict> detect_rotation(
+    const Snapshot& first, const Snapshot& second,
+    std::uint64_t churn_threshold = 0);
+
+}  // namespace scent::core

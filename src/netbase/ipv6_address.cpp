@@ -1,0 +1,155 @@
+#include "netbase/ipv6_address.h"
+
+#include <array>
+#include <charconv>
+#include <cstdio>
+
+namespace scent::net {
+namespace {
+
+// Parses one hex group (1-4 digits) from `text` starting at `pos`.
+// Returns the value and advances pos, or returns nullopt.
+std::optional<std::uint16_t> parse_group(std::string_view text,
+                                         std::size_t& pos) {
+  std::uint32_t value = 0;
+  std::size_t digits = 0;
+  while (pos < text.size() && digits < 4) {
+    const char c = text[pos];
+    std::uint32_t d = 0;
+    if (c >= '0' && c <= '9') {
+      d = static_cast<std::uint32_t>(c - '0');
+    } else if (c >= 'a' && c <= 'f') {
+      d = static_cast<std::uint32_t>(c - 'a' + 10);
+    } else if (c >= 'A' && c <= 'F') {
+      d = static_cast<std::uint32_t>(c - 'A' + 10);
+    } else {
+      break;
+    }
+    value = (value << 4) | d;
+    ++pos;
+    ++digits;
+  }
+  if (digits == 0) return std::nullopt;
+  return static_cast<std::uint16_t>(value);
+}
+
+}  // namespace
+
+std::optional<Ipv6Address> Ipv6Address::parse(std::string_view text) {
+  // Reject embedded-IPv4 and zone-id forms: they never occur in this
+  // pipeline's data and keeping the grammar small keeps it verifiable.
+  if (text.empty() || text.find('.') != std::string_view::npos ||
+      text.find('%') != std::string_view::npos) {
+    return std::nullopt;
+  }
+
+  std::array<std::uint16_t, 8> head{};
+  std::array<std::uint16_t, 8> tail{};
+  std::size_t n_head = 0;
+  std::size_t n_tail = 0;
+  bool saw_gap = false;
+
+  std::size_t pos = 0;
+  if (text.size() >= 2 && text[0] == ':' && text[1] == ':') {
+    saw_gap = true;
+    pos = 2;
+  } else if (text[0] == ':') {
+    return std::nullopt;  // single leading colon
+  }
+
+  while (pos < text.size()) {
+    auto group = parse_group(text, pos);
+    if (!group) return std::nullopt;
+    if (!saw_gap) {
+      if (n_head >= 8) return std::nullopt;
+      head[n_head++] = *group;
+    } else {
+      if (n_head + n_tail >= 7) return std::nullopt;  // gap covers >= 1 group
+      tail[n_tail++] = *group;
+    }
+
+    if (pos == text.size()) break;
+    if (text[pos] != ':') return std::nullopt;
+    ++pos;
+    if (pos < text.size() && text[pos] == ':') {
+      if (saw_gap) return std::nullopt;  // at most one "::"
+      saw_gap = true;
+      ++pos;
+      if (pos == text.size()) break;  // trailing "::"
+    } else if (pos == text.size()) {
+      return std::nullopt;  // single trailing colon
+    }
+  }
+
+  std::array<std::uint16_t, 8> groups{};
+  if (saw_gap) {
+    if (n_head + n_tail >= 8) return std::nullopt;  // "::" must elide >= 1
+    for (std::size_t i = 0; i < n_head; ++i) groups[i] = head[i];
+    for (std::size_t i = 0; i < n_tail; ++i) {
+      groups[8 - n_tail + i] = tail[i];
+    }
+  } else {
+    if (n_head != 8) return std::nullopt;
+    groups = head;
+  }
+
+  std::uint64_t hi = 0;
+  std::uint64_t lo = 0;
+  for (std::size_t i = 0; i < 4; ++i) hi = (hi << 16) | groups[i];
+  for (std::size_t i = 4; i < 8; ++i) lo = (lo << 16) | groups[i];
+  return Ipv6Address{Uint128{hi, lo}};
+}
+
+std::string Ipv6Address::to_string() const {
+  std::array<std::uint16_t, 8> groups{};
+  for (std::size_t i = 0; i < 4; ++i) {
+    groups[i] = static_cast<std::uint16_t>(bits_.hi() >> ((3 - i) * 16));
+  }
+  for (std::size_t i = 0; i < 4; ++i) {
+    groups[4 + i] = static_cast<std::uint16_t>(bits_.lo() >> ((3 - i) * 16));
+  }
+
+  // RFC 5952 s4.2: compress the longest run of zero groups (length >= 2);
+  // on ties, the first run wins.
+  int best_start = -1;
+  int best_len = 0;
+  int run_start = -1;
+  int run_len = 0;
+  for (int i = 0; i < 8; ++i) {
+    if (groups[static_cast<std::size_t>(i)] == 0) {
+      if (run_start < 0) run_start = i;
+      ++run_len;
+      if (run_len > best_len) {
+        best_len = run_len;
+        best_start = run_start;
+      }
+    } else {
+      run_start = -1;
+      run_len = 0;
+    }
+  }
+  if (best_len < 2) best_start = -1;
+
+  std::string out;
+  out.reserve(40);
+  char buf[8];
+  for (int i = 0; i < 8;) {
+    if (i == best_start) {
+      // The group before the gap deliberately did not emit its separator,
+      // so "::" here yields exactly two colons in every position.
+      out += "::";
+      i += best_len;
+      if (i >= 8) break;
+      continue;
+    }
+    const int written = std::snprintf(buf, sizeof buf, "%x",
+                                      groups[static_cast<std::size_t>(i)]);
+    out.append(buf, static_cast<std::size_t>(written));
+    ++i;
+    if (i < 8 && i != best_start) out += ':';
+  }
+  if (out.empty()) out = "::";
+  return out;
+}
+
+}  // namespace scent::net

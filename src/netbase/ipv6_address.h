@@ -1,0 +1,131 @@
+// ipv6_address.h - value type for 128-bit IPv6 addresses.
+//
+// The measurement pipeline manipulates addresses constantly: splitting them
+// into the 64-bit routing prefix and the 64-bit interface identifier (IID),
+// computing numeric distances between periphery prefixes (Algorithms 1 and 2
+// of the paper), and rendering them in RFC 5952 canonical text form for
+// reports. This header provides that vocabulary type.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "netbase/uint128.h"
+
+namespace scent::net {
+
+/// An IPv6 address as an immutable 128-bit value.
+///
+/// The upper 64 bits are the (sub)network prefix assigned by the provider;
+/// the lower 64 bits are the interface identifier (IID). Prefix rotation
+/// changes the upper bits while legacy EUI-64 CPE keep the lower bits fixed —
+/// the asymmetry this library exploits.
+class Ipv6Address {
+ public:
+  constexpr Ipv6Address() noexcept = default;
+  explicit constexpr Ipv6Address(Uint128 bits) noexcept : bits_(bits) {}
+  constexpr Ipv6Address(std::uint64_t prefix_bits,
+                        std::uint64_t iid_bits) noexcept
+      : bits_(prefix_bits, iid_bits) {}
+
+  /// Parses RFC 4291 text form, including "::" compression and full form.
+  /// Returns std::nullopt on malformed input (never throws: parse failures
+  /// are expected data, e.g. when ingesting response logs).
+  [[nodiscard]] static std::optional<Ipv6Address> parse(std::string_view text);
+
+  /// Builds an address from 16 network-order bytes.
+  [[nodiscard]] static constexpr Ipv6Address from_bytes(
+      const std::array<std::uint8_t, 16>& bytes) noexcept {
+    std::uint64_t hi = 0;
+    std::uint64_t lo = 0;
+    for (int i = 0; i < 8; ++i) {
+      hi = (hi << 8) | bytes[static_cast<std::size_t>(i)];
+      lo = (lo << 8) | bytes[static_cast<std::size_t>(i + 8)];
+    }
+    return Ipv6Address{Uint128{hi, lo}};
+  }
+
+  /// Serializes to 16 network-order bytes.
+  [[nodiscard]] constexpr std::array<std::uint8_t, 16> to_bytes()
+      const noexcept {
+    std::array<std::uint8_t, 16> out{};
+    std::uint64_t hi = bits_.hi();
+    std::uint64_t lo = bits_.lo();
+    for (int i = 7; i >= 0; --i) {
+      out[static_cast<std::size_t>(i)] = static_cast<std::uint8_t>(hi & 0xff);
+      out[static_cast<std::size_t>(i + 8)] =
+          static_cast<std::uint8_t>(lo & 0xff);
+      hi >>= 8;
+      lo >>= 8;
+    }
+    return out;
+  }
+
+  [[nodiscard]] constexpr Uint128 bits() const noexcept { return bits_; }
+
+  /// Upper 64 bits: the routed /64 network the address lives in.
+  [[nodiscard]] constexpr std::uint64_t network() const noexcept {
+    return bits_.hi();
+  }
+
+  /// Lower 64 bits: the interface identifier.
+  [[nodiscard]] constexpr std::uint64_t iid() const noexcept {
+    return bits_.lo();
+  }
+
+  /// Replaces the IID, keeping the /64 network. Used when generating probe
+  /// targets: "a random IID inside this customer subnet".
+  [[nodiscard]] constexpr Ipv6Address with_iid(
+      std::uint64_t iid_bits) const noexcept {
+    return Ipv6Address{bits_.hi(), iid_bits};
+  }
+
+  /// Replaces the /64 network, keeping the IID. Models what a prefix
+  /// rotation does to a legacy EUI-64 CPE address.
+  [[nodiscard]] constexpr Ipv6Address with_network(
+      std::uint64_t network_bits) const noexcept {
+    return Ipv6Address{network_bits, bits_.lo()};
+  }
+
+  /// The nth byte of the address, n in [0, 16), network order. Figure 3 of
+  /// the paper plots the 7th and 8th bytes of probed addresses.
+  [[nodiscard]] constexpr std::uint8_t byte(unsigned n) const noexcept {
+    const std::uint64_t limb = n < 8 ? bits_.hi() : bits_.lo();
+    const unsigned pos = n % 8;
+    return static_cast<std::uint8_t>((limb >> ((7 - pos) * 8)) & 0xff);
+  }
+
+  /// RFC 5952 canonical text form (lowercase hex, longest zero run
+  /// compressed, ties broken towards the first run).
+  [[nodiscard]] std::string to_string() const;
+
+  friend constexpr bool operator==(const Ipv6Address&,
+                                   const Ipv6Address&) = default;
+  friend constexpr std::strong_ordering operator<=>(
+      const Ipv6Address& a, const Ipv6Address& b) noexcept {
+    return a.bits_ <=> b.bits_;
+  }
+
+ private:
+  Uint128 bits_{};
+};
+
+/// Hash functor so addresses can key unordered containers (observation
+/// stores index by response address and by IID).
+struct Ipv6AddressHash {
+  [[nodiscard]] std::size_t operator()(const Ipv6Address& a) const noexcept {
+    // splitmix64-style mix of both limbs.
+    std::uint64_t x = a.bits().hi() ^ (a.bits().lo() * 0x9e3779b97f4a7c15ULL);
+    x ^= x >> 30;
+    x *= 0xbf58476d1ce4e5b9ULL;
+    x ^= x >> 27;
+    x *= 0x94d049bb133111ebULL;
+    x ^= x >> 31;
+    return static_cast<std::size_t>(x);
+  }
+};
+
+}  // namespace scent::net

@@ -1,0 +1,51 @@
+#include "netbase/mac_address.h"
+
+#include <cstdio>
+
+namespace scent::net {
+namespace {
+
+std::optional<std::uint8_t> hex_nibble(char c) {
+  if (c >= '0' && c <= '9') return static_cast<std::uint8_t>(c - '0');
+  if (c >= 'a' && c <= 'f') return static_cast<std::uint8_t>(c - 'a' + 10);
+  if (c >= 'A' && c <= 'F') return static_cast<std::uint8_t>(c - 'A' + 10);
+  return std::nullopt;
+}
+
+}  // namespace
+
+std::optional<MacAddress> MacAddress::parse(std::string_view text) {
+  // Exactly six two-digit hex groups separated by ':' or '-': length 17.
+  if (text.size() != 17) return std::nullopt;
+  std::uint64_t bits = 0;
+  for (unsigned group = 0; group < 6; ++group) {
+    const std::size_t at = group * 3;
+    const auto hi = hex_nibble(text[at]);
+    const auto lo = hex_nibble(text[at + 1]);
+    if (!hi || !lo) return std::nullopt;
+    if (group < 5) {
+      const char sep = text[at + 2];
+      if (sep != ':' && sep != '-') return std::nullopt;
+    }
+    bits = (bits << 8) | static_cast<std::uint64_t>((*hi << 4) | *lo);
+  }
+  return MacAddress{bits};
+}
+
+std::string MacAddress::to_string() const {
+  char buf[18];
+  std::snprintf(buf, sizeof buf, "%02x:%02x:%02x:%02x:%02x:%02x", byte(0),
+                byte(1), byte(2), byte(3), byte(4), byte(5));
+  return buf;
+}
+
+std::string Oui::to_string() const {
+  char buf[9];
+  std::snprintf(buf, sizeof buf, "%02x:%02x:%02x",
+                static_cast<unsigned>((value_ >> 16) & 0xff),
+                static_cast<unsigned>((value_ >> 8) & 0xff),
+                static_cast<unsigned>(value_ & 0xff));
+  return buf;
+}
+
+}  // namespace scent::net

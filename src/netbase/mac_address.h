@@ -1,0 +1,109 @@
+// mac_address.h - IEEE 802 MAC address value type.
+//
+// EUI-64 SLAAC embeds the CPE's 48-bit hardware MAC into its IPv6 address;
+// recovering the MAC (and through it the manufacturer OUI) is what makes the
+// paper's per-vendor homogeneity analysis (§5.1) and the tracking identifier
+// itself possible.
+#pragma once
+
+#include <array>
+#include <compare>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace scent::net {
+
+/// 24-bit Organizationally Unique Identifier: the top three bytes of a MAC,
+/// assigned by the IEEE to a manufacturer.
+class Oui {
+ public:
+  constexpr Oui() noexcept = default;
+  explicit constexpr Oui(std::uint32_t value) noexcept
+      : value_(value & 0xffffffU) {}
+
+  [[nodiscard]] constexpr std::uint32_t value() const noexcept {
+    return value_;
+  }
+
+  /// "aa:bb:cc" text form.
+  [[nodiscard]] std::string to_string() const;
+
+  friend constexpr bool operator==(const Oui&, const Oui&) = default;
+  friend constexpr std::strong_ordering operator<=>(const Oui&,
+                                                    const Oui&) = default;
+
+ private:
+  std::uint32_t value_ = 0;
+};
+
+/// 48-bit MAC address stored as a uint64 (top 16 bits zero).
+class MacAddress {
+ public:
+  constexpr MacAddress() noexcept = default;
+  explicit constexpr MacAddress(std::uint64_t bits) noexcept
+      : bits_(bits & 0xffffffffffffULL) {}
+
+  constexpr MacAddress(std::uint8_t b0, std::uint8_t b1, std::uint8_t b2,
+                       std::uint8_t b3, std::uint8_t b4,
+                       std::uint8_t b5) noexcept
+      : bits_((static_cast<std::uint64_t>(b0) << 40) |
+              (static_cast<std::uint64_t>(b1) << 32) |
+              (static_cast<std::uint64_t>(b2) << 24) |
+              (static_cast<std::uint64_t>(b3) << 16) |
+              (static_cast<std::uint64_t>(b4) << 8) |
+              static_cast<std::uint64_t>(b5)) {}
+
+  /// Parses "aa:bb:cc:dd:ee:ff" (also accepts '-' separators).
+  [[nodiscard]] static std::optional<MacAddress> parse(std::string_view text);
+
+  [[nodiscard]] constexpr std::uint64_t bits() const noexcept { return bits_; }
+
+  [[nodiscard]] constexpr std::uint8_t byte(unsigned n) const noexcept {
+    return static_cast<std::uint8_t>((bits_ >> ((5 - (n % 6)) * 8)) & 0xff);
+  }
+
+  [[nodiscard]] constexpr Oui oui() const noexcept {
+    return Oui{static_cast<std::uint32_t>(bits_ >> 24)};
+  }
+
+  /// Universal/Local bit (bit 1 of the first byte). 0 = universally
+  /// administered (burned-in), 1 = locally administered.
+  [[nodiscard]] constexpr bool locally_administered() const noexcept {
+    return (bits_ & 0x020000000000ULL) != 0;
+  }
+
+  /// Individual/Group bit (bit 0 of the first byte). 1 = multicast.
+  [[nodiscard]] constexpr bool multicast() const noexcept {
+    return (bits_ & 0x010000000000ULL) != 0;
+  }
+
+  /// "aa:bb:cc:dd:ee:ff" lowercase text form.
+  [[nodiscard]] std::string to_string() const;
+
+  friend constexpr bool operator==(const MacAddress&,
+                                   const MacAddress&) = default;
+  friend constexpr std::strong_ordering operator<=>(const MacAddress&,
+                                                    const MacAddress&) =
+      default;
+
+ private:
+  std::uint64_t bits_ = 0;
+};
+
+struct MacAddressHash {
+  [[nodiscard]] std::size_t operator()(const MacAddress& m) const noexcept {
+    std::uint64_t x = m.bits() * 0x9e3779b97f4a7c15ULL;
+    x ^= x >> 32;
+    return static_cast<std::size_t>(x);
+  }
+};
+
+struct OuiHash {
+  [[nodiscard]] std::size_t operator()(const Oui& o) const noexcept {
+    return static_cast<std::size_t>(o.value()) * 0x9e3779b97f4a7c15ULL >> 16;
+  }
+};
+
+}  // namespace scent::net

@@ -1,0 +1,30 @@
+#include "netbase/prefix.h"
+
+#include <charconv>
+
+namespace scent::net {
+
+std::optional<Prefix> Prefix::parse(std::string_view text) {
+  const auto slash = text.rfind('/');
+  if (slash == std::string_view::npos || slash + 1 >= text.size()) {
+    return std::nullopt;
+  }
+  const auto addr = Ipv6Address::parse(text.substr(0, slash));
+  if (!addr) return std::nullopt;
+
+  const std::string_view len_text = text.substr(slash + 1);
+  unsigned length = 0;
+  const auto [ptr, ec] = std::from_chars(
+      len_text.data(), len_text.data() + len_text.size(), length);
+  if (ec != std::errc{} || ptr != len_text.data() + len_text.size() ||
+      length > 128) {
+    return std::nullopt;
+  }
+  return Prefix{*addr, length};
+}
+
+std::string Prefix::to_string() const {
+  return base_.to_string() + "/" + std::to_string(length_);
+}
+
+}  // namespace scent::net

@@ -1,0 +1,115 @@
+// prefix.h - IPv6 prefix (CIDR) value type.
+//
+// Everything in the paper is phrased in prefixes: BGP-advertised /32s,
+// candidate /48s, customer allocations between /48 and /64, rotation pools
+// such as AS8881's /46, and probed /64 subnets. This type provides exact
+// containment, enumeration of sub-prefixes, and canonical formatting.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "netbase/ipv6_address.h"
+#include "netbase/uint128.h"
+
+namespace scent::net {
+
+/// An IPv6 prefix: a base address plus a length in [0, 128]. The base is
+/// always stored masked to the prefix length, so equal prefixes compare
+/// equal regardless of how they were constructed.
+class Prefix {
+ public:
+  constexpr Prefix() noexcept = default;
+
+  /// Construct from any address within the prefix; host bits are cleared.
+  constexpr Prefix(Ipv6Address addr, unsigned length) noexcept
+      : length_(length > 128 ? 128 : length),
+        base_(Ipv6Address{addr.bits() & mask(length_)}) {}
+
+  /// Parses "2001:db8::/32" text form.
+  [[nodiscard]] static std::optional<Prefix> parse(std::string_view text);
+
+  [[nodiscard]] constexpr Ipv6Address base() const noexcept { return base_; }
+  [[nodiscard]] constexpr unsigned length() const noexcept { return length_; }
+
+  /// Network mask for a given prefix length: `length` one-bits from the top.
+  [[nodiscard]] static constexpr Uint128 mask(unsigned length) noexcept {
+    if (length == 0) return Uint128{};
+    if (length >= 128) return Uint128::max();
+    return Uint128::max() << (128 - length);
+  }
+
+  [[nodiscard]] constexpr bool contains(Ipv6Address a) const noexcept {
+    return (a.bits() & mask(length_)) == base_.bits();
+  }
+
+  [[nodiscard]] constexpr bool contains(const Prefix& p) const noexcept {
+    return p.length_ >= length_ && contains(p.base_);
+  }
+
+  /// Number of sub-prefixes of `sub_length` inside this prefix, as a 128-bit
+  /// count (a /0 contains 2^64 /64s, which overflows uint64_t).
+  [[nodiscard]] constexpr Uint128 count_subnets(
+      unsigned sub_length) const noexcept {
+    if (sub_length <= length_) return Uint128{1};
+    const unsigned bits = sub_length - length_;
+    if (bits >= 128) return Uint128{};  // not representable; callers clamp.
+    return Uint128{1} << bits;
+  }
+
+  /// The `index`-th sub-prefix of `sub_length` within this prefix (index 0
+  /// is the prefix base). The caller guarantees index < count_subnets().
+  [[nodiscard]] constexpr Prefix subnet(unsigned sub_length,
+                                        Uint128 index) const noexcept {
+    const unsigned shift = 128 - (sub_length > 128 ? 128 : sub_length);
+    return Prefix{Ipv6Address{base_.bits() | (index << shift)}, sub_length};
+  }
+
+  /// Index of the /`sub_length` containing `a` within this prefix.
+  [[nodiscard]] constexpr Uint128 subnet_index(Ipv6Address a,
+                                               unsigned sub_length)
+      const noexcept {
+    const Uint128 offset = (a.bits() & mask(sub_length)) - base_.bits();
+    return offset >> (128 - sub_length);
+  }
+
+  /// The first address of the prefix (== base()).
+  [[nodiscard]] constexpr Ipv6Address first() const noexcept { return base_; }
+
+  /// The last address of the prefix.
+  [[nodiscard]] constexpr Ipv6Address last() const noexcept {
+    return Ipv6Address{base_.bits() | ~mask(length_)};
+  }
+
+  /// The enclosing prefix of the given shorter length.
+  [[nodiscard]] constexpr Prefix parent(unsigned new_length) const noexcept {
+    return Prefix{base_, new_length < length_ ? new_length : length_};
+  }
+
+  [[nodiscard]] std::string to_string() const;
+
+  friend constexpr bool operator==(const Prefix&, const Prefix&) = default;
+  friend constexpr std::strong_ordering operator<=>(
+      const Prefix& a, const Prefix& b) noexcept {
+    if (auto c = a.base_ <=> b.base_; c != std::strong_ordering::equal) {
+      return c;
+    }
+    return a.length_ <=> b.length_;
+  }
+
+ private:
+  unsigned length_ = 0;
+  Ipv6Address base_{};
+};
+
+struct PrefixHash {
+  [[nodiscard]] std::size_t operator()(const Prefix& p) const noexcept {
+    return Ipv6AddressHash{}(p.base()) ^
+           (static_cast<std::size_t>(p.length()) * 0x9e3779b97f4a7c15ULL);
+  }
+};
+
+}  // namespace scent::net

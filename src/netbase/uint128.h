@@ -1,0 +1,212 @@
+// uint128.h - portable unsigned 128-bit integer for IPv6 address arithmetic.
+//
+// Part of scent, a reproduction of "Follow the Scent: Defeating IPv6 Prefix
+// Rotation Privacy" (IMC 2021). IPv6 addresses are 128-bit quantities and the
+// paper's inference algorithms (Algorithms 1 and 2) compute numeric distances
+// between addresses; this type provides the exact-width arithmetic they need
+// without relying on compiler-specific __int128.
+#pragma once
+
+#include <cstdint>
+#include <compare>
+#include <limits>
+
+namespace scent::net {
+
+/// Unsigned 128-bit integer with wrapping arithmetic semantics, stored as a
+/// (hi, lo) pair of 64-bit limbs. All operations are constexpr so prefix
+/// masks and well-known constants can be computed at compile time.
+class Uint128 {
+ public:
+  constexpr Uint128() noexcept = default;
+  constexpr Uint128(std::uint64_t hi, std::uint64_t lo) noexcept
+      : hi_(hi), lo_(lo) {}
+  // NOLINTNEXTLINE(google-explicit-constructor): intentional promotion from u64.
+  constexpr Uint128(std::uint64_t lo) noexcept : hi_(0), lo_(lo) {}
+
+  [[nodiscard]] constexpr std::uint64_t hi() const noexcept { return hi_; }
+  [[nodiscard]] constexpr std::uint64_t lo() const noexcept { return lo_; }
+
+  friend constexpr bool operator==(const Uint128&, const Uint128&) = default;
+  friend constexpr std::strong_ordering operator<=>(const Uint128& a,
+                                                    const Uint128& b) noexcept {
+    if (a.hi_ != b.hi_) return a.hi_ <=> b.hi_;
+    return a.lo_ <=> b.lo_;
+  }
+
+  constexpr Uint128& operator+=(const Uint128& o) noexcept {
+    const std::uint64_t lo = lo_ + o.lo_;
+    hi_ += o.hi_ + static_cast<std::uint64_t>(lo < lo_);
+    lo_ = lo;
+    return *this;
+  }
+  constexpr Uint128& operator-=(const Uint128& o) noexcept {
+    const std::uint64_t lo = lo_ - o.lo_;
+    hi_ -= o.hi_ + static_cast<std::uint64_t>(lo > lo_);
+    lo_ = lo;
+    return *this;
+  }
+  constexpr Uint128& operator&=(const Uint128& o) noexcept {
+    hi_ &= o.hi_;
+    lo_ &= o.lo_;
+    return *this;
+  }
+  constexpr Uint128& operator|=(const Uint128& o) noexcept {
+    hi_ |= o.hi_;
+    lo_ |= o.lo_;
+    return *this;
+  }
+  constexpr Uint128& operator^=(const Uint128& o) noexcept {
+    hi_ ^= o.hi_;
+    lo_ ^= o.lo_;
+    return *this;
+  }
+
+  friend constexpr Uint128 operator+(Uint128 a, const Uint128& b) noexcept {
+    return a += b;
+  }
+  friend constexpr Uint128 operator-(Uint128 a, const Uint128& b) noexcept {
+    return a -= b;
+  }
+  friend constexpr Uint128 operator&(Uint128 a, const Uint128& b) noexcept {
+    return a &= b;
+  }
+  friend constexpr Uint128 operator|(Uint128 a, const Uint128& b) noexcept {
+    return a |= b;
+  }
+  friend constexpr Uint128 operator^(Uint128 a, const Uint128& b) noexcept {
+    return a ^= b;
+  }
+  friend constexpr Uint128 operator~(const Uint128& a) noexcept {
+    return {~a.hi_, ~a.lo_};
+  }
+
+  friend constexpr Uint128 operator<<(const Uint128& a, unsigned n) noexcept {
+    if (n == 0) return a;
+    if (n >= 128) return {};
+    if (n >= 64) return {a.lo_ << (n - 64), 0};
+    return {(a.hi_ << n) | (a.lo_ >> (64 - n)), a.lo_ << n};
+  }
+  friend constexpr Uint128 operator>>(const Uint128& a, unsigned n) noexcept {
+    if (n == 0) return a;
+    if (n >= 128) return {};
+    if (n >= 64) return {0, a.hi_ >> (n - 64)};
+    return {a.hi_ >> n, (a.lo_ >> n) | (a.hi_ << (64 - n))};
+  }
+  constexpr Uint128& operator<<=(unsigned n) noexcept {
+    return *this = *this << n;
+  }
+  constexpr Uint128& operator>>=(unsigned n) noexcept {
+    return *this = *this >> n;
+  }
+
+  constexpr Uint128& operator++() noexcept { return *this += Uint128{1}; }
+  constexpr Uint128& operator--() noexcept { return *this -= Uint128{1}; }
+
+  /// Schoolbook 64x64 -> 128 style multiply, wrapping at 2^128.
+  friend constexpr Uint128 operator*(const Uint128& a,
+                                     const Uint128& b) noexcept {
+    const std::uint64_t a_lo_lo = a.lo_ & 0xffffffffULL;
+    const std::uint64_t a_lo_hi = a.lo_ >> 32;
+    const std::uint64_t b_lo_lo = b.lo_ & 0xffffffffULL;
+    const std::uint64_t b_lo_hi = b.lo_ >> 32;
+
+    const std::uint64_t p0 = a_lo_lo * b_lo_lo;
+    const std::uint64_t p1 = a_lo_lo * b_lo_hi;
+    const std::uint64_t p2 = a_lo_hi * b_lo_lo;
+    const std::uint64_t p3 = a_lo_hi * b_lo_hi;
+
+    const std::uint64_t mid = (p0 >> 32) + (p1 & 0xffffffffULL) +
+                              (p2 & 0xffffffffULL);
+    const std::uint64_t lo = (mid << 32) | (p0 & 0xffffffffULL);
+    const std::uint64_t carry_hi = p3 + (p1 >> 32) + (p2 >> 32) + (mid >> 32);
+
+    const std::uint64_t hi = carry_hi + a.hi_ * b.lo_ + a.lo_ * b.hi_;
+    return {hi, lo};
+  }
+
+  /// Value of bit `n` where bit 0 is the least significant bit.
+  [[nodiscard]] constexpr bool bit(unsigned n) const noexcept {
+    if (n >= 128) return false;
+    if (n >= 64) return ((hi_ >> (n - 64)) & 1U) != 0;
+    return ((lo_ >> n) & 1U) != 0;
+  }
+
+  /// Index (0 = MSB) of the highest set bit, or 128 if the value is zero.
+  /// Mirrors std::countl_zero semantics extended to 128 bits.
+  [[nodiscard]] constexpr unsigned countl_zero() const noexcept {
+    if (hi_ != 0) return count_leading(hi_);
+    if (lo_ != 0) return 64 + count_leading(lo_);
+    return 128;
+  }
+
+  /// floor(log2(v)), with log2(0) defined as 0 for convenience in prefix-size
+  /// math (the paper's Algorithm 1/2 treat a zero address range as "/64",
+  /// i.e. a distance of zero bits).
+  [[nodiscard]] constexpr unsigned floor_log2() const noexcept {
+    const unsigned clz = countl_zero();
+    return clz >= 128 ? 0 : 127 - clz;
+  }
+
+  /// ceil(log2(v)); ceil_log2(0) == 0 and ceil_log2(1) == 0.
+  [[nodiscard]] constexpr unsigned ceil_log2() const noexcept {
+    if (*this <= Uint128{1}) return 0;
+    const Uint128 down = *this - Uint128{1};
+    return down.floor_log2() + 1;
+  }
+
+  [[nodiscard]] static constexpr Uint128 max() noexcept {
+    return {std::numeric_limits<std::uint64_t>::max(),
+            std::numeric_limits<std::uint64_t>::max()};
+  }
+
+ private:
+  static constexpr unsigned count_leading(std::uint64_t v) noexcept {
+    unsigned n = 0;
+    for (std::uint64_t mask = 0x8000000000000000ULL; mask != 0; mask >>= 1) {
+      if ((v & mask) != 0) return n;
+      ++n;
+    }
+    return 64;
+  }
+
+  std::uint64_t hi_ = 0;
+  std::uint64_t lo_ = 0;
+};
+
+struct Uint128DivResult {
+  Uint128 quotient;
+  Uint128 remainder;
+};
+
+/// Restoring binary long division. O(128) shifts; this type is used for
+/// address bookkeeping, not inner loops, so simplicity wins over speed.
+/// Division by zero yields {0, 0}; callers assert nonzero divisors.
+[[nodiscard]] constexpr Uint128DivResult div_mod(const Uint128& num,
+                                                 const Uint128& den) noexcept {
+  Uint128DivResult r{};
+  if (den == Uint128{}) return r;
+  for (int bit = 127; bit >= 0; --bit) {
+    r.remainder <<= 1;
+    if (num.bit(static_cast<unsigned>(bit))) {
+      r.remainder |= Uint128{1};
+    }
+    if (r.remainder >= den) {
+      r.remainder -= den;
+      r.quotient |= Uint128{1} << static_cast<unsigned>(bit);
+    }
+  }
+  return r;
+}
+
+[[nodiscard]] constexpr Uint128 operator/(const Uint128& a,
+                                          const Uint128& b) noexcept {
+  return div_mod(a, b).quotient;
+}
+
+[[nodiscard]] constexpr Uint128 operator%(const Uint128& a,
+                                          const Uint128& b) noexcept {
+  return div_mod(a, b).remainder;
+}
+
+}  // namespace scent::net

@@ -1,0 +1,68 @@
+// oui_registry.h - OUI -> manufacturer registry (IEEE oui.txt substitute).
+//
+// Section 5.1 of the paper recovers the CPE's MAC from each EUI-64 address
+// and resolves its 24-bit OUI against the public IEEE registry to study
+// per-AS manufacturer homogeneity. This module provides that lookup: an
+// embedded table of CPE-relevant assignments plus a parser for the IEEE
+// "aa-bb-cc   (hex)  Vendor Name" dump format so a full registry file can be
+// loaded when available.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "netbase/mac_address.h"
+
+namespace scent::oui {
+
+/// Immutable-after-load registry mapping OUIs to manufacturer names.
+class Registry {
+ public:
+  Registry() = default;
+
+  /// Registers an assignment; later registrations replace earlier ones
+  /// (matching IEEE dump semantics where re-issued blocks appear last).
+  void add(net::Oui oui, std::string vendor) {
+    vendors_[oui] = std::move(vendor);
+  }
+
+  /// Looks up the manufacturer for a MAC's OUI. Returns nullopt for
+  /// unregistered OUIs — the paper found such MACs too (seven at
+  /// NetCologne), and homogeneity analysis buckets them as "unknown".
+  [[nodiscard]] std::optional<std::string_view> vendor(
+      net::MacAddress mac) const {
+    return vendor(mac.oui());
+  }
+
+  [[nodiscard]] std::optional<std::string_view> vendor(net::Oui oui) const {
+    const auto it = vendors_.find(oui);
+    if (it == vendors_.end()) return std::nullopt;
+    return std::string_view{it->second};
+  }
+
+  /// All OUIs registered to vendors whose name contains `needle`
+  /// (case-sensitive). Used by scenario builders to hand plausible MAC
+  /// blocks to simulated device populations.
+  [[nodiscard]] std::vector<net::Oui> ouis_of(std::string_view needle) const;
+
+  /// Parses IEEE oui.txt "hex" lines: `38-10-D5   (hex)\t\tAVM GmbH`.
+  /// Unrecognized lines are skipped (the real file is full of base-16
+  /// continuation lines and headers). Returns the number of entries added.
+  std::size_t load_ieee_text(std::string_view text);
+
+  [[nodiscard]] std::size_t size() const noexcept { return vendors_.size(); }
+
+ private:
+  std::unordered_map<net::Oui, std::string, net::OuiHash> vendors_;
+};
+
+/// The embedded registry of CPE-relevant OUI assignments used throughout the
+/// simulation and reports. Includes the vendors named by the paper (AVM,
+/// ZTE, Zyxel, Lancom) plus other major residential-CPE manufacturers.
+[[nodiscard]] const Registry& builtin_registry();
+
+}  // namespace scent::oui

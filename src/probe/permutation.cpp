@@ -1,0 +1,127 @@
+#include "probe/permutation.h"
+
+#include <array>
+
+#include "sim/rng.h"
+
+namespace scent::probe {
+
+std::uint64_t mul_mod_u64(std::uint64_t a, std::uint64_t b,
+                          std::uint64_t m) noexcept {
+  // GCC/Clang provide a 128-bit type on all 64-bit targets; this is the one
+  // hot modular step of the permutation, so the fast path is worth the
+  // (ubiquitous) extension. __extension__ silences -Wpedantic for the
+  // deliberate use of a non-ISO type.
+  __extension__ using uint128_t = unsigned __int128;
+  return static_cast<std::uint64_t>(static_cast<uint128_t>(a) * b % m);
+}
+
+std::uint64_t pow_mod_u64(std::uint64_t base, std::uint64_t exp,
+                          std::uint64_t m) noexcept {
+  if (m <= 1) return 0;
+  std::uint64_t result = 1;
+  base %= m;
+  while (exp != 0) {
+    if ((exp & 1) != 0) result = mul_mod_u64(result, base, m);
+    base = mul_mod_u64(base, base, m);
+    exp >>= 1;
+  }
+  return result;
+}
+
+bool is_prime_u64(std::uint64_t n) noexcept {
+  if (n < 2) return false;
+  for (const std::uint64_t p : {2ULL, 3ULL, 5ULL, 7ULL, 11ULL, 13ULL, 17ULL,
+                                19ULL, 23ULL, 29ULL, 31ULL, 37ULL}) {
+    if (n % p == 0) return n == p;
+  }
+  // Miller-Rabin with the deterministic witness set for 64-bit integers.
+  std::uint64_t d = n - 1;
+  unsigned r = 0;
+  while ((d & 1) == 0) {
+    d >>= 1;
+    ++r;
+  }
+  for (const std::uint64_t a : {2ULL, 3ULL, 5ULL, 7ULL, 11ULL, 13ULL, 17ULL,
+                                19ULL, 23ULL, 29ULL, 31ULL, 37ULL}) {
+    std::uint64_t x = pow_mod_u64(a, d, n);
+    if (x == 1 || x == n - 1) continue;
+    bool composite = true;
+    for (unsigned i = 1; i < r; ++i) {
+      x = mul_mod_u64(x, x, n);
+      if (x == n - 1) {
+        composite = false;
+        break;
+      }
+    }
+    if (composite) return false;
+  }
+  return true;
+}
+
+namespace {
+
+/// Smallest safe prime p >= candidate (p and (p-1)/2 both prime).
+std::uint64_t next_safe_prime(std::uint64_t candidate) noexcept {
+  if (candidate < 5) candidate = 5;
+  // Safe primes > 5 are ≡ 11 (mod 12); stepping q over odd values and
+  // testing p = 2q+1 is simpler and fast enough for one-time setup.
+  std::uint64_t q = candidate / 2;
+  if (q < 2) q = 2;
+  for (;; ++q) {
+    const std::uint64_t p = 2 * q + 1;
+    if (p < candidate) continue;
+    if (is_prime_u64(q) && is_prime_u64(p)) return p;
+  }
+}
+
+}  // namespace
+
+CyclicPermutation::CyclicPermutation(std::uint64_t n, std::uint64_t seed)
+    : n_(n < 1 ? 1 : n) {
+  if (n_ < 8) {
+    // Group machinery is pointless for tiny domains; a rotated sequential
+    // order is as random as 7 elements get.
+    offset_ = sim::mix64(seed) % n_;
+    return;
+  }
+
+  prime_ = next_safe_prime(n_ + 1);
+  const std::uint64_t q = (prime_ - 1) / 2;
+
+  // g is a primitive root of a safe prime iff g^2 != 1 and g^q != 1 (mod p).
+  sim::Rng rng{sim::mix64(seed, prime_)};
+  for (;;) {
+    const std::uint64_t g = 2 + rng.below(prime_ - 3);
+    if (pow_mod_u64(g, 2, prime_) != 1 && pow_mod_u64(g, q, prime_) != 1) {
+      generator_ = g;
+      break;
+    }
+  }
+  first_ = 1 + rng.below(prime_ - 1);
+  current_ = first_;
+}
+
+bool CyclicPermutation::next(std::uint64_t& out) noexcept {
+  if (produced_ >= n_) return false;
+
+  if (prime_ == 0) {  // tiny-n fallback
+    out = (offset_ + produced_) % n_;
+    ++produced_;
+    return true;
+  }
+
+  // Walk the group, skipping values outside [1, n]. The skip rate is
+  // bounded: p is the smallest safe prime above n+1, and in practice
+  // p/n stays close to 1, so expected work per element is O(p/n).
+  std::uint64_t x = current_;
+  do {
+    x = mul_mod_u64(x, generator_, prime_);
+  } while (x > n_);
+  current_ = x;
+  ++produced_;
+  out = x - 1;
+  return true;
+}
+
+}  // namespace scent::probe

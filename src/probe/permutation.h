@@ -1,0 +1,63 @@
+// permutation.h - zmap-style random-order target iteration.
+//
+// High-speed scanning must randomize probe order so that no single network
+// receives a burst (the paper probes 1.1B targets "in a random order" with
+// zmap, §4.3, and relies on the same seed to replay the identical order a
+// day later, §5). zmap achieves this by iterating the multiplicative group
+// of integers modulo a prime p > N: x -> x*g (mod p) visits every value in
+// [1, p-1] exactly once when g is a primitive root. This class reimplements
+// that construction for arbitrary N, choosing a safe prime (p = 2q+1) so
+// primitive-root testing needs only two modular exponentiations.
+#pragma once
+
+#include <cstdint>
+
+namespace scent::probe {
+
+/// Deterministic pseudorandom permutation of [0, n) with O(1) state,
+/// amortized O(1) next(), and exact once-per-cycle coverage. The same
+/// (n, seed) pair always yields the same order — the property the paper's
+/// repeated daily scans depend on.
+class CyclicPermutation {
+ public:
+  /// n >= 1. `seed` selects the generator and starting point.
+  CyclicPermutation(std::uint64_t n, std::uint64_t seed);
+
+  /// Number of elements in the permutation.
+  [[nodiscard]] std::uint64_t size() const noexcept { return n_; }
+
+  /// The safe prime chosen for the group (exposed for tests).
+  [[nodiscard]] std::uint64_t prime() const noexcept { return prime_; }
+
+  /// Writes the next element to `out`; returns false once all n elements
+  /// have been produced for the current cycle.
+  bool next(std::uint64_t& out) noexcept;
+
+  /// Restarts the cycle from the beginning (same order).
+  void reset() noexcept {
+    current_ = first_;
+    produced_ = 0;
+  }
+
+ private:
+  std::uint64_t n_;
+  std::uint64_t prime_ = 0;      // safe prime > n (0 in tiny-n fallback)
+  std::uint64_t generator_ = 0;  // primitive root mod prime_
+  std::uint64_t first_ = 0;
+  std::uint64_t current_ = 0;
+  std::uint64_t produced_ = 0;
+  std::uint64_t offset_ = 0;  // tiny-n fallback: sequential with offset
+};
+
+/// Deterministic Miller-Rabin primality test, exact for all 64-bit inputs.
+[[nodiscard]] bool is_prime_u64(std::uint64_t n) noexcept;
+
+/// (a * b) mod m without overflow for any 64-bit operands.
+[[nodiscard]] std::uint64_t mul_mod_u64(std::uint64_t a, std::uint64_t b,
+                                        std::uint64_t m) noexcept;
+
+/// (base ^ exp) mod m.
+[[nodiscard]] std::uint64_t pow_mod_u64(std::uint64_t base, std::uint64_t exp,
+                                        std::uint64_t m) noexcept;
+
+}  // namespace scent::probe

@@ -1,0 +1,75 @@
+#include "probe/prober.h"
+
+namespace scent::probe {
+
+ProbeResult Prober::probe_one(net::Ipv6Address target,
+                              std::uint8_t hop_limit) {
+  ProbeResult result;
+  result.target = target;
+  result.sent_at = clock_->now();
+  ++counters_.sent;
+  ++sequence_;
+
+  if (options_.wire_mode) {
+    const wire::Packet request = wire::build_echo_request(
+        options_.vantage, target, options_.identifier, sequence_,
+        hop_limit);
+    const auto response_bytes = internet_->deliver(request, clock_->now());
+    if (response_bytes) {
+      const auto parsed = wire::parse_packet(*response_bytes);
+      // A response that fails to parse or checksum is dropped exactly as a
+      // real scanner's capture filter would drop it.
+      if (parsed && parsed->ip.destination == options_.vantage) {
+        result.responded = true;
+        result.response_source = parsed->ip.source;
+        result.type = parsed->icmp.type;
+        result.code = parsed->icmp.code;
+      }
+    }
+  } else {
+    const auto reply =
+        internet_->probe(target, hop_limit, clock_->now());
+    if (reply) {
+      result.responded = true;
+      result.response_source = reply->source;
+      result.type = reply->type;
+      result.code = reply->code;
+    }
+  }
+
+  if (result.responded) ++counters_.received;
+
+  // Pace to the configured rate. Integer division floors the gap; a 10kpps
+  // prober advances 100us per probe.
+  const sim::Duration gap = options_.packets_per_second == 0
+                                ? 0
+                                : sim::kSecond / static_cast<sim::Duration>(
+                                                     options_.packets_per_second);
+  clock_->advance(gap);
+  return result;
+}
+
+std::vector<ProbeResult> Prober::sweep(
+    std::span<const net::Ipv6Address> targets) {
+  std::vector<ProbeResult> responsive;
+  for (const auto& target : targets) {
+    ProbeResult r = probe_one(target);
+    if (r.responded) responsive.push_back(r);
+  }
+  return responsive;
+}
+
+std::vector<ProbeResult> Prober::sweep_subnets(net::Prefix parent,
+                                               unsigned sub_length,
+                                               std::uint64_t seed) {
+  SubnetTargets gen{parent, sub_length, seed};
+  std::vector<ProbeResult> responsive;
+  net::Ipv6Address target;
+  while (gen.next(target)) {
+    ProbeResult r = probe_one(target);
+    if (r.responded) responsive.push_back(r);
+  }
+  return responsive;
+}
+
+}  // namespace scent::probe

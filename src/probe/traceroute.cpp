@@ -1,0 +1,20 @@
+#include "probe/traceroute.h"
+
+namespace scent::probe {
+
+TracerouteResult traceroute(Prober& prober, net::Ipv6Address target,
+                            unsigned max_hops) {
+  TracerouteResult result;
+  result.target = target;
+
+  for (unsigned hl = 1; hl <= max_hops; ++hl) {
+    const ProbeResult r =
+        prober.probe_one(target, static_cast<std::uint8_t>(hl));
+    if (!r.responded) continue;
+    result.hops.push_back(Hop{hl, r.response_source, r.type});
+    if (r.type != wire::Icmpv6Type::kTimeExceeded) break;  // terminal hop
+  }
+  return result;
+}
+
+}  // namespace scent::probe

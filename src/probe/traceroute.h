@@ -1,0 +1,45 @@
+// traceroute.h - yarrp-like hop-limited probing for seed discovery.
+//
+// The paper bootstraps from CAIDA's IPv6 routed /48 traceroute campaign: a
+// traceroute toward one target per /48 whose *last responsive hop* is the
+// CPE (the IPv6 periphery, [27]). This engine reproduces that primitive
+// against the simulated Internet: it walks the hop limit upward, collecting
+// Time Exceeded sources from core routers until the CPE answers. The result
+// feeds §4.1's seed set of /48s with EUI-64 last hops.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "netbase/ipv6_address.h"
+#include "probe/prober.h"
+
+namespace scent::probe {
+
+struct Hop {
+  unsigned distance = 0;  // hop limit that elicited this response
+  net::Ipv6Address address;
+  wire::Icmpv6Type type = wire::Icmpv6Type::kTimeExceeded;
+};
+
+struct TracerouteResult {
+  net::Ipv6Address target;
+  std::vector<Hop> hops;
+
+  /// The deepest responsive hop, if any — the periphery (CPE) when the
+  /// path reaches a delegated customer prefix.
+  [[nodiscard]] std::optional<Hop> last_hop() const {
+    if (hops.empty()) return std::nullopt;
+    return hops.back();
+  }
+};
+
+/// Runs hop-limited probes toward `target` with hop limits 1..max_hops.
+/// Stops early once a terminal (non-Time-Exceeded) response arrives, like
+/// yarrp's fill mode. Uses the prober's pacing and delivery mode.
+[[nodiscard]] TracerouteResult traceroute(Prober& prober,
+                                          net::Ipv6Address target,
+                                          unsigned max_hops = 16);
+
+}  // namespace scent::probe

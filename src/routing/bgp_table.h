@@ -1,0 +1,76 @@
+// bgp_table.h - BGP routing-table substitute for Routeviews data.
+//
+// The paper maps every response address to its covering BGP-advertised
+// prefix and origin AS using University of Oregon Routeviews dumps (§5.3).
+// We reproduce that attribution step with a longest-prefix-match table
+// populated from the simulated world's advertisements; the query interface
+// (address -> {prefix, ASN, country}) is identical to what a Routeviews
+// RIB-derived table provides.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "netbase/prefix.h"
+#include "routing/prefix_trie.h"
+
+namespace scent::routing {
+
+using Asn = std::uint32_t;
+
+/// One BGP advertisement: an origin AS announcing a prefix. `country` is the
+/// registry country code of the AS (as delegations files / geolocation would
+/// supply in the real pipeline).
+struct Advertisement {
+  net::Prefix prefix;
+  Asn origin_asn = 0;
+  std::string country;  // ISO 3166-1 alpha-2
+  std::string as_name;
+};
+
+/// Result of attributing an address.
+struct Attribution {
+  net::Prefix bgp_prefix;
+  Asn origin_asn = 0;
+  std::string country;
+  std::string as_name;
+};
+
+/// Longest-prefix-match table of BGP advertisements.
+class BgpTable {
+ public:
+  /// Adds an advertisement. More-specific announcements shadow less-specific
+  /// ones for the addresses they cover, exactly as in BGP best-path lookup.
+  void announce(Advertisement ad) {
+    const net::Prefix p = ad.prefix;
+    trie_.insert(p, std::move(ad));
+  }
+
+  /// Attributes an address to its most specific covering advertisement.
+  [[nodiscard]] std::optional<Attribution> lookup(
+      net::Ipv6Address addr) const {
+    const auto match = trie_.longest_match(addr);
+    if (!match) return std::nullopt;
+    const Advertisement& ad = *match->value;
+    return Attribution{ad.prefix, ad.origin_asn, ad.country, ad.as_name};
+  }
+
+  /// All advertisements, in prefix order.
+  [[nodiscard]] std::vector<Advertisement> dump() const {
+    std::vector<Advertisement> out;
+    out.reserve(trie_.size());
+    trie_.for_each([&out](const net::Prefix&, const Advertisement& ad) {
+      out.push_back(ad);
+    });
+    return out;
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return trie_.size(); }
+
+ private:
+  PrefixTrie<Advertisement> trie_;
+};
+
+}  // namespace scent::routing

@@ -1,0 +1,122 @@
+// device.h - the simulated Customer Premises Equipment (CPE) model.
+//
+// A CPE is a routed hop between the provider and the customer LAN (paper
+// Figure 1). Its WAN interface carries a public IPv6 address whose /64
+// network is (re)assigned by the provider and whose IID is determined by the
+// device's addressing mode — the legacy EUI-64 mode being the trackable one.
+// The device also defines how it answers probes addressed to nonexistent
+// hosts inside its delegated prefix.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "netbase/eui64.h"
+#include "netbase/mac_address.h"
+#include "sim/rng.h"
+#include "sim/sim_time.h"
+
+namespace scent::sim {
+
+/// How the CPE derives the IID of its WAN address.
+enum class AddressingMode : std::uint8_t {
+  kEui64,    ///< Legacy SLAAC: IID = modified EUI-64 of the MAC. Static.
+  kPrivacy,  ///< RFC 4941: fresh random IID whenever the prefix changes.
+  kStablePrivacy,  ///< RFC 7217-style: random but stable per (device,prefix).
+  kLowByte,  ///< Statically configured small IID (e.g. ::1).
+};
+
+/// Which ICMPv6 message the CPE originates for an undeliverable probe.
+/// The paper observes all of these flavors in the wild (§3.1); the analysis
+/// treats them identically because every one of them leaks the CPE's WAN
+/// source address.
+enum class ErrorBehavior : std::uint8_t {
+  kAdminProhibited,     ///< Dest Unreachable, code 1.
+  kNoRoute,             ///< Dest Unreachable, code 0.
+  kAddressUnreachable,  ///< Dest Unreachable, code 3.
+  kHopLimitExceeded,    ///< Time Exceeded, code 0.
+  kSilent,              ///< Drops the probe: the CPE never appears.
+};
+
+[[nodiscard]] constexpr std::string_view to_string(AddressingMode m) noexcept {
+  switch (m) {
+    case AddressingMode::kEui64: return "eui64";
+    case AddressingMode::kPrivacy: return "privacy";
+    case AddressingMode::kStablePrivacy: return "stable-privacy";
+    case AddressingMode::kLowByte: return "low-byte";
+  }
+  return "unknown";
+}
+
+using DeviceId = std::uint32_t;
+
+/// One simulated CPE. Value type; all dynamic state (current prefix slot,
+/// rate-limit bucket) lives in the owning pool/provider so devices stay
+/// trivially copyable.
+struct CpeDevice {
+  DeviceId id = 0;
+  net::MacAddress mac;
+  AddressingMode mode = AddressingMode::kEui64;
+  ErrorBehavior error_behavior = ErrorBehavior::kAdminProhibited;
+
+  /// Initial slot (allocation index) in the owning rotation pool.
+  std::uint64_t initial_slot = 0;
+
+  /// Service interval: the device answers probes only in [active_from,
+  /// active_until). Models customers joining/leaving a provider (§5.5's
+  /// provider-switch pathology) and extended outages.
+  TimePoint active_from = 0;
+  TimePoint active_until = kDay * 365 * 100;
+
+  /// Firmware-remediation instant (§8): from this time on, a legacy EUI-64
+  /// device behaves as a privacy-extensions device (the fix the paper's
+  /// disclosure prompted a major vendor to ship). Defaults to "never".
+  TimePoint privacy_upgrade_at = kDay * 365 * 100;
+
+  [[nodiscard]] constexpr bool active_at(TimePoint t) const noexcept {
+    return t >= active_from && t < active_until;
+  }
+
+  /// The addressing mode in effect at time t (kEui64 until the firmware
+  /// upgrade lands, then kPrivacy).
+  [[nodiscard]] constexpr AddressingMode mode_at(TimePoint t) const noexcept {
+    if (mode == AddressingMode::kEui64 && t >= privacy_upgrade_at) {
+      return AddressingMode::kPrivacy;
+    }
+    return mode;
+  }
+
+  /// The device's WAN IID for a given prefix epoch. For EUI-64 devices this
+  /// never changes; privacy-mode devices draw a fresh pseudorandom IID per
+  /// epoch (keyed so re-probing the same epoch is stable); stable-privacy
+  /// devices key on the network instead of the epoch.
+  [[nodiscard]] std::uint64_t wan_iid(std::uint64_t epoch,
+                                      std::uint64_t network_bits,
+                                      AddressingMode effective_mode)
+      const noexcept {
+    switch (effective_mode) {
+      case AddressingMode::kEui64:
+        return net::mac_to_eui64(mac);
+      case AddressingMode::kPrivacy: {
+        // Avoid accidentally minting an ff:fe pattern so classification in
+        // tests is exact; real privacy IIDs can collide with the marker at
+        // rate 2^-16, which the pipeline tolerates, but determinism is more
+        // valuable here.
+        std::uint64_t iid = mix64(0x5072697643790000ULL, mac.bits(), epoch);
+        if (net::is_eui64_iid(iid)) iid ^= 0x0000000000010000ULL;
+        return iid;
+      }
+      case AddressingMode::kStablePrivacy: {
+        std::uint64_t iid =
+            mix64(0x52464337323137ULL, mac.bits(), network_bits);
+        if (net::is_eui64_iid(iid)) iid ^= 0x0000000000010000ULL;
+        return iid;
+      }
+      case AddressingMode::kLowByte:
+        return 1;
+    }
+    return 1;
+  }
+};
+
+}  // namespace scent::sim

@@ -1,0 +1,81 @@
+// internet.h - the simulated IPv6 Internet: routing glue over providers.
+//
+// Substitute for the real network behind the paper's vantage point. Accepts
+// wire-format ICMPv6 Echo Request packets, routes them by longest-prefix
+// match to the owning provider, and returns the wire-format response the
+// real Internet would deliver (or nothing). Also exposes the BGP view
+// (Routeviews substitute) that the analysis side uses for attribution —
+// deliberately the same object, because in reality both derive from the same
+// advertisements.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "netbase/ipv6_address.h"
+#include "routing/bgp_table.h"
+#include "routing/prefix_trie.h"
+#include "sim/provider.h"
+#include "wire/icmpv6.h"
+
+namespace scent::sim {
+
+class Internet {
+ public:
+  Internet() = default;
+
+  /// Registers a provider; announces all its advertisements into the BGP
+  /// table and the forwarding trie. Returns the provider index.
+  std::size_t add_provider(ProviderConfig config);
+
+  [[nodiscard]] Provider& provider(std::size_t index) {
+    return *providers_[index];
+  }
+  [[nodiscard]] const Provider& provider(std::size_t index) const {
+    return *providers_[index];
+  }
+  [[nodiscard]] std::size_t provider_count() const noexcept {
+    return providers_.size();
+  }
+
+  /// Finds the provider owning an address, if advertised.
+  [[nodiscard]] std::optional<std::size_t> route(net::Ipv6Address a) const {
+    const auto match = forwarding_.longest_match(a);
+    if (!match) return std::nullopt;
+    return *match->value;
+  }
+
+  /// The global BGP view (used by analysis for response attribution).
+  [[nodiscard]] const routing::BgpTable& bgp() const noexcept { return bgp_; }
+
+  /// Logical fast path: probe a target with a hop limit at virtual time t.
+  [[nodiscard]] std::optional<ProbeReply> probe(net::Ipv6Address target,
+                                                std::uint8_t hop_limit,
+                                                TimePoint t);
+
+  /// Full wire path: parse, checksum-verify, route, respond. Malformed
+  /// packets are dropped (and counted).
+  [[nodiscard]] std::optional<wire::Packet> deliver(
+      std::span<const std::uint8_t> packet_bytes, TimePoint t);
+
+  struct Stats {
+    std::uint64_t probes_received = 0;
+    std::uint64_t malformed_dropped = 0;
+    std::uint64_t unrouted = 0;
+    std::uint64_t responses_sent = 0;
+  };
+  [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
+
+ private:
+  // unique_ptr: Provider carries mutable rate-limit state and is
+  // move-only; pointer stability lets DeviceRef-style indices stay valid.
+  std::vector<std::unique_ptr<Provider>> providers_;
+  routing::BgpTable bgp_;
+  routing::PrefixTrie<std::size_t> forwarding_;
+  Stats stats_;
+};
+
+}  // namespace scent::sim

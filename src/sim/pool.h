@@ -1,0 +1,159 @@
+// pool.h - a rotation pool: a block of provider address space within which
+// customer allocations live and move.
+//
+// A pool is a prefix (e.g. a /46) subdivided into equal-size customer
+// allocations (e.g. /56s -> 1024 slots). Devices occupy slots; the
+// RotationSchedule decides which slot each device occupies at each instant.
+// The pool can answer both directions: "where is device d at time t?" (used
+// to build ground truth) and "which device owns the allocation containing
+// address a at time t?" (used to synthesize probe responses).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "netbase/ipv6_address.h"
+#include "netbase/prefix.h"
+#include "sim/device.h"
+#include "sim/rotation.h"
+
+namespace scent::sim {
+
+struct PoolConfig {
+  net::Prefix prefix;            ///< The pool, e.g. 2001:db8:100::/46.
+  unsigned allocation_length = 56;  ///< Customer prefix size, 48..64.
+  RotationPolicy rotation;
+  std::uint64_t seed = 0;
+};
+
+class RotationPool {
+ public:
+  explicit RotationPool(const PoolConfig& config)
+      : config_(config),
+        schedule_(config.rotation, slot_count_for(config), config.seed) {}
+
+  [[nodiscard]] const PoolConfig& config() const noexcept { return config_; }
+  [[nodiscard]] const RotationSchedule& schedule() const noexcept {
+    return schedule_;
+  }
+
+  [[nodiscard]] std::uint64_t num_slots() const noexcept {
+    return schedule_.num_slots();
+  }
+
+  /// Adds a device. Its initial_slot must be unique within the pool.
+  /// Returns the device's index within this pool.
+  std::size_t add_device(const CpeDevice& device) {
+    const std::size_t index = devices_.size();
+    devices_.push_back(device);
+    initial_slot_index_.emplace(device.initial_slot % num_slots(), index);
+    return index;
+  }
+
+  [[nodiscard]] const std::vector<CpeDevice>& devices() const noexcept {
+    return devices_;
+  }
+
+  /// Mutable device access for scenario evolution (firmware-upgrade waves,
+  /// service changes). Identity fields (initial_slot, id) must not change —
+  /// the slot index is keyed on them.
+  [[nodiscard]] std::vector<CpeDevice>& mutable_devices() noexcept {
+    return devices_;
+  }
+
+  /// Rotation epoch of a device at time t.
+  [[nodiscard]] std::uint64_t epoch_of(std::size_t device_index,
+                                       TimePoint t) const {
+    return schedule_.epochs_elapsed(device_key(device_index), t);
+  }
+
+  /// The slot (allocation index) a device occupies at time t.
+  [[nodiscard]] std::uint64_t slot_of(std::size_t device_index,
+                                      TimePoint t) const {
+    return schedule_.slot_at(devices_[device_index].initial_slot,
+                             epoch_of(device_index, t));
+  }
+
+  /// The customer allocation (prefix) delegated to a device at time t.
+  [[nodiscard]] net::Prefix allocation_of(std::size_t device_index,
+                                          TimePoint t) const {
+    return config_.prefix.subnet(config_.allocation_length,
+                                 net::Uint128{slot_of(device_index, t)});
+  }
+
+  /// The device's public WAN address at time t: the first /64 of its
+  /// delegated allocation plus its mode-dependent IID.
+  [[nodiscard]] net::Ipv6Address wan_address_of(std::size_t device_index,
+                                                TimePoint t) const {
+    const net::Prefix alloc = allocation_of(device_index, t);
+    const std::uint64_t network = alloc.base().network();
+    const std::uint64_t epoch = epoch_of(device_index, t);
+    const CpeDevice& device = devices_[device_index];
+    return net::Ipv6Address{
+        network, device.wan_iid(epoch, network, device.mode_at(t))};
+  }
+
+  /// True if this pool's prefix covers the address.
+  [[nodiscard]] bool covers(net::Ipv6Address a) const noexcept {
+    return config_.prefix.contains(a);
+  }
+
+  /// The device whose delegated allocation contains `a` at time t, if any.
+  /// Resolves by inverting the rotation schedule for the (at most two)
+  /// plausible epoch values, so lookup cost is independent of pool size.
+  [[nodiscard]] std::optional<std::size_t> device_owning(net::Ipv6Address a,
+                                                         TimePoint t) const {
+    const std::uint64_t slot_bits = static_cast<std::uint64_t>(
+        (config_.prefix.subnet_index(a, config_.allocation_length)).lo());
+    return device_at_slot(slot_bits, t);
+  }
+
+  /// The device occupying slot `slot` at time t, if any. During a rotation
+  /// window two devices can transiently claim the same slot (one rotating
+  /// out, one rotating in); the later-epoch device wins, matching a DHCPv6
+  /// server's hand-off order. Probes during the window therefore see the
+  /// incoming tenant — realistic measurement noise the paper's §5.4
+  /// observes around the 00:00-06:00 reassignment period.
+  [[nodiscard]] std::optional<std::size_t> device_at_slot(std::uint64_t slot,
+                                                          TimePoint t) const {
+    const std::uint64_t max_e = schedule_.max_epochs(t);
+    // Mid-window, devices are split between epoch max_e (already rotated)
+    // and max_e - 1 (not yet). Check the later epoch first so a freshly
+    // rotated-in device shadows the one rotating out, as a DHCPv6 server
+    // reassigning the prefix would.
+    for (std::uint64_t delta = 0; delta < 2; ++delta) {
+      if (max_e < delta) break;
+      const std::uint64_t epoch = max_e - delta;
+      const std::uint64_t initial = schedule_.initial_of(slot, epoch);
+      const auto it = initial_slot_index_.find(initial);
+      if (it == initial_slot_index_.end()) continue;
+      const std::size_t index = it->second;
+      if (!devices_[index].active_at(t)) continue;
+      if (epoch_of(index, t) == epoch) return index;
+    }
+    return std::nullopt;
+  }
+
+ private:
+  [[nodiscard]] std::uint64_t device_key(std::size_t device_index) const {
+    return devices_[device_index].id;
+  }
+
+  [[nodiscard]] static std::uint64_t slot_count_for(const PoolConfig& c) {
+    const unsigned bits = c.allocation_length > c.prefix.length()
+                              ? c.allocation_length - c.prefix.length()
+                              : 0;
+    // Pools larger than 2^40 allocations are not constructible in tests or
+    // benches; clamp to keep the arithmetic in uint64 territory.
+    return std::uint64_t{1} << (bits > 40 ? 40 : bits);
+  }
+
+  PoolConfig config_;
+  RotationSchedule schedule_;
+  std::vector<CpeDevice> devices_;
+  std::unordered_map<std::uint64_t, std::size_t> initial_slot_index_;
+};
+
+}  // namespace scent::sim

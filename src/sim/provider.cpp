@@ -1,0 +1,122 @@
+#include "sim/provider.h"
+
+#include <algorithm>
+
+namespace scent::sim {
+
+std::optional<ProbeReply> Provider::handle_probe(net::Ipv6Address target,
+                                                 std::uint8_t hop_limit,
+                                                 TimePoint t) {
+  if (probe_lost(target, t)) return std::nullopt;
+
+  // Traceroute-style probes expire at a core router before reaching the
+  // periphery. Core hops are statically addressed managed infrastructure.
+  if (hop_limit <= config_.path_length) {
+    return ProbeReply{core_hop_address(hop_limit),
+                      wire::Icmpv6Type::kTimeExceeded,
+                      static_cast<std::uint8_t>(
+                          wire::TimeExceededCode::kHopLimitExceeded)};
+  }
+
+  // Find the rotation pool whose space contains the target. Probes into
+  // advertised-but-unpooled space fall off the provider's internal routing
+  // and are dropped silently (the black regions of the paper's Figure 3).
+  const RotationPool* pool = nullptr;
+  std::size_t pool_index = 0;
+  for (std::size_t i = 0; i < pools_.size(); ++i) {
+    if (pools_[i].covers(target)) {
+      pool = &pools_[i];
+      pool_index = i;
+      break;
+    }
+  }
+  if (pool == nullptr) return std::nullopt;
+
+  const auto device_index = pool->device_owning(target, t);
+  if (!device_index) return std::nullopt;  // unallocated slot
+  const CpeDevice& device = pool->devices()[*device_index];
+  const net::Ipv6Address wan = pool->wan_address_of(*device_index, t);
+
+  // Probe addressed to the CPE itself: an echo reply (informational
+  // messages are not subject to the error rate limit).
+  if (target == wan) {
+    return ProbeReply{wan, wire::Icmpv6Type::kEchoReply, 0};
+  }
+
+  // The probe is for a (nonexistent) host behind the CPE. The CPE originates
+  // an ICMPv6 error whose flavor depends on its OS; every flavor leaks the
+  // WAN source address. Errors are rate limited per RFC 4443 s2.4(f).
+  if (device.error_behavior == ErrorBehavior::kSilent) return std::nullopt;
+
+  // Hop limit exhausted exactly at the CPE: Time Exceeded regardless of the
+  // device's unreachable flavor.
+  if (hop_limit == cpe_distance()) {
+    if (!take_error_token(
+            (static_cast<std::uint64_t>(pool_index) << 32) | device.id, t)) {
+      return std::nullopt;
+    }
+    return ProbeReply{wan, wire::Icmpv6Type::kTimeExceeded,
+                      static_cast<std::uint8_t>(
+                          wire::TimeExceededCode::kHopLimitExceeded)};
+  }
+
+  if (!take_error_token(
+          (static_cast<std::uint64_t>(pool_index) << 32) | device.id, t)) {
+    return std::nullopt;
+  }
+
+  switch (device.error_behavior) {
+    case ErrorBehavior::kAdminProhibited:
+      return ProbeReply{wan, wire::Icmpv6Type::kDestinationUnreachable,
+                        static_cast<std::uint8_t>(
+                            wire::UnreachableCode::kAdminProhibited)};
+    case ErrorBehavior::kNoRoute:
+      return ProbeReply{
+          wan, wire::Icmpv6Type::kDestinationUnreachable,
+          static_cast<std::uint8_t>(wire::UnreachableCode::kNoRoute)};
+    case ErrorBehavior::kAddressUnreachable:
+      return ProbeReply{wan, wire::Icmpv6Type::kDestinationUnreachable,
+                        static_cast<std::uint8_t>(
+                            wire::UnreachableCode::kAddressUnreachable)};
+    case ErrorBehavior::kHopLimitExceeded:
+      return ProbeReply{wan, wire::Icmpv6Type::kTimeExceeded,
+                        static_cast<std::uint8_t>(
+                            wire::TimeExceededCode::kHopLimitExceeded)};
+    case ErrorBehavior::kSilent:
+      return std::nullopt;  // unreachable: handled above
+  }
+  return std::nullopt;
+}
+
+bool Provider::take_error_token(std::uint64_t bucket_key, TimePoint t) {
+  Bucket& bucket = buckets_[bucket_key];
+  if (!bucket.initialized) {
+    bucket.tokens = config_.rate_limit.burst;
+    bucket.last = t;
+    bucket.initialized = true;
+  }
+  if (t > bucket.last) {
+    bucket.tokens = std::min(
+        config_.rate_limit.burst,
+        bucket.tokens + static_cast<double>(t - bucket.last) /
+                            static_cast<double>(kSecond) *
+                            config_.rate_limit.tokens_per_second);
+    bucket.last = t;
+  }
+  if (bucket.tokens < 1.0) return false;
+  bucket.tokens -= 1.0;
+  return true;
+}
+
+std::optional<Provider::DeviceRef> Provider::find_device(
+    net::MacAddress mac) const {
+  for (std::size_t p = 0; p < pools_.size(); ++p) {
+    const auto& devices = pools_[p].devices();
+    for (std::size_t d = 0; d < devices.size(); ++d) {
+      if (devices[d].mac == mac) return DeviceRef{p, d};
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace scent::sim

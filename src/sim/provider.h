@@ -1,0 +1,150 @@
+// provider.h - a simulated service provider (autonomous system).
+//
+// A provider owns BGP-advertised address space, carves rotation pools out of
+// it, and hosts a CPE population. Given a probe (target address, hop limit,
+// time) it produces the ICMPv6 response the real network would: Time
+// Exceeded from core routers for traceroute-style low hop limits, an echo
+// reply if the target is an existing WAN address, a CPE-sourced Destination
+// Unreachable / Time Exceeded error for nonexistent hosts inside a delegated
+// prefix, and silence for unallocated space — with configurable packet loss
+// and the mandatory ICMPv6 error rate limiting (RFC 4443 s2.4(f)).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "netbase/ipv6_address.h"
+#include "netbase/prefix.h"
+#include "routing/bgp_table.h"
+#include "sim/pool.h"
+#include "sim/rng.h"
+#include "wire/icmpv6.h"
+
+namespace scent::sim {
+
+/// Token-bucket parameters for per-CPE ICMPv6 error rate limiting.
+struct RateLimit {
+  double tokens_per_second = 100.0;
+  double burst = 100.0;
+};
+
+struct ProviderConfig {
+  routing::Asn asn = 0;
+  std::string name;
+  std::string country;  // ISO 3166-1 alpha-2
+  std::vector<net::Prefix> advertisements;
+  unsigned path_length = 3;  ///< Core hops between vantage and the CPE.
+  double loss_rate = 0.0;    ///< Per-probe silent-loss probability.
+  RateLimit rate_limit;
+  std::uint64_t seed = 0;
+};
+
+/// What a probe elicited, before packet serialization.
+struct ProbeReply {
+  net::Ipv6Address source;
+  wire::Icmpv6Type type = wire::Icmpv6Type::kEchoReply;
+  std::uint8_t code = 0;
+};
+
+class Provider {
+ public:
+  explicit Provider(ProviderConfig config) : config_(std::move(config)) {}
+
+  Provider(const Provider&) = delete;
+  Provider& operator=(const Provider&) = delete;
+  Provider(Provider&&) = default;
+  Provider& operator=(Provider&&) = default;
+
+  [[nodiscard]] const ProviderConfig& config() const noexcept {
+    return config_;
+  }
+
+  /// Adds a rotation pool; returns its index.
+  std::size_t add_pool(const PoolConfig& pool_config) {
+    pools_.emplace_back(pool_config);
+    return pools_.size() - 1;
+  }
+
+  [[nodiscard]] std::vector<RotationPool>& pools() noexcept { return pools_; }
+  [[nodiscard]] const std::vector<RotationPool>& pools() const noexcept {
+    return pools_;
+  }
+
+  /// Processes one probe. `hop_limit` is the probe's hop limit on entry to
+  /// this provider's path (the vantage-to-provider segment is modeled as
+  /// zero hops; path_length core hops then lead to the CPE).
+  [[nodiscard]] std::optional<ProbeReply> handle_probe(net::Ipv6Address target,
+                                                       std::uint8_t hop_limit,
+                                                       TimePoint t);
+
+  /// The synthetic address of core router `hop` (1-based), a statically
+  /// numbered low-byte infrastructure address.
+  [[nodiscard]] net::Ipv6Address core_hop_address(unsigned hop) const {
+    // Infrastructure lives in the first /64 of the first advertisement.
+    const std::uint64_t network =
+        config_.advertisements.empty()
+            ? 0
+            : config_.advertisements.front().base().network();
+    return net::Ipv6Address{network, hop};
+  }
+
+  /// Distance (in hops) from the vantage to a CPE in this provider.
+  [[nodiscard]] unsigned cpe_distance() const noexcept {
+    return config_.path_length + 1;
+  }
+
+  // -- Ground-truth accessors (for tests and experiment validation) --------
+
+  struct DeviceRef {
+    std::size_t pool_index = 0;
+    std::size_t device_index = 0;
+  };
+
+  /// Finds a device by MAC address (first match across pools).
+  [[nodiscard]] std::optional<DeviceRef> find_device(net::MacAddress mac) const;
+
+  /// The current WAN address of a device.
+  [[nodiscard]] net::Ipv6Address wan_address(DeviceRef ref, TimePoint t) const {
+    return pools_[ref.pool_index].wan_address_of(ref.device_index, t);
+  }
+
+  /// The current delegated allocation of a device.
+  [[nodiscard]] net::Prefix allocation(DeviceRef ref, TimePoint t) const {
+    return pools_[ref.pool_index].allocation_of(ref.device_index, t);
+  }
+
+  [[nodiscard]] std::size_t device_count() const noexcept {
+    std::size_t n = 0;
+    for (const auto& p : pools_) n += p.devices().size();
+    return n;
+  }
+
+ private:
+  /// Deterministic per-probe loss decision.
+  [[nodiscard]] bool probe_lost(net::Ipv6Address target, TimePoint t) const {
+    if (config_.loss_rate <= 0.0) return false;
+    const std::uint64_t h = mix64(config_.seed ^ 0x4c4f5353ULL,
+                                  target.bits().hi() ^ target.bits().lo(),
+                                  static_cast<std::uint64_t>(t));
+    return static_cast<double>(h >> 11) * 0x1.0p-53 < config_.loss_rate;
+  }
+
+  /// Spends one token from the device's error-message bucket; returns false
+  /// if the device is currently rate limited.
+  [[nodiscard]] bool take_error_token(std::uint64_t bucket_key, TimePoint t);
+
+  ProviderConfig config_;
+  std::vector<RotationPool> pools_;
+
+  struct Bucket {
+    double tokens = 0;
+    TimePoint last = 0;
+    bool initialized = false;
+  };
+  std::unordered_map<std::uint64_t, Bucket> buckets_;
+};
+
+}  // namespace scent::sim

@@ -1,0 +1,158 @@
+// rng.h - deterministic, seedable random primitives for the simulator.
+//
+// Every stochastic choice in the simulated Internet (device placement, IID
+// jitter, loss) must be reproducible from a single 64-bit seed so that test
+// assertions and benchmark outputs are stable. Two primitives cover all
+// needs:
+//   * SplitMix64 - a tiny, high-quality PRNG, also usable as a stateless
+//     hash (`mix`), so "random but a pure function of (entity, epoch)"
+//     values need no stored state.
+//   * FeistelPermutation - a keyed bijection on [0, n), used to model DHCPv6
+//     pools that hand every customer a distinct prefix slot per epoch.
+#pragma once
+
+#include <cstdint>
+
+namespace scent::sim {
+
+/// SplitMix64's finalizer: a bijective 64-bit mixing function. Used both as
+/// the PRNG step and as a stateless hash of composite keys.
+[[nodiscard]] constexpr std::uint64_t mix64(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Combines two 64-bit values into one hash, for keys like (seed, epoch).
+[[nodiscard]] constexpr std::uint64_t mix64(std::uint64_t a,
+                                            std::uint64_t b) noexcept {
+  return mix64(a ^ mix64(b));
+}
+
+[[nodiscard]] constexpr std::uint64_t mix64(std::uint64_t a, std::uint64_t b,
+                                            std::uint64_t c) noexcept {
+  return mix64(a ^ mix64(b ^ mix64(c)));
+}
+
+/// SplitMix64 sequential generator.
+class Rng {
+ public:
+  explicit constexpr Rng(std::uint64_t seed) noexcept : state_(seed) {}
+
+  constexpr std::uint64_t next() noexcept {
+    state_ += 0x9e3779b97f4a7c15ULL;
+    std::uint64_t z = state_;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform in [0, bound) via rejection-free Lemire-style reduction;
+  /// bias is < 2^-32 for the bounds used here (pool slots, percentages),
+  /// irrelevant next to the modeled phenomena. bound must be nonzero.
+  constexpr std::uint64_t below(std::uint64_t bound) noexcept {
+    // 128-bit multiply-high without __int128: split into 32-bit halves.
+    const std::uint64_t x = next();
+    const std::uint64_t x_hi = x >> 32;
+    const std::uint64_t x_lo = x & 0xffffffffULL;
+    const std::uint64_t b_hi = bound >> 32;
+    const std::uint64_t b_lo = bound & 0xffffffffULL;
+    const std::uint64_t mid =
+        ((x_lo * b_lo) >> 32) + x_hi * b_lo + ((x_lo * b_hi) & 0xffffffffULL);
+    return x_hi * b_hi + (mid >> 32) + ((x_lo * b_hi) >> 32);
+  }
+
+  /// Uniform double in [0, 1).
+  constexpr double uniform() noexcept {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Bernoulli trial with probability p.
+  constexpr bool chance(double p) noexcept { return uniform() < p; }
+
+  /// Derives an independent child generator (hierarchical seeding).
+  [[nodiscard]] constexpr Rng fork(std::uint64_t salt) noexcept {
+    return Rng{mix64(next(), salt)};
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// A keyed pseudorandom bijection on [0, n) built from a 4-round Feistel
+/// network over 2*k bits (the smallest even-bit width covering n) with
+/// cycle-walking to stay inside [0, n). Forward and inverse are exact, so
+/// the simulator can both place a device into a slot and answer "which
+/// device occupies this slot" in O(1) expected time.
+class FeistelPermutation {
+ public:
+  /// n must be >= 1; key selects the permutation.
+  constexpr FeistelPermutation(std::uint64_t n, std::uint64_t key) noexcept
+      : n_(n < 1 ? 1 : n), key_(key), half_bits_(half_bits_for(n_)) {}
+
+  [[nodiscard]] constexpr std::uint64_t forward(std::uint64_t x) const noexcept {
+    // Cycle-walk: apply the block cipher until the output lands in [0, n).
+    // Expected iterations < 4 since the domain is at most 4x larger than n.
+    do {
+      x = encrypt(x);
+    } while (x >= n_);
+    return x;
+  }
+
+  [[nodiscard]] constexpr std::uint64_t inverse(std::uint64_t y) const noexcept {
+    do {
+      y = decrypt(y);
+    } while (y >= n_);
+    return y;
+  }
+
+  [[nodiscard]] constexpr std::uint64_t size() const noexcept { return n_; }
+
+ private:
+  static constexpr unsigned kRounds = 4;
+
+  static constexpr unsigned half_bits_for(std::uint64_t n) noexcept {
+    // Smallest k with 2^(2k) >= n, k >= 1.
+    unsigned k = 1;
+    while (k < 32 && (std::uint64_t{1} << (2 * k)) < n) ++k;
+    return k;
+  }
+
+  [[nodiscard]] constexpr std::uint64_t round_fn(std::uint64_t half,
+                                                 unsigned round)
+      const noexcept {
+    const std::uint64_t mask = (std::uint64_t{1} << half_bits_) - 1;
+    return mix64(key_, half, round) & mask;
+  }
+
+  [[nodiscard]] constexpr std::uint64_t encrypt(std::uint64_t x) const noexcept {
+    const std::uint64_t mask = (std::uint64_t{1} << half_bits_) - 1;
+    std::uint64_t left = (x >> half_bits_) & mask;
+    std::uint64_t right = x & mask;
+    for (unsigned r = 0; r < kRounds; ++r) {
+      const std::uint64_t tmp = right;
+      right = left ^ round_fn(right, r);
+      left = tmp;
+    }
+    return (left << half_bits_) | right;
+  }
+
+  [[nodiscard]] constexpr std::uint64_t decrypt(std::uint64_t y) const noexcept {
+    const std::uint64_t mask = (std::uint64_t{1} << half_bits_) - 1;
+    std::uint64_t left = (y >> half_bits_) & mask;
+    std::uint64_t right = y & mask;
+    for (unsigned r = kRounds; r-- > 0;) {
+      const std::uint64_t tmp = left;
+      left = right ^ round_fn(left, r);
+      right = tmp;
+    }
+    return (left << half_bits_) | right;
+  }
+
+  std::uint64_t n_;
+  std::uint64_t key_;
+  unsigned half_bits_;
+};
+
+}  // namespace scent::sim

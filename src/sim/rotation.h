@@ -1,0 +1,171 @@
+// rotation.h - prefix-rotation policy: when and where customer prefixes move.
+//
+// The paper's §5.4 reveals the in-the-wild mechanics this module models:
+// AS8881 re-delegates every customer's prefix daily, during an early-morning
+// maintenance window (Figure 10: reassignment between 00:00 and 06:00), and
+// each device's /64 advances by a fixed stride, wrapping modulo the /46
+// rotation pool (Figure 9). Other providers re-assign randomly within the
+// pool, or not at all. All three behaviors are expressed here as a pure
+// function from (device, time) to pool slot, with an exact inverse so the
+// simulator can answer "which device owns this prefix right now?" in O(1).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "sim/rng.h"
+#include "sim/sim_time.h"
+
+namespace scent::sim {
+
+/// Policy describing how allocations move within a rotation pool.
+struct RotationPolicy {
+  enum class Kind : std::uint8_t {
+    kStatic,   ///< Prefixes never change (non-rotating provider).
+    kStride,   ///< slot' = (slot + stride) mod n each epoch (AS8881-style).
+    kShuffle,  ///< Fresh keyed permutation of all slots each epoch
+               ///< (randomized temporary-mode DHCPv6).
+  };
+
+  Kind kind = Kind::kStatic;
+
+  /// Rotation period; one epoch elapses per period. Must exceed
+  /// window_start + window_length.
+  Duration period = kDay;
+
+  /// Rotations happen at period_start + window_start + per-device jitter
+  /// within [0, window_length). Models the paper's observed 00:00-06:00
+  /// CEST reassignment window.
+  Duration window_start = 0;
+  Duration window_length = hours(6);
+
+  /// Slots advanced per epoch under kStride.
+  std::uint64_t stride = 1;
+
+  [[nodiscard]] constexpr bool rotates() const noexcept {
+    return kind != Kind::kStatic;
+  }
+};
+
+/// Computes rotation epochs and slot movements for one pool. Stateless: all
+/// answers are pure functions of the policy, pool seed, and time, which is
+/// what makes 44-day campaigns over millions of addresses affordable.
+class RotationSchedule {
+ public:
+  RotationSchedule(RotationPolicy policy, std::uint64_t num_slots,
+                   std::uint64_t seed) noexcept
+      : policy_(policy), num_slots_(num_slots < 1 ? 1 : num_slots),
+        seed_(seed) {}
+
+  [[nodiscard]] const RotationPolicy& policy() const noexcept {
+    return policy_;
+  }
+  [[nodiscard]] std::uint64_t num_slots() const noexcept { return num_slots_; }
+
+  /// The rotation instant for period index p (p >= 1) and a device key:
+  /// p*period + window_start + jitter(device, p).
+  [[nodiscard]] TimePoint rotation_instant(std::uint64_t device_key,
+                                           std::int64_t p) const noexcept {
+    const Duration jitter =
+        policy_.window_length <= 0
+            ? 0
+            : static_cast<Duration>(
+                  mix64(seed_, device_key, static_cast<std::uint64_t>(p)) %
+                  static_cast<std::uint64_t>(policy_.window_length));
+    return p * policy_.period + policy_.window_start + jitter;
+  }
+
+  /// Number of rotations device `device_key` has undergone by time t.
+  /// Epoch 0 runs from simulation start until the device's first rotation
+  /// instant (inside period 1's window).
+  [[nodiscard]] std::uint64_t epochs_elapsed(std::uint64_t device_key,
+                                             TimePoint t) const noexcept {
+    if (!policy_.rotates() || t < policy_.period) return 0;
+    // Latest period index whose window could have opened by t.
+    const std::int64_t p_full = (t - policy_.window_start) / policy_.period;
+    if (p_full < 1) return 0;
+    std::uint64_t epochs = static_cast<std::uint64_t>(p_full - 1);
+    if (rotation_instant(device_key, p_full) <= t) ++epochs;
+    return epochs;
+  }
+
+  /// Upper bound on any device's epoch count at time t (used to bound the
+  /// inverse lookup's candidate set).
+  [[nodiscard]] std::uint64_t max_epochs(TimePoint t) const noexcept {
+    if (!policy_.rotates() || t < policy_.period) return 0;
+    const std::int64_t p_full = (t - policy_.window_start) / policy_.period;
+    return p_full < 0 ? 0 : static_cast<std::uint64_t>(p_full);
+  }
+
+  /// The slot a device occupies after `epoch` rotations, given its initial
+  /// slot.
+  [[nodiscard]] std::uint64_t slot_at(std::uint64_t initial_slot,
+                                      std::uint64_t epoch) const noexcept {
+    switch (policy_.kind) {
+      case RotationPolicy::Kind::kStatic:
+        return initial_slot % num_slots_;
+      case RotationPolicy::Kind::kStride: {
+        // (initial + epoch*stride) mod n without 128-bit overflow: reduce
+        // the product incrementally.
+        const std::uint64_t step =
+            mul_mod(epoch % num_slots_, policy_.stride % num_slots_);
+        return (initial_slot % num_slots_ + step) % num_slots_;
+      }
+      case RotationPolicy::Kind::kShuffle: {
+        if (epoch == 0) return initial_slot % num_slots_;
+        return FeistelPermutation{num_slots_, mix64(seed_, epoch)}.forward(
+            initial_slot % num_slots_);
+      }
+    }
+    return initial_slot % num_slots_;
+  }
+
+  /// Inverse of slot_at: the initial slot of whichever device occupies
+  /// `slot` after `epoch` rotations.
+  [[nodiscard]] std::uint64_t initial_of(std::uint64_t slot,
+                                         std::uint64_t epoch) const noexcept {
+    switch (policy_.kind) {
+      case RotationPolicy::Kind::kStatic:
+        return slot % num_slots_;
+      case RotationPolicy::Kind::kStride: {
+        const std::uint64_t step =
+            mul_mod(epoch % num_slots_, policy_.stride % num_slots_);
+        return (slot % num_slots_ + num_slots_ - step) % num_slots_;
+      }
+      case RotationPolicy::Kind::kShuffle: {
+        if (epoch == 0) return slot % num_slots_;
+        return FeistelPermutation{num_slots_, mix64(seed_, epoch)}.inverse(
+            slot % num_slots_);
+      }
+    }
+    return slot % num_slots_;
+  }
+
+ private:
+  /// (a * b) mod num_slots_ via double-and-add, safe for any 64-bit inputs.
+  [[nodiscard]] std::uint64_t mul_mod(std::uint64_t a,
+                                      std::uint64_t b) const noexcept {
+    std::uint64_t result = 0;
+    a %= num_slots_;
+    while (b != 0) {
+      if ((b & 1) != 0) result = add_mod(result, a);
+      a = add_mod(a, a);
+      b >>= 1;
+    }
+    return result;
+  }
+
+  [[nodiscard]] std::uint64_t add_mod(std::uint64_t a,
+                                      std::uint64_t b) const noexcept {
+    // a, b < num_slots_ <= 2^63 keeps a+b from wrapping only if num_slots_
+    // <= 2^63; pool sizes here are at most 2^32 slots, far below that.
+    const std::uint64_t s = a + b;
+    return s >= num_slots_ ? s - num_slots_ : s;
+  }
+
+  RotationPolicy policy_;
+  std::uint64_t num_slots_;
+  std::uint64_t seed_;
+};
+
+}  // namespace scent::sim

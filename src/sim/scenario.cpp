@@ -1,0 +1,670 @@
+#include "sim/scenario.h"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+
+#include "oui/oui_registry.h"
+
+namespace scent::sim {
+namespace {
+
+/// Weighted pick of an error behavior for a responsive device. Shares mirror
+/// the paper's observation that Destination Unreachable codes dominate with
+/// occasional Hop Limit Exceeded responders (§3.1).
+ErrorBehavior pick_error_behavior(Rng& rng) {
+  const double u = rng.uniform();
+  if (u < 0.45) return ErrorBehavior::kAdminProhibited;
+  if (u < 0.70) return ErrorBehavior::kNoRoute;
+  if (u < 0.92) return ErrorBehavior::kAddressUnreachable;
+  return ErrorBehavior::kHopLimitExceeded;
+}
+
+std::uint64_t pool_key(std::size_t provider_index, std::size_t pool_index) {
+  return (static_cast<std::uint64_t>(provider_index) << 32) |
+         static_cast<std::uint64_t>(pool_index);
+}
+
+}  // namespace
+
+net::Oui WorldBuilder::pick_vendor(const std::vector<VendorShare>& vendors,
+                                   Rng& rng) {
+  if (vendors.empty()) return net::Oui{0x3810d5};  // AVM fallback
+  double total = 0;
+  for (const auto& v : vendors) total += v.weight;
+  double pick = rng.uniform() * total;
+  for (const auto& v : vendors) {
+    pick -= v.weight;
+    if (pick <= 0) return v.oui;
+  }
+  return vendors.back().oui;
+}
+
+net::MacAddress WorldBuilder::mint_mac(net::Oui oui) {
+  // A keyed 24-bit permutation of a per-OUI counter yields MACs that are
+  // unique by construction yet look scattered like real production runs.
+  std::uint32_t& counter = oui_counters_[oui.value()];
+  const FeistelPermutation perm{1ULL << 24, mix64(seed_, oui.value())};
+  const std::uint64_t low24 = perm.forward(counter++);
+  return net::MacAddress{(static_cast<std::uint64_t>(oui.value()) << 24) |
+                         low24};
+}
+
+std::size_t WorldBuilder::add_provider(const ProviderSpec& spec) {
+  ProviderConfig config;
+  config.asn = spec.asn;
+  config.name = spec.name;
+  config.country = spec.country;
+  config.advertisements = {spec.advertisement};
+  config.path_length = spec.path_length;
+  config.loss_rate = spec.loss_rate;
+  config.rate_limit = spec.rate_limit;
+  config.seed = mix64(seed_, spec.asn);
+
+  const std::size_t provider_index = internet_.add_provider(std::move(config));
+  Provider& provider = internet_.provider(provider_index);
+  Rng provider_rng{mix64(seed_, spec.asn, 0xA11)};
+
+  // Carve pools out of the advertisement with a moving, size-aligned cursor
+  // so pools of different lengths never overlap. A one-pool-size gap is left
+  // between pools so they are separated in address space, as distinct
+  // delegation ranges are in production deployments.
+  net::Uint128 cursor = spec.advertisement.base().bits();
+  for (const auto& pool_spec : spec.pools) {
+    const unsigned len = pool_spec.pool_length;
+    const net::Uint128 size = net::Uint128{1} << (128 - len);
+    // Align the cursor up to the pool size.
+    const net::Uint128 rem = cursor % size;
+    if (rem != net::Uint128{}) cursor += size - rem;
+
+    const net::Prefix pool_prefix{net::Ipv6Address{cursor}, len};
+    cursor += size + size;  // pool plus a guard gap
+
+    PoolConfig pool_config;
+    pool_config.prefix = pool_prefix;
+    pool_config.allocation_length = pool_spec.allocation_length;
+    pool_config.rotation = pool_spec.rotation;
+    pool_config.seed = mix64(seed_, spec.asn, pool_prefix.base().network());
+    const std::size_t pool_index = provider.add_pool(pool_config);
+    RotationPool& pool = provider.pools()[pool_index];
+
+    const std::uint64_t num_slots = pool.num_slots();
+    const double span = std::clamp(pool_spec.slot_span, 0.01, 1.0);
+    const auto usable_slots = static_cast<std::uint64_t>(
+        std::max(1.0, static_cast<double>(num_slots) * span));
+    const std::size_t device_count = static_cast<std::size_t>(
+        std::min<std::uint64_t>(pool_spec.device_count, usable_slots));
+
+    const bool contiguous =
+        pool_spec.placement == Placement::kContiguous ||
+        (pool_spec.placement == Placement::kAuto &&
+         pool_spec.rotation.kind == RotationPolicy::Kind::kStride);
+
+    MintState& mint = mint_state_.emplace(
+        pool_key(provider_index, pool_index),
+        MintState{FeistelPermutation{usable_slots,
+                                     mix64(pool_config.seed, 0x51077)},
+                  0, contiguous}).first->second;
+
+    for (std::size_t i = 0; i < device_count; ++i) {
+      CpeDevice device;
+      device.id = next_device_id_++;
+      device.mac = mint_mac(pick_vendor(spec.vendors, provider_rng));
+      device.initial_slot = mint.next_slot();
+
+      const double mode_pick = provider_rng.uniform();
+      if (mode_pick < spec.eui64_fraction) {
+        device.mode = AddressingMode::kEui64;
+      } else if (mode_pick < spec.eui64_fraction + spec.low_byte_fraction) {
+        device.mode = AddressingMode::kLowByte;
+      } else {
+        device.mode = AddressingMode::kPrivacy;
+      }
+
+      device.error_behavior = provider_rng.chance(spec.silent_fraction)
+                                  ? ErrorBehavior::kSilent
+                                  : pick_error_behavior(provider_rng);
+
+      if (provider_rng.chance(spec.churn_fraction)) {
+        // A bounded service interval: joins up to 30 days before (or 20
+        // days after) the campaign epoch and stays for 10-60 days.
+        const auto join_day =
+            static_cast<std::int64_t>(provider_rng.below(50)) - 30;
+        const auto stay_days =
+            static_cast<std::int64_t>(10 + provider_rng.below(50));
+        device.active_from = days(join_day);
+        device.active_until = days(join_day + stay_days);
+      }
+
+      pool.add_device(device);
+      handles_[provider_index].push_back(
+          DeviceHandle{provider_index, pool_index,
+                       pool.devices().size() - 1, device.mac});
+    }
+  }
+  return provider_index;
+}
+
+std::uint64_t WorldBuilder::MintState::next_slot() {
+  const std::uint64_t ordinal = next_ordinal++;
+  return contiguous ? ordinal % perm.size() : perm.forward(ordinal % perm.size());
+}
+
+void WorldBuilder::plant_shared_mac(
+    net::MacAddress mac, const std::vector<std::size_t>& provider_indices,
+    std::size_t copies) {
+  for (std::size_t c = 0; c < copies && !provider_indices.empty(); ++c) {
+    const std::size_t provider_index =
+        provider_indices[c % provider_indices.size()];
+    Provider& provider = internet_.provider(provider_index);
+    if (provider.pools().empty()) continue;
+    const std::size_t pool_index = 0;
+    RotationPool& pool = provider.pools()[pool_index];
+    auto it = mint_state_.find(pool_key(provider_index, pool_index));
+    if (it == mint_state_.end()) continue;
+    if (it->second.next_ordinal >= it->second.perm.size()) continue;
+
+    CpeDevice device;
+    device.id = next_device_id_++;
+    device.mac = mac;
+    device.mode = AddressingMode::kEui64;
+    device.error_behavior = ErrorBehavior::kAdminProhibited;
+    device.initial_slot = it->second.next_slot();
+    pool.add_device(device);
+    handles_[provider_index].push_back(DeviceHandle{
+        provider_index, pool_index, pool.devices().size() - 1, device.mac});
+  }
+}
+
+net::MacAddress WorldBuilder::plant_provider_switch(std::size_t from,
+                                                    std::size_t to,
+                                                    TimePoint switch_time) {
+  const net::MacAddress mac = mint_mac(net::Oui{0x3810d5});  // AVM, as Fig 12
+  const auto plant = [&](std::size_t provider_index, TimePoint active_from,
+                         TimePoint active_until) {
+    Provider& provider = internet_.provider(provider_index);
+    if (provider.pools().empty()) return;
+    const std::size_t pool_index = 0;
+    auto it = mint_state_.find(pool_key(provider_index, pool_index));
+    if (it == mint_state_.end() ||
+        it->second.next_ordinal >= it->second.perm.size()) {
+      return;
+    }
+    CpeDevice device;
+    device.id = next_device_id_++;
+    device.mac = mac;
+    device.mode = AddressingMode::kEui64;
+    device.error_behavior = ErrorBehavior::kAdminProhibited;
+    device.initial_slot = it->second.next_slot();
+    device.active_from = active_from;
+    device.active_until = active_until;
+    RotationPool& pool = provider.pools()[pool_index];
+    pool.add_device(device);
+    handles_[provider_index].push_back(DeviceHandle{
+        provider_index, pool_index, pool.devices().size() - 1, mac});
+  };
+  plant(from, 0, switch_time);
+  plant(to, switch_time, kDay * 36500);
+  return mac;
+}
+
+namespace {
+
+/// Countries for the generated tail; 25 per the paper's finding of rotating
+/// /48s across 25 countries.
+constexpr std::array<const char*, 25> kTailCountries = {
+    "DE", "GR", "CN", "BR", "BO", "VN", "BA", "JP", "AR", "UY", "RU", "FR",
+    "IT", "ES", "PL", "NL", "GB", "US", "MX", "IN", "TH", "MY", "TR", "ZA",
+    "KR"};
+
+/// Vendor OUI palette for generated tails (values from the builtin
+/// registry).
+constexpr std::array<std::uint32_t, 10> kTailVendors = {
+    0x3810d5,  // AVM
+    0x344b50,  // ZTE
+    0x00e0fc,  // Huawei
+    0x001349,  // Zyxel
+    0x14cc20,  // TP-Link
+    0x342792,  // Sagemcom
+    0x001dd0,  // ARRIS
+    0x788102,  // Technicolor
+    0x48f97c,  // FiberHome
+    0x1c7ee5,  // D-Link
+};
+
+RotationPolicy daily_stride(std::uint64_t stride) {
+  RotationPolicy p;
+  p.kind = RotationPolicy::Kind::kStride;
+  p.period = kDay;
+  p.window_start = 0;
+  p.window_length = hours(6);
+  p.stride = stride;
+  return p;
+}
+
+RotationPolicy shuffle_every(Duration period) {
+  RotationPolicy p;
+  p.kind = RotationPolicy::Kind::kShuffle;
+  p.period = period;
+  p.window_start = 0;
+  p.window_length = hours(6);
+  return p;
+}
+
+std::size_t scaled(std::size_t n, double scale) {
+  return std::max<std::size_t>(4, static_cast<std::size_t>(
+                                      static_cast<double>(n) * scale));
+}
+
+}  // namespace
+
+PaperWorld make_paper_world(const PaperWorldOptions& options) {
+  WorldBuilder builder{options.seed};
+  PaperWorld world;
+  const double s = options.scale;
+
+  // ---- AS8881 Versatel (DE): the paper's dominant rotator. Daily stride
+  // rotation inside /46 pools; Figure 6 additionally shows a /48 carved
+  // into /64 allocations, so one pool uses /64.
+  {
+    ProviderSpec spec;
+    spec.asn = 8881;
+    spec.name = "Versatel";
+    spec.country = "DE";
+    spec.advertisement = *net::Prefix::parse("2001:16b8::/32");
+    spec.vendors = {{net::Oui{0x3810d5}, 0.86},  // AVM dominates German DSL
+                    {net::Oui{0x342792}, 0.09},
+                    {net::Oui{0x00a057}, 0.05}};
+    spec.eui64_fraction = 0.85;
+    for (std::size_t k = 0; k < options.versatel_pool_count; ++k) {
+      PoolSpec pool;
+      pool.pool_length = 46;
+      pool.allocation_length = 56;
+      // 1024 slots; stride ~ slots/4.4 so an IID visits 3-4 /48s before
+      // wrapping mod the /46 (Figure 9).
+      pool.rotation = daily_stride(236);
+      // Pool 0 keeps a visibly empty /48 for Figure 10's density plot; the
+      // rest run near-full, carrying the /56 population of Figure 5a.
+      pool.device_count = scaled(k == 0 ? 700 : 960, s);
+      spec.pools.push_back(pool);
+    }
+    {
+      // Figure 6's /64-allocating /48. Its population stays below the /56
+      // pools' total so Versatel's per-AS median allocation remains /56.
+      PoolSpec pool64;
+      pool64.pool_length = 48;
+      pool64.allocation_length = 64;
+      pool64.rotation = daily_stride(14923);
+      pool64.device_count = scaled(6500, s);
+      pool64.slot_span = 0.9;
+      spec.pools.push_back(pool64);
+    }
+    world.versatel = builder.add_provider(spec);
+  }
+
+  // ---- AS6799 OTE (GR): second-largest rotator in Table 1.
+  {
+    ProviderSpec spec;
+    spec.asn = 6799;
+    spec.name = "OTE";
+    spec.country = "GR";
+    spec.advertisement = *net::Prefix::parse("2a02:580::/32");
+    spec.vendors = {{net::Oui{0x344b50}, 0.55},
+                    {net::Oui{0x00e0fc}, 0.30},
+                    {net::Oui{0x342792}, 0.15}};
+    for (int k = 0; k < 4; ++k) {
+      PoolSpec pool;
+      pool.pool_length = 46;
+      pool.allocation_length = 56;
+      pool.rotation = daily_stride(311);
+      pool.device_count = scaled(900, s);
+      spec.pools.push_back(pool);
+    }
+    world.ote = builder.add_provider(spec);
+  }
+
+  // ---- AS3320 Deutsche Telekom (DE): daily randomized reassignment.
+  {
+    ProviderSpec spec;
+    spec.asn = 3320;
+    spec.name = "Deutsche Telekom";
+    spec.country = "DE";
+    spec.advertisement = *net::Prefix::parse("2003:e2::/32");
+    spec.vendors = {{net::Oui{0x3810d5}, 0.62},
+                    {net::Oui{0x788102}, 0.22},
+                    {net::Oui{0x342792}, 0.16}};
+    PoolSpec pool;
+    pool.pool_length = 46;
+    pool.allocation_length = 56;
+    pool.rotation = shuffle_every(kDay);
+    pool.device_count = scaled(900, s);
+    spec.pools.push_back(pool);
+    world.dtag = builder.add_provider(spec);
+  }
+
+  // ---- AS8422 NetCologne (DE): 99.98% AVM fleet (§5.1), non-rotating.
+  {
+    ProviderSpec spec;
+    spec.asn = 8422;
+    spec.name = "NetCologne";
+    spec.country = "DE";
+    spec.advertisement = *net::Prefix::parse("2001:4dd0::/32");
+    spec.vendors = {{net::Oui{0x3810d5}, 0.9992},
+                    {net::Oui{0x00a057}, 0.0005},
+                    {net::Oui{0x001349}, 0.0003}};
+    spec.eui64_fraction = 0.95;
+    PoolSpec pool;
+    pool.pool_length = 46;
+    pool.allocation_length = 56;
+    pool.device_count = scaled(820, s);
+    spec.pools.push_back(pool);
+    world.netcologne = builder.add_provider(spec);
+  }
+
+  // ---- AS7552 Viettel (VN): 99.6% ZTE fleet (§5.1).
+  {
+    ProviderSpec spec;
+    spec.asn = 7552;
+    spec.name = "Viettel";
+    spec.country = "VN";
+    spec.advertisement = *net::Prefix::parse("2405:4800::/32");
+    spec.vendors = {{net::Oui{0x344b50}, 0.598},
+                    {net::Oui{0x98f428}, 0.398},  // both ZTE blocks
+                    {net::Oui{0x00e0fc}, 0.004}};
+    PoolSpec pool;
+    pool.pool_length = 46;
+    pool.allocation_length = 56;
+    pool.rotation = shuffle_every(days(3));
+    pool.device_count = scaled(760, s);
+    spec.pools.push_back(pool);
+    world.viettel = builder.add_provider(spec);
+  }
+
+  // ---- Entel (BO): Figure 3a's /56-banded /48, non-rotating, with gaps.
+  {
+    ProviderSpec spec;
+    spec.asn = 26210;
+    spec.name = "Entel";
+    spec.country = "BO";
+    spec.advertisement = *net::Prefix::parse("2800:cc0::/32");
+    spec.vendors = {{net::Oui{0x00e0fc}, 0.6}, {net::Oui{0x48f97c}, 0.4}};
+    PoolSpec pool;
+    pool.pool_length = 48;
+    pool.allocation_length = 56;
+    pool.device_count = scaled(170, s);  // of 256 slots: black gaps remain
+    pool.placement = Placement::kScattered;
+    spec.pools.push_back(pool);
+    world.entel = builder.add_provider(spec);
+  }
+
+  // ---- BH Telecom (BA): Figure 3b's /60 allocations; slow shuffle (the
+  // paper's tracked IID #7 moved across 6 /64s in a week).
+  {
+    ProviderSpec spec;
+    spec.asn = 9146;
+    spec.name = "BH Telecom";
+    spec.country = "BA";
+    spec.advertisement = *net::Prefix::parse("2a05:f480::/32");
+    spec.vendors = {{net::Oui{0x001349}, 0.5},
+                    {net::Oui{0x00e0fc}, 0.3},
+                    {net::Oui{0x788102}, 0.2}};
+    PoolSpec pool;
+    pool.pool_length = 48;
+    pool.allocation_length = 60;
+    pool.rotation = shuffle_every(days(1));
+    pool.device_count = scaled(2600, s);  // of 4096 slots
+    pool.placement = Placement::kScattered;
+    spec.pools.push_back(pool);
+    world.bhtelecom = builder.add_provider(spec);
+  }
+
+  // ---- Starcat (JP): Figure 3c's /64 allocations, dense but with an
+  // unallocated upper region, non-rotating.
+  {
+    ProviderSpec spec;
+    spec.asn = 18126;
+    spec.name = "Starcat";
+    spec.country = "JP";
+    spec.advertisement = *net::Prefix::parse("2001:df0::/32");
+    spec.vendors = {{net::Oui{0x2c9569}, 0.5},
+                    {net::Oui{0x94e9ee}, 0.3},
+                    {net::Oui{0x14cc20}, 0.2}};
+    PoolSpec pool;
+    pool.pool_length = 48;
+    pool.allocation_length = 64;
+    pool.device_count = scaled(26000, s);  // of 65536 slots
+    pool.placement = Placement::kScattered;
+    pool.slot_span = 0.75;  // upper quarter unresponsive
+    spec.pools.push_back(pool);
+    world.starcat = builder.add_provider(spec);
+  }
+
+  // ---- A dense /64-allocating rotator (CN, mirroring Table 1's strong CN
+  // presence): /64 customer delegations are the second-most-common size in
+  // Figure 5a (~30% of IIDs), and /64-allocating /48s are dense by nature
+  // (Figure 3c), so this provider carries a large population in few /48s.
+  {
+    ProviderSpec spec;
+    spec.asn = 9808;
+    spec.name = "Guangdong Mobile";
+    spec.country = "CN";
+    spec.advertisement = *net::Prefix::parse("2409:8000::/32");
+    spec.vendors = {{net::Oui{0x00e0fc}, 0.55},
+                    {net::Oui{0x8c68c8}, 0.30},
+                    {net::Oui{0x48f97c}, 0.15}};
+    for (int k = 0; k < 2; ++k) {
+      PoolSpec pool;
+      pool.pool_length = 50;
+      pool.allocation_length = 64;
+      pool.rotation = daily_stride(6121);
+      pool.device_count = scaled(9000, s);  // of 16384 slots
+      spec.pools.push_back(pool);
+    }
+    world.dense64 = builder.add_provider(spec);
+  }
+
+  // ---- Generated tail: the "96 other ASNs" with at least one rotating
+  // /48, across 25 countries, with paper-shaped allocation sizes (Fig 5),
+  // rotation-vs-static split (Fig 7), and homogeneity spectrum (Fig 4).
+  Rng tail_rng{mix64(options.seed, 0x7A11)};
+  for (std::size_t i = 0; i < options.tail_as_count; ++i) {
+    ProviderSpec spec;
+    spec.asn = static_cast<routing::Asn>(60000 + i);
+    spec.name = "TailNet-" + std::to_string(i);
+    spec.country = kTailCountries[i % kTailCountries.size()];
+    // Distinct /32 per tail AS under a documentation-style supernet.
+    const std::uint64_t high =
+        (0x2a10ULL << 48) | ((0x1000ULL + i) << 32);
+    spec.advertisement = net::Prefix{net::Ipv6Address{high, 0}, 32};
+
+    // Allocation sizes: ~50% /56, ~25% /64, ~12.5% /60, rest mixed — the
+    // per-AS medians behind Figure 5b.
+    unsigned alloc = 56;
+    bool mixed = false;
+    const double alloc_pick = tail_rng.uniform();
+    if (alloc_pick < 0.50) {
+      alloc = 56;
+    } else if (alloc_pick < 0.75) {
+      alloc = 64;
+    } else if (alloc_pick < 0.875) {
+      alloc = 60;
+    } else {
+      mixed = true;
+    }
+
+    // Homogeneity: dominant vendor share skewed high — half above 0.9,
+    // three quarters above ~0.67, minimum around 0.35 (Figure 4).
+    const double u = tail_rng.uniform();
+    const double dominant = std::clamp(1.0 - 0.65 * u * u * u, 0.35, 1.0);
+    const std::size_t dominant_vendor = tail_rng.below(kTailVendors.size());
+    spec.vendors.push_back(
+        {net::Oui{kTailVendors[dominant_vendor]}, dominant});
+    double rest = 1.0 - dominant;
+    for (std::size_t v = 0; rest > 0.005 && v < 3; ++v) {
+      const double share = v == 2 ? rest : rest * 0.6;
+      spec.vendors.push_back(
+          {net::Oui{kTailVendors[(dominant_vendor + 1 + v) %
+                                 kTailVendors.size()]},
+           share});
+      rest -= share;
+    }
+
+    // Rotation: roughly half the probed ASes show a /64 "pool" (no
+    // measurable rotation), half rotate (Figure 7).
+    const bool rotates = tail_rng.uniform() < 0.45;
+    const auto make_pool = [&](unsigned alloc_len) {
+      PoolSpec pool;
+      pool.allocation_length = alloc_len;
+      // Pool shapes chosen so every tail pool registers as (at most) one
+      // /48 in Table 1 and passes the §4.2 density cut:
+      //   /56 allocs -> /48 pool (256 slots, high occupancy)
+      //   /60 allocs -> /50 pool (1024 slots)
+      //   /64 allocs -> /50 pool (16384 slots, larger population: the
+      //                 paper's /64-allocators are densely pixelated)
+      std::size_t devices = options.devices_per_tail_pool;
+      switch (alloc_len) {
+        case 56:
+          pool.pool_length = 48;
+          break;
+        case 60:
+          // A /60 device answers for 16 /64s; x4 population keeps the
+          // random-probe cross-section findable by the seed scan.
+          pool.pool_length = 50;
+          devices = options.devices_per_tail_pool * 4;
+          break;
+        default:
+          pool.pool_length = 50;
+          devices = options.devices_per_tail_pool * 9;
+          break;
+      }
+      if (rotates) {
+        pool.rotation = tail_rng.chance(0.5)
+                            ? daily_stride(97 + tail_rng.below(300))
+                            : shuffle_every(tail_rng.chance(0.7) ? kDay
+                                                                 : days(2));
+      }
+      pool.device_count = scaled(devices, s);
+      return pool;
+    };
+    if (mixed) {
+      spec.pools.push_back(make_pool(56));
+      spec.pools.push_back(make_pool(64));
+    } else {
+      spec.pools.push_back(make_pool(alloc));
+    }
+
+    spec.eui64_fraction = 0.6 + 0.4 * tail_rng.uniform();
+    spec.silent_fraction = 0.12 * tail_rng.uniform();
+    spec.churn_fraction = options.tail_churn;
+    world.tail.push_back(builder.add_provider(spec));
+  }
+
+  // ---- Pathologies (§5.5).
+  if (options.inject_pathologies) {
+    // A vendor-reused MAC observed daily in ASes on several continents
+    // (Figure 11): Uruguay/Vietnam/Bosnia/Brazil-like spread via tail ASes
+    // plus Viettel and BH Telecom.
+    world.reused_mac = net::MacAddress{0x98f428123456ULL};
+    std::vector<std::size_t> reuse_targets = {world.viettel, world.bhtelecom};
+    for (std::size_t k = 0; k < 5 && k < world.tail.size(); ++k) {
+      reuse_targets.push_back(world.tail[k * 7 % world.tail.size()]);
+    }
+    builder.plant_shared_mac(world.reused_mac, reuse_targets, 7);
+
+    // The all-zero default MAC, seen in 12 distinct ASes.
+    world.default_mac = net::MacAddress{0};
+    std::vector<std::size_t> zero_targets;
+    for (std::size_t k = 0; k < 12 && k < world.tail.size(); ++k) {
+      zero_targets.push_back(world.tail[(3 + k * 5) % world.tail.size()]);
+    }
+    builder.plant_shared_mac(world.default_mac, zero_targets, 12);
+
+    // An extreme-tail IID (Figure 8's ~30k-prefix outlier, scaled): many
+    // clones of one MAC planted in rotating pools accumulate /64s fast.
+    std::vector<std::size_t> clone_targets = {world.versatel, world.ote,
+                                              world.dtag};
+    builder.plant_shared_mac(net::MacAddress{0x344b50aaaaaaULL},
+                             clone_targets, 36);
+
+    // Customers switching between the two German ISPs (Figure 12), one in
+    // each direction, mid-campaign.
+    world.switcher_ab =
+        builder.plant_provider_switch(world.versatel, world.dtag, days(14));
+    world.switcher_ba =
+        builder.plant_provider_switch(world.dtag, world.versatel, days(38));
+  }
+
+  world.internet = builder.take();
+  return world;
+}
+
+PaperWorld make_tiny_world(std::uint64_t seed, std::size_t devices_per_pool) {
+  WorldBuilder builder{seed};
+  PaperWorld world;
+
+  {
+    ProviderSpec spec;
+    spec.asn = 65001;
+    spec.name = "TinyRotator";
+    spec.country = "DE";
+    spec.advertisement = *net::Prefix::parse("2001:db8::/32");
+    spec.vendors = {{net::Oui{0x3810d5}, 1.0}};
+    spec.eui64_fraction = 1.0;
+    spec.low_byte_fraction = 0.0;
+    spec.silent_fraction = 0.0;
+    PoolSpec pool;
+    pool.pool_length = 46;
+    pool.allocation_length = 56;
+    pool.rotation = daily_stride(236);
+    pool.device_count = devices_per_pool;
+    spec.pools.push_back(pool);
+    world.versatel = builder.add_provider(spec);
+  }
+  {
+    ProviderSpec spec;
+    spec.asn = 65002;
+    spec.name = "TinyStatic";
+    spec.country = "VN";
+    spec.advertisement = *net::Prefix::parse("2406:da00::/32");
+    spec.vendors = {{net::Oui{0x344b50}, 1.0}};
+    spec.eui64_fraction = 1.0;
+    spec.low_byte_fraction = 0.0;
+    spec.silent_fraction = 0.0;
+    PoolSpec pool;
+    pool.pool_length = 52;
+    pool.allocation_length = 60;
+    pool.device_count = devices_per_pool;
+    pool.placement = Placement::kScattered;
+    spec.pools.push_back(pool);
+    world.viettel = builder.add_provider(spec);
+  }
+
+  world.internet = builder.take();
+  return world;
+}
+
+std::size_t schedule_privacy_upgrades(Internet& internet,
+                                      std::size_t provider_index,
+                                      double fraction,
+                                      TimePoint window_start,
+                                      TimePoint window_end,
+                                      std::uint64_t seed) {
+  if (window_end < window_start) window_end = window_start;
+  const auto span =
+      static_cast<std::uint64_t>(window_end - window_start) + 1;
+  Rng rng{mix64(seed, provider_index, 0x06F5)};
+  std::size_t scheduled = 0;
+  Provider& provider = internet.provider(provider_index);
+  for (auto& pool : provider.pools()) {
+    for (auto& device : pool.mutable_devices()) {
+      if (device.mode != AddressingMode::kEui64) continue;
+      if (!rng.chance(fraction)) continue;
+      device.privacy_upgrade_at =
+          window_start + static_cast<TimePoint>(rng.below(span));
+      ++scheduled;
+    }
+  }
+  return scheduled;
+}
+
+}  // namespace scent::sim

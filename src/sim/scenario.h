@@ -1,0 +1,199 @@
+// scenario.h - declarative construction of simulated Internets.
+//
+// Tests, examples, and benches all need worlds with controlled properties:
+// a provider that allocates /56s and rotates daily with a stride (AS8881
+// Versatel-style), one that allocates /60s and never rotates (BH
+// Telecom-style), an AS whose CPE fleet is 99.9% one vendor (NetCologne /
+// AVM), pathological devices sharing a MAC across continents, and so on.
+// WorldBuilder turns compact specs into a fully wired sim::Internet;
+// paper_world() assembles the full ecosystem the paper measured, scaled to
+// laptop size while preserving every distributional shape.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "netbase/mac_address.h"
+#include "netbase/prefix.h"
+#include "sim/internet.h"
+
+namespace scent::sim {
+
+/// A manufacturer's share of a provider's CPE fleet. OUI blocks are drawn
+/// from scent::oui::builtin_registry().
+struct VendorShare {
+  net::Oui oui;
+  double weight = 1.0;
+};
+
+/// How a pool's devices are spread over its slots initially.
+enum class Placement : std::uint8_t {
+  kAuto,        ///< Contiguous for stride rotation, scattered otherwise.
+  kContiguous,  ///< Slots 0..n-1: a sequential DHCPv6 pool pointer.
+  kScattered,   ///< Pseudorandom distinct slots (keyed permutation).
+};
+
+/// One rotation pool to carve out of the provider's advertisement.
+struct PoolSpec {
+  unsigned pool_length = 48;        ///< Pool prefix length (e.g. /46, /48).
+  unsigned allocation_length = 56;  ///< Customer allocation size, 48..64.
+  RotationPolicy rotation;
+  std::size_t device_count = 128;
+  Placement placement = Placement::kAuto;
+  /// Fraction of the slot range devices may occupy; the paper's Figure 3c
+  /// shows a /48 whose upper quarter is unallocated (slot_span 0.75).
+  double slot_span = 1.0;
+};
+
+/// One provider (autonomous system).
+struct ProviderSpec {
+  routing::Asn asn = 0;
+  std::string name;
+  std::string country;
+  net::Prefix advertisement;  ///< BGP-announced covering prefix (e.g. /32).
+  std::vector<PoolSpec> pools;
+  std::vector<VendorShare> vendors;
+
+  /// Fraction of devices using legacy EUI-64 SLAAC; the rest use privacy
+  /// addressing (plus a sliver of static low-byte, below).
+  double eui64_fraction = 0.9;
+  double low_byte_fraction = 0.02;
+
+  /// Fraction of CPE that silently drop probes to nonexistent hosts.
+  double silent_fraction = 0.05;
+
+  /// Fraction of devices with bounded service intervals (customers joining
+  /// or leaving, overnight power-offs). Their appearance/disappearance
+  /// between snapshots is what makes non-rotating networks occasionally
+  /// register as "rotating" in §4.3 — the false positives whose /64
+  /// inferred pools dominate the lower half of the paper's Figure 7.
+  double churn_fraction = 0.0;
+
+  unsigned path_length = 3;
+  double loss_rate = 0.0;
+  RateLimit rate_limit{10000.0, 10000.0};
+};
+
+/// Ground-truth handle to a specific simulated device, used by tests and the
+/// tracking case study to verify what the measurement side inferred.
+struct DeviceHandle {
+  std::size_t provider_index = 0;
+  std::size_t pool_index = 0;
+  std::size_t device_index = 0;
+  net::MacAddress mac;
+};
+
+class WorldBuilder {
+ public:
+  explicit WorldBuilder(std::uint64_t seed) : rng_(seed), seed_(seed) {}
+
+  /// Instantiates a provider spec: carves pools from the advertisement,
+  /// mints devices with vendor-appropriate unique MACs, spreads them over
+  /// pseudorandom distinct slots. Returns the provider's index.
+  std::size_t add_provider(const ProviderSpec& spec);
+
+  /// Pathology §5.5: plants `copies` devices that all share `mac`, one per
+  /// listed provider (round-robin), each in that provider's first pool.
+  /// Models vendor MAC reuse and the all-zero default MAC.
+  void plant_shared_mac(net::MacAddress mac,
+                        const std::vector<std::size_t>& provider_indices,
+                        std::size_t copies);
+
+  /// Pathology §5.5 / Figure 12: a customer switching providers. Creates an
+  /// EUI-64 device active in `from` until `switch_time` and a device with
+  /// the same MAC active in `to` afterwards. Returns the MAC used.
+  net::MacAddress plant_provider_switch(std::size_t from, std::size_t to,
+                                        TimePoint switch_time);
+
+  /// Devices created so far for a provider (insertion order).
+  [[nodiscard]] const std::vector<DeviceHandle>& devices_of(
+      std::size_t provider_index) const {
+    return handles_.at(provider_index);
+  }
+
+  [[nodiscard]] Internet& internet() noexcept { return internet_; }
+
+  /// Finalizes and releases the world.
+  [[nodiscard]] Internet take() { return std::move(internet_); }
+
+ private:
+  net::MacAddress mint_mac(net::Oui oui);
+  net::Oui pick_vendor(const std::vector<VendorShare>& vendors, Rng& rng);
+
+  /// Slot-allocation state per pool, retained so pathology helpers can keep
+  /// minting collision-free slots after the bulk population is placed.
+  struct MintState {
+    FeistelPermutation perm;
+    std::uint64_t next_ordinal = 0;
+    bool contiguous = false;
+
+    std::uint64_t next_slot();
+  };
+
+  Internet internet_;
+  Rng rng_;
+  std::uint64_t seed_;
+  DeviceId next_device_id_ = 1;
+  std::unordered_map<std::uint32_t, std::uint32_t> oui_counters_;
+  std::unordered_map<std::size_t, std::vector<DeviceHandle>> handles_;
+  std::unordered_map<std::uint64_t, MintState> mint_state_;
+};
+
+/// Knobs for paper_world(); defaults reproduce the paper's distributional
+/// shapes at a scale that runs in seconds.
+struct PaperWorldOptions {
+  std::uint64_t seed = 0x5EED0001;
+  std::size_t tail_as_count = 96;  ///< Generated small ASes (paper: "96 other ASNs").
+  double scale = 1.0;              ///< Multiplier on all device populations.
+  std::size_t devices_per_tail_pool = 240;
+  std::size_t versatel_pool_count = 10;  ///< Drives its Table-1 /48 dominance.
+  double tail_churn = 0.22;  ///< Service churn in tail ASes (Fig 7's noise).
+  bool inject_pathologies = true;
+};
+
+/// The named providers the paper discusses, in construction order.
+struct PaperWorld {
+  Internet internet;
+  std::size_t versatel = 0;    ///< AS8881, DE: /46 stride-rotating pools.
+  std::size_t dtag = 0;        ///< AS3320, DE (2003:e2::/32 in Fig 12).
+  std::size_t netcologne = 0;  ///< AS8422, DE: 99.98% AVM fleet.
+  std::size_t viettel = 0;     ///< AS7552, VN: 99.6% ZTE fleet.
+  std::size_t entel = 0;       ///< Bolivia: /56 allocations (Fig 3a).
+  std::size_t bhtelecom = 0;   ///< AS9146, BA: /60 allocations (Fig 3b).
+  std::size_t starcat = 0;     ///< JP: /64 allocations (Fig 3c).
+  std::size_t dense64 = 0;     ///< CN: dense /64 allocations *with* rotation
+                               ///< (the Fig 5a ~30% /64 share).
+  std::size_t ote = 0;         ///< AS6799, GR.
+  std::vector<std::size_t> tail;  ///< Generated small ASes.
+
+  /// MACs involved in injected pathologies, for validation.
+  net::MacAddress reused_mac;          ///< Seen in several ASes daily (Fig 11).
+  net::MacAddress default_mac;         ///< 00:00:00:00:00:00 clones.
+  net::MacAddress switcher_ab;         ///< Versatel -> DTAG (Fig 12).
+  net::MacAddress switcher_ba;         ///< DTAG -> Versatel (Fig 12).
+};
+
+/// Builds the full paper-shaped ecosystem: 8 named providers + a generated
+/// tail, with allocation-size, rotation-pool, homogeneity, and pathology
+/// distributions matching §4-§5 of the paper.
+[[nodiscard]] PaperWorld make_paper_world(const PaperWorldOptions& options = {});
+
+/// A minimal two-provider world for unit tests: one daily stride-rotator
+/// with /56 allocations out of a /46 pool (AVM fleet), one static /60
+/// allocator (ZTE fleet).
+[[nodiscard]] PaperWorld make_tiny_world(std::uint64_t seed = 0x7E577E57,
+                                         std::size_t devices_per_pool = 24);
+
+/// Remediation modeling (§8): schedules a firmware upgrade that switches a
+/// fraction of a provider's EUI-64 devices to privacy extensions, at
+/// per-device times uniform in [window_start, window_end). Returns the
+/// number of devices scheduled. Deterministic in `seed`.
+std::size_t schedule_privacy_upgrades(Internet& internet,
+                                      std::size_t provider_index,
+                                      double fraction,
+                                      TimePoint window_start,
+                                      TimePoint window_end,
+                                      std::uint64_t seed);
+
+}  // namespace scent::sim

@@ -1,0 +1,83 @@
+// sim_time.h - virtual time for the simulated Internet.
+//
+// The measurement campaign spans 44 virtual days with hourly and daily
+// probing rounds; the prober paces itself at a configured packets-per-second
+// rate against this clock. Plain integer seconds keep arithmetic exact and
+// the rotation-epoch math trivial.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+
+namespace scent::sim {
+
+/// Microseconds since the simulation epoch (day 0, 00:00). Microsecond
+/// resolution lets the prober pace itself at 10k packets per second and the
+/// ICMPv6 rate-limit buckets refill smoothly, while an int64 still spans
+/// ~292k years.
+using TimePoint = std::int64_t;
+using Duration = std::int64_t;
+
+inline constexpr Duration kMicrosecond = 1;
+inline constexpr Duration kMillisecond = 1000;
+inline constexpr Duration kSecond = 1000 * kMillisecond;
+inline constexpr Duration kMinute = 60 * kSecond;
+inline constexpr Duration kHour = 60 * kMinute;
+inline constexpr Duration kDay = 24 * kHour;
+
+[[nodiscard]] constexpr Duration days(std::int64_t n) noexcept {
+  return n * kDay;
+}
+[[nodiscard]] constexpr Duration hours(std::int64_t n) noexcept {
+  return n * kHour;
+}
+[[nodiscard]] constexpr Duration minutes(std::int64_t n) noexcept {
+  return n * kMinute;
+}
+
+/// Day number of a time point (floor; negative times round down).
+[[nodiscard]] constexpr std::int64_t day_of(TimePoint t) noexcept {
+  return t >= 0 ? t / kDay : -((-t + kDay - 1) / kDay);
+}
+
+/// Seconds since that day's midnight, always in [0, kDay).
+[[nodiscard]] constexpr Duration time_of_day(TimePoint t) noexcept {
+  const Duration r = t % kDay;
+  return r < 0 ? r + kDay : r;
+}
+
+/// "d3 07:15:42" style rendering for logs and reports.
+[[nodiscard]] inline std::string format_time(TimePoint t) {
+  const std::int64_t day = day_of(t);
+  const Duration tod = time_of_day(t);
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "d%lld %02lld:%02lld:%02lld",
+                static_cast<long long>(day),
+                static_cast<long long>(tod / kHour),
+                static_cast<long long>((tod / kMinute) % 60),
+                static_cast<long long>((tod / kSecond) % 60));
+  return buf;
+}
+
+/// A monotonically advancing virtual clock shared by prober and network.
+class VirtualClock {
+ public:
+  constexpr VirtualClock() noexcept = default;
+  explicit constexpr VirtualClock(TimePoint start) noexcept : now_(start) {}
+
+  [[nodiscard]] constexpr TimePoint now() const noexcept { return now_; }
+
+  constexpr void advance(Duration d) noexcept { now_ += d; }
+
+  /// Jump to an absolute time; never moves backwards (a measurement
+  /// campaign's schedule is monotone).
+  constexpr void advance_to(TimePoint t) noexcept {
+    if (t > now_) now_ = t;
+  }
+
+ private:
+  TimePoint now_ = 0;
+};
+
+}  // namespace scent::sim

@@ -1,0 +1,119 @@
+// buffer.h - bounds-checked network-order byte readers and writers.
+//
+// The prober and the simulated Internet exchange real wire-format packets so
+// that the serialization path is genuinely exercised (not a struct passed by
+// reference). These two small codec classes centralize the network-byte-order
+// and bounds logic so the header code contains no pointer arithmetic.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace scent::wire {
+
+/// Appends big-endian (network order) fields to a growable byte vector.
+class BufferWriter {
+ public:
+  explicit BufferWriter(std::vector<std::uint8_t>& out) : out_(&out) {}
+
+  void u8(std::uint8_t v) { out_->push_back(v); }
+
+  void u16(std::uint16_t v) {
+    out_->push_back(static_cast<std::uint8_t>(v >> 8));
+    out_->push_back(static_cast<std::uint8_t>(v));
+  }
+
+  void u32(std::uint32_t v) {
+    u16(static_cast<std::uint16_t>(v >> 16));
+    u16(static_cast<std::uint16_t>(v));
+  }
+
+  void u64(std::uint64_t v) {
+    u32(static_cast<std::uint32_t>(v >> 32));
+    u32(static_cast<std::uint32_t>(v));
+  }
+
+  void bytes(std::span<const std::uint8_t> data) {
+    out_->insert(out_->end(), data.begin(), data.end());
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return out_->size(); }
+
+  /// Patches a previously written 16-bit field (e.g. a checksum computed
+  /// after the rest of the message is serialized).
+  void patch_u16(std::size_t offset, std::uint16_t v) {
+    (*out_)[offset] = static_cast<std::uint8_t>(v >> 8);
+    (*out_)[offset + 1] = static_cast<std::uint8_t>(v);
+  }
+
+ private:
+  std::vector<std::uint8_t>* out_;
+};
+
+/// Reads big-endian fields from a byte span; sets a sticky error flag on
+/// truncation instead of throwing, so parsers can check once at the end.
+class BufferReader {
+ public:
+  explicit BufferReader(std::span<const std::uint8_t> data) noexcept
+      : data_(data) {}
+
+  [[nodiscard]] std::uint8_t u8() noexcept {
+    if (error_ || pos_ + 1 > data_.size()) return fail8();
+    return data_[pos_++];
+  }
+
+  [[nodiscard]] std::uint16_t u16() noexcept {
+    if (error_ || pos_ + 2 > data_.size()) return fail16();
+    const std::uint16_t v = static_cast<std::uint16_t>(
+        (static_cast<std::uint16_t>(data_[pos_]) << 8) | data_[pos_ + 1]);
+    pos_ += 2;
+    return v;
+  }
+
+  [[nodiscard]] std::uint32_t u32() noexcept {
+    const std::uint32_t hi = u16();
+    return (hi << 16) | u16();
+  }
+
+  [[nodiscard]] std::uint64_t u64() noexcept {
+    const std::uint64_t hi = u32();
+    return (hi << 32) | u32();
+  }
+
+  /// Returns a view of the next n bytes and advances, or an empty span on
+  /// truncation.
+  [[nodiscard]] std::span<const std::uint8_t> bytes(std::size_t n) noexcept {
+    if (error_ || pos_ + n > data_.size()) {
+      error_ = true;
+      return {};
+    }
+    const auto view = data_.subspan(pos_, n);
+    pos_ += n;
+    return view;
+  }
+
+  /// All bytes not yet consumed.
+  [[nodiscard]] std::span<const std::uint8_t> remaining() const noexcept {
+    return data_.subspan(pos_);
+  }
+
+  [[nodiscard]] std::size_t position() const noexcept { return pos_; }
+  [[nodiscard]] bool ok() const noexcept { return !error_; }
+
+ private:
+  std::uint8_t fail8() noexcept {
+    error_ = true;
+    return 0;
+  }
+  std::uint16_t fail16() noexcept {
+    error_ = true;
+    return 0;
+  }
+
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+  bool error_ = false;
+};
+
+}  // namespace scent::wire

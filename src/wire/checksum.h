@@ -1,0 +1,92 @@
+// checksum.h - Internet checksum (RFC 1071) with the IPv6 pseudo-header
+// required by ICMPv6 (RFC 4443 s2.3 / RFC 8200 s8.1).
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "netbase/ipv6_address.h"
+
+namespace scent::wire {
+
+/// Incremental one's-complement sum accumulator. Feed 16-bit words (or byte
+/// ranges) and finalize to the complemented checksum.
+class ChecksumAccumulator {
+ public:
+  void add_u16(std::uint16_t v) noexcept { sum_ += v; }
+
+  void add_u32(std::uint32_t v) noexcept {
+    add_u16(static_cast<std::uint16_t>(v >> 16));
+    add_u16(static_cast<std::uint16_t>(v));
+  }
+
+  void add_u64(std::uint64_t v) noexcept {
+    add_u32(static_cast<std::uint32_t>(v >> 32));
+    add_u32(static_cast<std::uint32_t>(v));
+  }
+
+  /// Adds bytes as big-endian 16-bit words; a trailing odd byte is padded
+  /// with zero per RFC 1071.
+  void add_bytes(std::span<const std::uint8_t> data) noexcept {
+    std::size_t i = 0;
+    for (; i + 1 < data.size(); i += 2) {
+      add_u16(static_cast<std::uint16_t>(
+          (static_cast<std::uint16_t>(data[i]) << 8) | data[i + 1]));
+    }
+    if (i < data.size()) {
+      add_u16(static_cast<std::uint16_t>(static_cast<std::uint16_t>(data[i])
+                                         << 8));
+    }
+  }
+
+  /// Folds carries and returns the one's-complement checksum. Per RFC 1071
+  /// an all-zero result is transmitted as 0xffff (zero means "no checksum"
+  /// in some protocols); ICMPv6 never transmits zero.
+  [[nodiscard]] std::uint16_t finalize() const noexcept {
+    std::uint64_t s = sum_;
+    while ((s >> 16) != 0) s = (s & 0xffff) + (s >> 16);
+    const auto folded = static_cast<std::uint16_t>(~s);
+    return folded == 0 ? 0xffff : folded;
+  }
+
+ private:
+  std::uint64_t sum_ = 0;
+};
+
+/// ICMPv6 checksum over the IPv6 pseudo-header (src, dst, payload length,
+/// next-header = 58) plus the ICMPv6 message with its checksum field zeroed.
+[[nodiscard]] inline std::uint16_t icmpv6_checksum(
+    net::Ipv6Address src, net::Ipv6Address dst,
+    std::span<const std::uint8_t> icmp_message) noexcept {
+  ChecksumAccumulator acc;
+  acc.add_u64(src.bits().hi());
+  acc.add_u64(src.bits().lo());
+  acc.add_u64(dst.bits().hi());
+  acc.add_u64(dst.bits().lo());
+  acc.add_u32(static_cast<std::uint32_t>(icmp_message.size()));
+  acc.add_u32(58);  // next header: ICMPv6
+  acc.add_bytes(icmp_message);
+  return acc.finalize();
+}
+
+/// Verifies a received ICMPv6 message: summing the message *including* its
+/// transmitted checksum must fold to 0xffff (i.e. finalize() == 0 before
+/// complement; equivalently the complemented sum is 0x0000, reported here
+/// as the RFC's "check equals zero" test).
+[[nodiscard]] inline bool icmpv6_checksum_ok(
+    net::Ipv6Address src, net::Ipv6Address dst,
+    std::span<const std::uint8_t> icmp_message) noexcept {
+  ChecksumAccumulator acc;
+  acc.add_u64(src.bits().hi());
+  acc.add_u64(src.bits().lo());
+  acc.add_u64(dst.bits().hi());
+  acc.add_u64(dst.bits().lo());
+  acc.add_u32(static_cast<std::uint32_t>(icmp_message.size()));
+  acc.add_u32(58);
+  acc.add_bytes(icmp_message);
+  // finalize() returns ~sum (with 0 mapped to 0xffff); a valid message's
+  // folded sum is 0xffff, so ~sum == 0 which finalize() maps to 0xffff.
+  return acc.finalize() == 0xffff;
+}
+
+}  // namespace scent::wire

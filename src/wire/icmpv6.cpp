@@ -1,0 +1,156 @@
+#include "wire/icmpv6.h"
+
+#include <algorithm>
+
+namespace scent::wire {
+namespace {
+
+constexpr std::size_t kMinMtu = 1280;
+constexpr std::size_t kIcmpErrorHeaderSize = 8;  // type, code, cksum, unused
+
+/// Serializes IPv6 header + ICMPv6 body, computing and patching the ICMPv6
+/// checksum over the pseudo-header.
+Packet assemble(const Ipv6Header& ip_template,
+                const std::vector<std::uint8_t>& icmp_body) {
+  Ipv6Header ip = ip_template;
+  ip.payload_length = static_cast<std::uint16_t>(icmp_body.size());
+
+  Packet packet;
+  packet.reserve(kIpv6HeaderSize + icmp_body.size());
+  BufferWriter w{packet};
+  ip.serialize(w);
+  const std::size_t icmp_offset = packet.size();
+  w.bytes(icmp_body);
+
+  const std::uint16_t cksum = icmpv6_checksum(
+      ip.source, ip.destination,
+      std::span<const std::uint8_t>{packet}.subspan(icmp_offset));
+  // Checksum field is bytes 2-3 of the ICMPv6 message.
+  w.patch_u16(icmp_offset + 2, cksum);
+  return packet;
+}
+
+std::vector<std::uint8_t> echo_body(Icmpv6Type type, std::uint16_t identifier,
+                                    std::uint16_t sequence) {
+  std::vector<std::uint8_t> body;
+  BufferWriter w{body};
+  w.u8(static_cast<std::uint8_t>(type));
+  w.u8(0);   // code
+  w.u16(0);  // checksum placeholder
+  w.u16(identifier);
+  w.u16(sequence);
+  return body;
+}
+
+}  // namespace
+
+Packet build_echo_request(net::Ipv6Address source, net::Ipv6Address destination,
+                          std::uint16_t identifier, std::uint16_t sequence,
+                          std::uint8_t hop_limit) {
+  Ipv6Header ip;
+  ip.source = source;
+  ip.destination = destination;
+  ip.hop_limit = hop_limit;
+  return assemble(ip, echo_body(Icmpv6Type::kEchoRequest, identifier,
+                                sequence));
+}
+
+Packet build_echo_reply(net::Ipv6Address source, net::Ipv6Address destination,
+                        std::uint16_t identifier, std::uint16_t sequence) {
+  Ipv6Header ip;
+  ip.source = source;
+  ip.destination = destination;
+  return assemble(ip, echo_body(Icmpv6Type::kEchoReply, identifier, sequence));
+}
+
+Packet build_error(net::Ipv6Address source, net::Ipv6Address destination,
+                   Icmpv6Type error_type, std::uint8_t code,
+                   std::span<const std::uint8_t> invoking_packet) {
+  // RFC 4443 s2.4(c): include as much of the invoking packet as fits
+  // without exceeding the minimum IPv6 MTU.
+  const std::size_t budget =
+      kMinMtu - kIpv6HeaderSize - kIcmpErrorHeaderSize;
+  const std::size_t quoted = std::min(invoking_packet.size(), budget);
+
+  std::vector<std::uint8_t> body;
+  BufferWriter w{body};
+  w.u8(static_cast<std::uint8_t>(error_type));
+  w.u8(code);
+  w.u16(0);  // checksum placeholder
+  w.u32(0);  // unused / reserved
+  w.bytes(invoking_packet.subspan(0, quoted));
+
+  Ipv6Header ip;
+  ip.source = source;
+  ip.destination = destination;
+  ip.hop_limit = 64;
+  return assemble(ip, body);
+}
+
+std::optional<ParsedPacket> parse_packet(std::span<const std::uint8_t> bytes) {
+  BufferReader r{bytes};
+  auto ip = Ipv6Header::parse(r);
+  if (!ip || ip->next_header != kNextHeaderIcmpv6) return std::nullopt;
+
+  const auto icmp_bytes = r.remaining();
+  if (icmp_bytes.size() < 8 || icmp_bytes.size() != ip->payload_length) {
+    return std::nullopt;
+  }
+  if (!icmpv6_checksum_ok(ip->source, ip->destination, icmp_bytes)) {
+    return std::nullopt;
+  }
+
+  Icmpv6Message msg;
+  BufferReader ir{icmp_bytes};
+  const std::uint8_t raw_type = ir.u8();
+  switch (raw_type) {
+    case 1:
+    case 2:
+    case 3:
+    case 4:
+    case 128:
+    case 129:
+      msg.type = static_cast<Icmpv6Type>(raw_type);
+      break;
+    default:
+      return std::nullopt;  // types we never emit
+  }
+  msg.code = ir.u8();
+  (void)ir.u16();  // checksum, already verified
+
+  if (msg.is_error()) {
+    (void)ir.u32();  // unused / MTU / pointer field
+    const auto quote = ir.remaining();
+    msg.invoking_packet.assign(quote.begin(), quote.end());
+  } else {
+    msg.identifier = ir.u16();
+    msg.sequence = ir.u16();
+  }
+  if (!ir.ok()) return std::nullopt;
+  return ParsedPacket{*ip, std::move(msg)};
+}
+
+std::optional<InvokingProbe> extract_invoking_probe(
+    const Icmpv6Message& error) {
+  if (!error.is_error()) return std::nullopt;
+  BufferReader r{error.invoking_packet};
+  const auto inner_ip = Ipv6Header::parse(r);
+  if (!inner_ip) return std::nullopt;
+
+  InvokingProbe probe;
+  probe.target = inner_ip->destination;
+  // The quoted packet may be truncated before the echo fields; identifier
+  // and sequence are best-effort.
+  if (inner_ip->next_header == kNextHeaderIcmpv6 &&
+      r.remaining().size() >= 8) {
+    BufferReader er{r.remaining()};
+    (void)er.u8();   // type
+    (void)er.u8();   // code
+    (void)er.u16();  // checksum
+    probe.identifier = er.u16();
+    probe.sequence = er.u16();
+  }
+  return probe;
+}
+
+}  // namespace scent::wire

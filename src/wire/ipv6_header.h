@@ -1,0 +1,62 @@
+// ipv6_header.h - fixed IPv6 header (RFC 8200 s3) serialization.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "netbase/ipv6_address.h"
+#include "wire/buffer.h"
+
+namespace scent::wire {
+
+inline constexpr std::uint8_t kNextHeaderIcmpv6 = 58;
+inline constexpr std::size_t kIpv6HeaderSize = 40;
+
+/// The 40-byte fixed IPv6 header.
+struct Ipv6Header {
+  std::uint8_t traffic_class = 0;
+  std::uint32_t flow_label = 0;  // 20 bits used
+  std::uint16_t payload_length = 0;
+  std::uint8_t next_header = kNextHeaderIcmpv6;
+  std::uint8_t hop_limit = 64;
+  net::Ipv6Address source;
+  net::Ipv6Address destination;
+
+  void serialize(BufferWriter& w) const {
+    const std::uint32_t vtf = (6U << 28) |
+                              (static_cast<std::uint32_t>(traffic_class) << 20) |
+                              (flow_label & 0xfffffU);
+    w.u32(vtf);
+    w.u16(payload_length);
+    w.u8(next_header);
+    w.u8(hop_limit);
+    w.u64(source.bits().hi());
+    w.u64(source.bits().lo());
+    w.u64(destination.bits().hi());
+    w.u64(destination.bits().lo());
+  }
+
+  /// Parses a header; returns nullopt on truncation or wrong version.
+  [[nodiscard]] static std::optional<Ipv6Header> parse(BufferReader& r) {
+    Ipv6Header h;
+    const std::uint32_t vtf = r.u32();
+    if (!r.ok() || (vtf >> 28) != 6) return std::nullopt;
+    h.traffic_class = static_cast<std::uint8_t>((vtf >> 20) & 0xff);
+    h.flow_label = vtf & 0xfffffU;
+    h.payload_length = r.u16();
+    h.next_header = r.u8();
+    h.hop_limit = r.u8();
+    const std::uint64_t shi = r.u64();
+    const std::uint64_t slo = r.u64();
+    const std::uint64_t dhi = r.u64();
+    const std::uint64_t dlo = r.u64();
+    if (!r.ok()) return std::nullopt;
+    h.source = net::Ipv6Address{net::Uint128{shi, slo}};
+    h.destination = net::Ipv6Address{net::Uint128{dhi, dlo}};
+    return h;
+  }
+};
+
+}  // namespace scent::wire

@@ -1,0 +1,224 @@
+// Tests for the two beyond-paper extension modules: defensive blocklisting
+// under prefix rotation (§2.2/§9) and firmware remediation (§8).
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/blocklist.h"
+#include "core/tracker.h"
+#include "netbase/eui64.h"
+#include "probe/prober.h"
+#include "sim/scenario.h"
+
+namespace scent::core {
+namespace {
+
+using namespace scent;
+
+net::Prefix pfx(const char* text) { return *net::Prefix::parse(text); }
+net::Ipv6Address addr(const char* text) {
+  return *net::Ipv6Address::parse(text);
+}
+
+// ---- Blocklist primitive ----------------------------------------------------
+
+TEST(Blocklist, BlocksByLongestPrefixMatch) {
+  Blocklist list;
+  list.block(pfx("2001:db8:1:100::/56"), 0);
+  EXPECT_TRUE(list.blocked(addr("2001:db8:1:1ff::1")));
+  EXPECT_FALSE(list.blocked(addr("2001:db8:1:200::1")));
+  EXPECT_EQ(list.entries(), 1u);
+}
+
+TEST(Blocklist, ExactAddressBlock) {
+  Blocklist list;
+  list.block(pfx("2001:db8::1/128"), 0);
+  EXPECT_TRUE(list.blocked(addr("2001:db8::1")));
+  EXPECT_FALSE(list.blocked(addr("2001:db8::2")));
+}
+
+// ---- Blocking policies under rotation ----------------------------------------
+
+/// Episode driver: a rotating world; device 0 is the abuser, the rest are
+/// innocent customers of the same pool.
+struct Episode {
+  sim::PaperWorld world = sim::make_tiny_world(0xB10C, 96);
+  sim::VirtualClock clock{sim::hours(12)};
+
+  const sim::RotationPool& pool() {
+    return world.internet.provider(world.versatel).pools()[0];
+  }
+
+  BlockingOutcome run(BlockScope scope, unsigned days) {
+    BlockingPolicyEvaluator evaluator{
+        scope, pool().config().allocation_length, pool().config().prefix};
+    for (unsigned day = 0; day < days; ++day) {
+      clock.advance_to(sim::days(day) + sim::hours(12));
+      const net::Ipv6Address abuser = pool().wan_address_of(0, clock.now());
+      std::vector<net::Ipv6Address> innocents;
+      for (std::size_t d = 1; d < pool().devices().size(); ++d) {
+        innocents.push_back(pool().wan_address_of(d, clock.now()));
+      }
+      evaluator.day(abuser, innocents, clock.now());
+    }
+    return evaluator.outcome();
+  }
+};
+
+TEST(BlockingPolicy, AddressBlockEvadesDailyUnderRotation) {
+  Episode episode;
+  const auto outcome = episode.run(BlockScope::kAddress, 7);
+  // Every day the abuser has a new address: the /128 block never fires.
+  EXPECT_EQ(outcome.days_abuser_evaded, 7u);
+  EXPECT_EQ(outcome.days_abuser_blocked, 0u);
+  EXPECT_EQ(outcome.innocent_blocked_device_days, 0u);
+  EXPECT_EQ(outcome.blocklist_entries, 7u);  // one useless entry per day
+}
+
+TEST(BlockingPolicy, AllocationBlockAlsoEvaded) {
+  Episode episode;
+  const auto outcome = episode.run(BlockScope::kAllocation, 7);
+  EXPECT_EQ(outcome.days_abuser_evaded, 7u);
+  // Stale /56 entries start hitting innocents who rotate into them: with
+  // stride 236 mod 1024, device #80 lands in the abuser's day-k /56 four
+  // days later (236*4 + 80 = 1024).
+  EXPECT_GT(outcome.innocent_blocked_device_days, 0u);
+}
+
+TEST(BlockingPolicy, PoolBlockStopsAbuserAtMassiveCollateral) {
+  Episode episode;
+  const auto outcome = episode.run(BlockScope::kPool, 7);
+  // Day 0 evades (reactive), days 1-6 blocked.
+  EXPECT_EQ(outcome.days_abuser_evaded, 1u);
+  EXPECT_EQ(outcome.days_abuser_blocked, 6u);
+  // ...but every innocent in the pool is blocked from day 0 onward (the
+  // reactive entry lands the same day the attack is observed).
+  EXPECT_EQ(outcome.innocent_blocked_device_days, 95u * 7u);
+}
+
+TEST(BlockingPolicy, EuiFollowBlocksWithoutCollateral) {
+  Episode episode;
+  const auto outcome = episode.run(BlockScope::kEuiFollow, 7);
+  // The defender tracks the scent each day and re-blocks the abuser's
+  // current /64 before the attack: blocked every day, zero collateral
+  // (allocations are exclusive).
+  EXPECT_EQ(outcome.days_abuser_blocked, 7u);
+  EXPECT_EQ(outcome.innocent_blocked_device_days, 0u);
+}
+
+TEST(BlockingPolicy, StaticProviderAddressBlockWorks) {
+  // Without rotation the IPv4-style block is fine — the contrast the
+  // paper's conclusion draws.
+  sim::PaperWorld world = sim::make_tiny_world(0xB10D, 24);
+  sim::VirtualClock clock{sim::hours(12)};
+  const auto& pool = world.internet.provider(world.viettel).pools()[0];
+  BlockingPolicyEvaluator evaluator{BlockScope::kAddress,
+                                    pool.config().allocation_length,
+                                    pool.config().prefix};
+  for (unsigned day = 0; day < 5; ++day) {
+    clock.advance_to(sim::days(day) + sim::hours(12));
+    std::vector<net::Ipv6Address> innocents;
+    for (std::size_t d = 1; d < pool.devices().size(); ++d) {
+      innocents.push_back(pool.wan_address_of(d, clock.now()));
+    }
+    evaluator.day(pool.wan_address_of(0, clock.now()), innocents,
+                  clock.now());
+  }
+  const auto outcome = evaluator.outcome();
+  EXPECT_EQ(outcome.days_abuser_evaded, 1u);  // day 0 only
+  EXPECT_EQ(outcome.days_abuser_blocked, 4u);
+  EXPECT_EQ(outcome.innocent_blocked_device_days, 0u);
+}
+
+// ---- Remediation (§8) ---------------------------------------------------------
+
+TEST(Remediation, UpgradeSwitchesEui64ToPrivacyAtScheduledTime) {
+  sim::PaperWorld world = sim::make_tiny_world(0x06F5, 24);
+  auto& pool =
+      world.internet.provider(world.versatel).pools()[0];
+  auto& device = pool.mutable_devices()[3];
+  device.privacy_upgrade_at = sim::days(5);
+
+  const auto before = pool.wan_address_of(3, sim::days(4) + sim::hours(12));
+  const auto after = pool.wan_address_of(3, sim::days(6) + sim::hours(12));
+  EXPECT_TRUE(net::is_eui64(before));
+  EXPECT_FALSE(net::is_eui64(after));
+  // And post-upgrade IIDs change across rotations (privacy semantics).
+  const auto later = pool.wan_address_of(3, sim::days(7) + sim::hours(12));
+  EXPECT_NE(after.iid(), later.iid());
+}
+
+TEST(Remediation, SchedulerUpgradesRequestedFraction) {
+  sim::PaperWorld world = sim::make_tiny_world(0x06F6, 48);
+  const std::size_t scheduled = sim::schedule_privacy_upgrades(
+      world.internet, world.versatel, 0.5, sim::days(1), sim::days(10), 9);
+  EXPECT_GT(scheduled, 12u);
+  EXPECT_LT(scheduled, 36u);
+
+  // All scheduled instants fall inside the window.
+  const auto& pool = world.internet.provider(world.versatel).pools()[0];
+  std::size_t in_window = 0;
+  for (const auto& device : pool.devices()) {
+    if (device.privacy_upgrade_at <= sim::days(10)) {
+      EXPECT_GE(device.privacy_upgrade_at, sim::days(1));
+      ++in_window;
+    }
+  }
+  EXPECT_EQ(in_window, scheduled);
+}
+
+TEST(Remediation, SchedulerIsDeterministic) {
+  sim::PaperWorld a = sim::make_tiny_world(0x06F7, 24);
+  sim::PaperWorld b = sim::make_tiny_world(0x06F7, 24);
+  EXPECT_EQ(sim::schedule_privacy_upgrades(a.internet, a.versatel, 0.4,
+                                           0, sim::days(5), 42),
+            sim::schedule_privacy_upgrades(b.internet, b.versatel, 0.4,
+                                           0, sim::days(5), 42));
+}
+
+TEST(Remediation, TrackerLosesUpgradedDevice) {
+  sim::PaperWorld world = sim::make_tiny_world(0x06F8, 32);
+  auto& pool = world.internet.provider(world.versatel).pools()[0];
+  const net::MacAddress victim = pool.devices()[7].mac;
+  pool.mutable_devices()[7].privacy_upgrade_at = sim::days(3);
+
+  sim::VirtualClock clock{sim::hours(12)};
+  probe::Prober prober{world.internet, clock,
+                       {.packets_per_second = 1000000, .wire_mode = false}};
+  TrackerConfig config;
+  config.target_mac = victim;
+  config.pool = pool.config().prefix;
+  config.allocation_length = 56;
+  config.seed = 5;
+  Tracker tracker{prober, config};
+
+  int found_before = 0;
+  int found_after = 0;
+  for (std::int64_t day = 0; day < 6; ++day) {
+    clock.advance_to(sim::days(day) + sim::hours(12));
+    const bool found = tracker.locate(day).found;
+    (day < 3 ? found_before : found_after) += found ? 1 : 0;
+  }
+  EXPECT_EQ(found_before, 3);  // trackable while EUI-64
+  EXPECT_EQ(found_after, 0);   // scent gone after the firmware fix
+}
+
+TEST(Remediation, UpgradedDeviceStillAnswersProbes) {
+  // Remediation removes the identifier, not the ICMPv6 behavior: probes
+  // still elicit errors, just from an unlinkable source address.
+  sim::PaperWorld world = sim::make_tiny_world(0x06F9, 16);
+  auto& pool = world.internet.provider(world.versatel).pools()[0];
+  pool.mutable_devices()[2].privacy_upgrade_at = 0;
+
+  sim::VirtualClock clock{sim::days(1) + sim::hours(12)};
+  probe::Prober prober{world.internet, clock,
+                       {.packets_per_second = 1000000, .wire_mode = false}};
+  const net::Prefix alloc = pool.allocation_of(2, clock.now());
+  const auto r = prober.probe_one(probe::target_in(alloc, 77));
+  ASSERT_TRUE(r.responded);
+  EXPECT_FALSE(net::is_eui64(r.response_source));
+  EXPECT_EQ(r.response_source, pool.wan_address_of(2, clock.now()));
+}
+
+}  // namespace
+}  // namespace scent::core

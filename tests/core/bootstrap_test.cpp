@@ -1,0 +1,172 @@
+// Stage-level tests for the §4 funnel beyond the integration suite:
+// advertisement filtering, the unique-last-hop filter, traceroute seeding,
+// and rotator grouping.
+#include "core/bootstrap.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "probe/prober.h"
+#include "sim/scenario.h"
+
+namespace scent::core {
+namespace {
+
+using namespace scent;
+
+/// Small single-rotator world with a /40 advertisement (256 /48s).
+sim::PaperWorld one_provider_world(std::uint64_t seed,
+                                   unsigned advert_length = 40) {
+  sim::WorldBuilder builder{seed};
+  sim::PaperWorld world;
+  sim::ProviderSpec spec;
+  spec.asn = 65001;
+  spec.name = "Solo";
+  spec.country = "DE";
+  spec.advertisement =
+      net::Prefix{*net::Ipv6Address::parse("2001:db8::"), advert_length};
+  spec.vendors = {{net::Oui{0x3810d5}, 1.0}};
+  spec.eui64_fraction = 1.0;
+  spec.low_byte_fraction = 0.0;
+  spec.silent_fraction = 0.0;
+  sim::PoolSpec pool;
+  pool.pool_length = 46;
+  pool.allocation_length = 56;
+  pool.rotation.kind = sim::RotationPolicy::Kind::kStride;
+  pool.rotation.stride = 236;
+  pool.device_count = 900;
+  spec.pools.push_back(pool);
+  world.versatel = builder.add_provider(spec);
+  world.internet = builder.take();
+  return world;
+}
+
+probe::ProberOptions fast_opts() {
+  probe::ProberOptions o;
+  o.wire_mode = false;
+  o.packets_per_second = 2000000;
+  return o;
+}
+
+TEST(Bootstrap, AdvertLengthFilterSkipsBroadPrefixes) {
+  // A /24 advertisement must be ignored with the default /32 filter.
+  sim::PaperWorld world = one_provider_world(0xB001, 24);
+  sim::VirtualClock clock{sim::hours(10)};
+  probe::Prober prober{world.internet, clock, fast_opts()};
+  const auto result = run_bootstrap(world.internet, clock, prober);
+  EXPECT_TRUE(result.seed_48s.empty());
+  EXPECT_TRUE(result.rotating_48s.empty());
+}
+
+TEST(Bootstrap, MinAdvertLengthOptionWidensScope) {
+  sim::PaperWorld world = one_provider_world(0xB001, 24);
+  sim::VirtualClock clock{sim::hours(10)};
+  probe::Prober prober{world.internet, clock, fast_opts()};
+  BootstrapOptions options;
+  options.min_advert_length = 24;
+  options.probes_per_48 = 4;
+  const auto result = run_bootstrap(world.internet, clock, prober, options);
+  EXPECT_FALSE(result.seed_48s.empty());
+  EXPECT_FALSE(result.rotating_48s.empty());
+}
+
+TEST(Bootstrap, TracerouteSeedingMatchesProbeSeeding) {
+  // Both stage-0 modes must discover the same /48 set: the traceroute's
+  // last hop is the same CPE the single probe elicits.
+  sim::PaperWorld world_a = one_provider_world(0xB002);
+  sim::PaperWorld world_b = one_provider_world(0xB002);
+  sim::VirtualClock clock_a{sim::hours(10)};
+  sim::VirtualClock clock_b{sim::hours(10)};
+  probe::Prober prober_a{world_a.internet, clock_a, fast_opts()};
+  probe::Prober prober_b{world_b.internet, clock_b, fast_opts()};
+
+  BootstrapOptions probe_mode;
+  probe_mode.probes_per_48 = 2;
+  BootstrapOptions trace_mode = probe_mode;
+  trace_mode.seed_with_traceroute = true;
+
+  const auto a = run_bootstrap(world_a.internet, clock_a, prober_a,
+                               probe_mode);
+  const auto b = run_bootstrap(world_b.internet, clock_b, prober_b,
+                               trace_mode);
+  EXPECT_EQ(a.seed_48s, b.seed_48s);
+  EXPECT_EQ(a.rotating_48s, b.rotating_48s);
+  // Traceroute mode costs strictly more packets for the same answer.
+  EXPECT_GT(b.probes_sent, a.probes_sent);
+}
+
+TEST(Bootstrap, SharedLastHopSuppressesNonCustomer48s) {
+  // A provider delegating one /44 to a single site: 16 /48s all answered
+  // by the same CPE. The "unique EUI per /48" filter must reject them.
+  sim::WorldBuilder builder{0xB003};
+  sim::ProviderSpec spec;
+  spec.asn = 65002;
+  spec.name = "BigSite";
+  spec.country = "JP";
+  spec.advertisement = *net::Prefix::parse("2001:db9::/40");
+  spec.vendors = {{net::Oui{0x344b50}, 1.0}};
+  spec.eui64_fraction = 1.0;
+  spec.low_byte_fraction = 0.0;
+  spec.silent_fraction = 0.0;
+  sim::PoolSpec pool;
+  pool.pool_length = 44;
+  pool.allocation_length = 44;  // the whole pool is one customer
+  pool.device_count = 1;
+  spec.pools.push_back(pool);
+  builder.add_provider(spec);
+  sim::Internet internet = builder.take();
+
+  sim::VirtualClock clock{sim::hours(10)};
+  probe::Prober prober{internet, clock, fast_opts()};
+  BootstrapOptions options;
+  options.probes_per_48 = 2;
+  const auto result = run_bootstrap(internet, clock, prober, options);
+  // The device responded, but no /48 qualifies as a customer /48.
+  EXPECT_GT(result.eui64_addresses, 0u);
+  EXPECT_TRUE(result.seed_48s.empty());
+}
+
+TEST(Bootstrap, GroupingSortsByCountDescending) {
+  routing::BgpTable bgp;
+  bgp.announce({*net::Prefix::parse("2001:db8::/32"), 1, "DE", "A"});
+  bgp.announce({*net::Prefix::parse("2003::/32"), 2, "GR", "B"});
+  std::vector<net::Prefix> rotators = {
+      *net::Prefix::parse("2001:db8:1::/48"),
+      *net::Prefix::parse("2001:db8:2::/48"),
+      *net::Prefix::parse("2003:0:1::/48"),
+  };
+  const auto by_asn = rotators_by_asn(rotators, bgp);
+  ASSERT_EQ(by_asn.size(), 2u);
+  EXPECT_EQ(by_asn[0].key, "1");
+  EXPECT_EQ(by_asn[0].count, 2u);
+  const auto by_country = rotators_by_country(rotators, bgp);
+  EXPECT_EQ(by_country[0].key, "DE");
+  // Unattributable prefixes are dropped.
+  rotators.push_back(*net::Prefix::parse("2a00::/48"));
+  EXPECT_EQ(rotators_by_asn(rotators, bgp).size(), 2u);
+}
+
+TEST(Bootstrap, FunnelCountersAreMonotone) {
+  sim::PaperWorld world = one_provider_world(0xB004);
+  sim::VirtualClock clock{sim::hours(10)};
+  probe::Prober prober{world.internet, clock, fast_opts()};
+  BootstrapOptions options;
+  options.probes_per_48 = 4;
+  const auto result = run_bootstrap(world.internet, clock, prober, options);
+  EXPECT_GE(result.total_addresses, result.eui64_addresses);
+  EXPECT_GE(result.eui64_addresses, result.unique_iids);
+  // Every rotating /48 came through the high-density stage.
+  for (const auto& p48 : result.rotating_48s) {
+    EXPECT_TRUE(std::find(result.high_density_48s.begin(),
+                          result.high_density_48s.end(),
+                          p48) != result.high_density_48s.end());
+  }
+  // Density partition covers all expanded /48s exactly once.
+  EXPECT_EQ(result.expanded_48s.size(),
+            result.high_density_48s.size() + result.low_density_48s.size() +
+                result.unresponsive_48s.size());
+}
+
+}  // namespace
+}  // namespace scent::core

@@ -1,0 +1,220 @@
+// Failure-injection tests: the pipeline under loss, rate limiting, silent
+// CPE, privacy-mode fleets, and service churn. The measurement system must
+// degrade the way the paper describes — missed observations, never
+// corrupted inferences.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/inference.h"
+#include "core/rotation_detector.h"
+#include "core/tracker.h"
+#include "probe/prober.h"
+#include "probe/target_generator.h"
+#include "sim/scenario.h"
+
+namespace scent::core {
+namespace {
+
+using namespace scent;
+
+sim::PaperWorld lossy_world(double loss, double silent_fraction,
+                            double eui64_fraction, sim::RateLimit limit,
+                            std::uint64_t seed = 0xFA11) {
+  sim::WorldBuilder builder{seed};
+  sim::PaperWorld world;
+  sim::ProviderSpec spec;
+  spec.asn = 65001;
+  spec.name = "Flaky";
+  spec.country = "DE";
+  spec.advertisement = *net::Prefix::parse("2001:db8::/32");
+  spec.vendors = {{net::Oui{0x3810d5}, 1.0}};
+  spec.eui64_fraction = eui64_fraction;
+  spec.low_byte_fraction = 0.0;
+  spec.silent_fraction = silent_fraction;
+  spec.loss_rate = loss;
+  spec.rate_limit = limit;
+  sim::PoolSpec pool;
+  pool.pool_length = 46;
+  pool.allocation_length = 56;
+  pool.rotation.kind = sim::RotationPolicy::Kind::kStride;
+  pool.rotation.stride = 236;
+  pool.device_count = 256;
+  spec.pools.push_back(pool);
+  world.versatel = builder.add_provider(spec);
+  world.internet = builder.take();
+  return world;
+}
+
+TEST(FailureInjection, LossReducesResponsesProportionally) {
+  sim::PaperWorld world = lossy_world(0.3, 0.0, 1.0, {10000, 10000});
+  sim::VirtualClock clock{sim::hours(12)};
+  probe::Prober prober{world.internet, clock,
+                       {.packets_per_second = 100000, .wire_mode = false}};
+  const auto& pool = world.internet.provider(world.versatel).pools()[0];
+  const auto results =
+      prober.sweep_subnets(pool.config().prefix, 56, 0x105e);
+  // 256 of 1024 slots occupied; ~30% of their replies lost.
+  EXPECT_GT(results.size(), 256 * 0.5);
+  EXPECT_LT(results.size(), 256 * 0.9);
+}
+
+TEST(FailureInjection, AllocationInferenceSurvivesLoss) {
+  sim::PaperWorld world = lossy_world(0.25, 0.0, 1.0, {100000, 100000});
+  sim::VirtualClock clock{sim::hours(12)};
+  probe::Prober prober{world.internet, clock,
+                       {.packets_per_second = 1000000, .wire_mode = false}};
+  const auto& pool = world.internet.provider(world.versatel).pools()[0];
+  AllocationSizeInference inference;
+  // Per-/64 sweep of the first /48 of the pool.
+  const auto results = prober.sweep_subnets(
+      net::Prefix{pool.config().prefix.base(), 48}, 64, 0xA110);
+  for (const auto& r : results) {
+    inference.observe(r.target, r.response_source);
+  }
+  // Median allocation inference is robust: each device still answers for
+  // ~192 of its 256 inner /64s.
+  EXPECT_EQ(inference.median_length().value_or(0), 56u);
+}
+
+TEST(FailureInjection, TrackerRetriesThroughLossAcrossDays) {
+  sim::PaperWorld world = lossy_world(0.5, 0.0, 1.0, {100000, 100000});
+  sim::VirtualClock clock{sim::hours(12)};
+  probe::Prober prober{world.internet, clock,
+                       {.packets_per_second = 1000000, .wire_mode = false}};
+  const auto& pool = world.internet.provider(world.versatel).pools()[0];
+
+  TrackerConfig config;
+  config.target_mac = pool.devices()[5].mac;
+  config.pool = pool.config().prefix;
+  config.allocation_length = 56;
+  config.seed = 0x7AC;
+  Tracker tracker{prober, config};
+
+  // With 50% loss a single day's sweep fails half the time, but a week of
+  // attempts recovers the device repeatedly.
+  int found_days = 0;
+  for (std::int64_t day = 0; day < 8; ++day) {
+    clock.advance_to(sim::days(day) + sim::hours(12));
+    if (tracker.locate(day).found) ++found_days;
+  }
+  EXPECT_GE(found_days, 2);
+  EXPECT_LT(found_days, 8);  // loss must actually bite at 50%
+}
+
+TEST(FailureInjection, SilentFleetIsInvisibleButDoesNotCorrupt) {
+  sim::PaperWorld world = lossy_world(0.0, 1.0, 1.0, {10000, 10000});
+  sim::VirtualClock clock{sim::hours(12)};
+  probe::Prober prober{world.internet, clock,
+                       {.packets_per_second = 100000, .wire_mode = false}};
+  const auto& pool = world.internet.provider(world.versatel).pools()[0];
+  const auto results =
+      prober.sweep_subnets(pool.config().prefix, 56, 0x51E7);
+  EXPECT_TRUE(results.empty());
+}
+
+TEST(FailureInjection, PrivacyFleetYieldsNoTrackableIids) {
+  sim::PaperWorld world = lossy_world(0.0, 0.0, 0.0, {10000, 10000});
+  sim::VirtualClock clock{sim::hours(12)};
+  probe::Prober prober{world.internet, clock,
+                       {.packets_per_second = 100000, .wire_mode = false}};
+  const auto& pool = world.internet.provider(world.versatel).pools()[0];
+
+  // Devices respond (privacy extensions do not silence the CPE)...
+  const auto day0 =
+      prober.sweep_subnets(pool.config().prefix, 56, 0x9417);
+  EXPECT_EQ(day0.size(), 256u);
+  // ...but nothing carries an EUI-64 IID, so Algorithm 2 sees nothing.
+  RotationPoolInference pools;
+  for (const auto& r : day0) pools.observe(r.response_source);
+  EXPECT_EQ(pools.device_count(), 0u);
+
+  // And the same fleet probed after a rotation is unlinkable: the IIDs
+  // changed along with the prefixes (RFC 4941 working as intended).
+  clock.advance_to(sim::days(1) + sim::hours(12));
+  const auto day1 =
+      prober.sweep_subnets(pool.config().prefix, 56, 0x9417);
+  std::set<std::uint64_t> iids0;
+  std::set<std::uint64_t> iids1;
+  for (const auto& r : day0) iids0.insert(r.response_source.iid());
+  for (const auto& r : day1) iids1.insert(r.response_source.iid());
+  for (const std::uint64_t iid : iids1) {
+    EXPECT_FALSE(iids0.contains(iid));
+  }
+}
+
+TEST(FailureInjection, RateLimitingThrottlesBurstsPerDevice) {
+  sim::PaperWorld world = lossy_world(0.0, 0.0, 1.0, {2.0, 2.0});
+  sim::VirtualClock clock{sim::hours(12)};
+  // Very fast prober: probes arrive within the same virtual second.
+  probe::Prober prober{world.internet, clock,
+                       {.packets_per_second = 10000000, .wire_mode = false}};
+  const auto& provider = world.internet.provider(world.versatel);
+  const net::Prefix alloc = provider.allocation({0, 0}, clock.now());
+
+  int responses = 0;
+  for (int i = 0; i < 20; ++i) {
+    const auto target = probe::target_in(alloc, 100 + i);
+    if (prober.probe_one(target).responded) ++responses;
+  }
+  EXPECT_LE(responses, 3);  // the burst allowance, maybe +1 refill
+  EXPECT_GE(responses, 2);
+
+  // After an idle second the bucket refills.
+  clock.advance(sim::kSecond * 2);
+  EXPECT_TRUE(prober.probe_one(probe::target_in(alloc, 999)).responded);
+}
+
+TEST(FailureInjection, ChurnCreatesFalseRotatorsWithoutEuiMovement) {
+  // A static provider with churn gets flagged by the two-snapshot detector
+  // (the paper's §4.3/§5.3 false-positive mechanism), yet Algorithm 2
+  // still reports /64 pools — exactly the Figure-7 signature.
+  sim::WorldBuilder builder{0xC04B};
+  sim::ProviderSpec spec;
+  spec.asn = 65009;
+  spec.name = "StaticChurny";
+  spec.country = "JP";
+  spec.advertisement = *net::Prefix::parse("2001:db8::/32");
+  spec.vendors = {{net::Oui{0x344b50}, 1.0}};
+  spec.eui64_fraction = 1.0;
+  spec.low_byte_fraction = 0.0;
+  spec.silent_fraction = 0.0;
+  spec.churn_fraction = 0.5;
+  sim::PoolSpec pool;
+  pool.pool_length = 48;
+  pool.allocation_length = 56;
+  pool.device_count = 200;
+  pool.placement = sim::Placement::kScattered;
+  spec.pools.push_back(pool);
+  const std::size_t index = builder.add_provider(spec);
+  sim::Internet internet = builder.take();
+
+  sim::VirtualClock clock{sim::hours(12)};
+  probe::Prober prober{internet, clock,
+                       {.packets_per_second = 1000000, .wire_mode = false}};
+  const net::Prefix p48 =
+      internet.provider(index).pools()[0].config().prefix;
+
+  Snapshot s1;
+  Snapshot s2;
+  RotationPoolInference pools;
+  for (int day = 0; day < 2; ++day) {
+    clock.advance_to(sim::days(day) + sim::hours(12));
+    probe::SubnetTargets targets{p48, 64, 0xC04B};
+    net::Ipv6Address target;
+    while (targets.next(target)) {
+      const auto r = prober.probe_one(target);
+      if (!r.responded) continue;
+      (day == 0 ? s1 : s2).record(r.target, r.response_source);
+      pools.observe(r.response_source);
+    }
+  }
+
+  const auto verdicts = detect_rotation(s1, s2);
+  ASSERT_FALSE(verdicts.empty());
+  EXPECT_TRUE(verdicts[0].rotating);  // churn flagged it...
+  EXPECT_EQ(pools.median_length().value_or(0), 64u);  // ...but nothing moved
+}
+
+}  // namespace
+}  // namespace scent::core

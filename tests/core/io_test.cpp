@@ -1,0 +1,128 @@
+// Tests for artifact persistence: prefix lists and observation CSVs.
+#include "core/io.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+namespace scent::core {
+namespace {
+
+net::Prefix pfx(const char* text) { return *net::Prefix::parse(text); }
+net::Ipv6Address addr(const char* text) {
+  return *net::Ipv6Address::parse(text);
+}
+
+/// Unique temp path per test; removed on destruction.
+struct TempFile {
+  std::string path;
+  explicit TempFile(const char* tag) {
+    path = std::string{::testing::TempDir()} + "/scent_io_" + tag + "_" +
+           std::to_string(reinterpret_cast<std::uintptr_t>(this)) + ".txt";
+  }
+  ~TempFile() { std::remove(path.c_str()); }
+};
+
+TEST(PrefixIo, RoundTrip) {
+  TempFile file{"prefix_rt"};
+  const std::vector<net::Prefix> prefixes = {
+      pfx("2001:16b8:100::/46"), pfx("2003:e2::/32"), pfx("::/0"),
+      pfx("2001:db8::1/128")};
+  ASSERT_TRUE(save_prefixes(file.path, prefixes, "rotating /48s"));
+  LoadStats stats;
+  const auto loaded = load_prefixes(file.path, &stats);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(*loaded, prefixes);
+  EXPECT_EQ(stats.loaded, 4u);
+  EXPECT_EQ(stats.skipped, 0u);
+}
+
+TEST(PrefixIo, SkipsCommentsBlanksAndGarbage) {
+  TempFile file{"prefix_skip"};
+  std::FILE* f = std::fopen(file.path.c_str(), "w");
+  ASSERT_NE(f, nullptr);
+  std::fputs("# header\n\n2001:db8::/32\nnot-a-prefix\n 2003:e2::/32 \n", f);
+  std::fclose(f);
+  LoadStats stats;
+  const auto loaded = load_prefixes(file.path, &stats);
+  ASSERT_TRUE(loaded.has_value());
+  ASSERT_EQ(loaded->size(), 2u);
+  EXPECT_EQ((*loaded)[0], pfx("2001:db8::/32"));
+  EXPECT_EQ((*loaded)[1], pfx("2003:e2::/32"));
+  EXPECT_EQ(stats.skipped, 1u);
+}
+
+TEST(PrefixIo, MissingFileIsNullopt) {
+  EXPECT_FALSE(load_prefixes("/nonexistent/dir/nope.txt").has_value());
+}
+
+TEST(ObservationIo, RoundTrip) {
+  TempFile file{"obs_rt"};
+  ObservationStore store;
+  store.add(Observation{addr("2001:16b8:100:1200:dead:beef:1:2"),
+                        addr("2001:16b8:100:1200:3a10:d5ff:feaa:bbcc"),
+                        wire::Icmpv6Type::kDestinationUnreachable, 1,
+                        sim::days(3) + 17});
+  store.add(Observation{addr("2003:e2::1"), addr("2003:e2::2"),
+                        wire::Icmpv6Type::kEchoReply, 0, -5});
+  ASSERT_TRUE(save_observations(file.path, store));
+
+  LoadStats stats;
+  const auto loaded = load_observations(file.path, &stats);
+  ASSERT_TRUE(loaded.has_value());
+  ASSERT_EQ(loaded->size(), 2u);
+  EXPECT_EQ(stats.loaded, 2u);
+  EXPECT_EQ(stats.skipped, 0u);
+  const auto& a = loaded->all()[0];
+  EXPECT_EQ(a.target, addr("2001:16b8:100:1200:dead:beef:1:2"));
+  EXPECT_EQ(a.response, addr("2001:16b8:100:1200:3a10:d5ff:feaa:bbcc"));
+  EXPECT_EQ(a.type, wire::Icmpv6Type::kDestinationUnreachable);
+  EXPECT_EQ(a.code, 1);
+  EXPECT_EQ(a.time, sim::days(3) + 17);
+  EXPECT_EQ(loaded->all()[1].time, -5);
+  // Indexes still work after a round trip.
+  EXPECT_EQ(loaded->unique_eui64_iids(), 1u);
+}
+
+TEST(ObservationIo, ParseRowRejectsMalformed) {
+  EXPECT_TRUE(parse_observation_row("2001:db8::1,2001:db8::2,1,3,42"));
+  EXPECT_FALSE(parse_observation_row(""));
+  EXPECT_FALSE(parse_observation_row("2001:db8::1,2001:db8::2,1,3"));
+  EXPECT_FALSE(parse_observation_row("2001:db8::1,2001:db8::2,1,3,42,extra"));
+  EXPECT_FALSE(parse_observation_row("nonsense,2001:db8::2,1,3,42"));
+  EXPECT_FALSE(parse_observation_row("2001:db8::1,nonsense,1,3,42"));
+  EXPECT_FALSE(parse_observation_row("2001:db8::1,2001:db8::2,999,3,42"));
+  EXPECT_FALSE(parse_observation_row("2001:db8::1,2001:db8::2,1,3,4x2"));
+}
+
+TEST(ObservationIo, LoadSkipsHeaderAndCountsBadRows) {
+  TempFile file{"obs_skip"};
+  std::FILE* f = std::fopen(file.path.c_str(), "w");
+  ASSERT_NE(f, nullptr);
+  std::fputs(
+      "target,response,type,code,time_us\n"
+      "2001:db8::1,2001:db8::2,1,1,100\n"
+      "garbage row\n"
+      "# a comment\n"
+      "2001:db8::3,2001:db8::4,129,0,200\n",
+      f);
+  std::fclose(f);
+  LoadStats stats;
+  const auto loaded = load_observations(file.path, &stats);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->size(), 2u);
+  EXPECT_EQ(stats.loaded, 2u);
+  EXPECT_EQ(stats.skipped, 1u);
+}
+
+TEST(ObservationIo, EmptyStoreRoundTrips) {
+  TempFile file{"obs_empty"};
+  ASSERT_TRUE(save_observations(file.path, ObservationStore{}));
+  const auto loaded = load_observations(file.path);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_TRUE(loaded->empty());
+}
+
+}  // namespace
+}  // namespace scent::core

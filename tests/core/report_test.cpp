@@ -1,0 +1,122 @@
+// Tests for the report utilities: CDF, text tables, allocation grids.
+#include "core/report.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace scent::core {
+namespace {
+
+TEST(Cdf, EmptyCdfIsSafe) {
+  const Cdf cdf;
+  EXPECT_TRUE(cdf.empty());
+  EXPECT_EQ(cdf.at(5.0), 0.0);
+  EXPECT_EQ(cdf.quantile(0.5), 0.0);
+  EXPECT_EQ(cdf.min(), 0.0);
+  EXPECT_EQ(cdf.max(), 0.0);
+  EXPECT_TRUE(cdf.steps().empty());
+}
+
+TEST(Cdf, AtIsCumulativeFractionAtOrBelow) {
+  const Cdf cdf = Cdf::of(std::vector<int>{1, 2, 2, 3, 10});
+  EXPECT_DOUBLE_EQ(cdf.at(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(cdf.at(1.0), 0.2);
+  EXPECT_DOUBLE_EQ(cdf.at(2.0), 0.6);
+  EXPECT_DOUBLE_EQ(cdf.at(9.99), 0.8);
+  EXPECT_DOUBLE_EQ(cdf.at(10.0), 1.0);
+  EXPECT_DOUBLE_EQ(cdf.at(1e9), 1.0);
+}
+
+TEST(Cdf, QuantilesBracketDistribution) {
+  std::vector<int> values;
+  for (int i = 1; i <= 100; ++i) values.push_back(i);
+  const Cdf cdf = Cdf::of(values);
+  EXPECT_EQ(cdf.min(), 1.0);
+  EXPECT_EQ(cdf.max(), 100.0);
+  EXPECT_NEAR(cdf.quantile(0.5), 50.0, 1.0);
+  EXPECT_NEAR(cdf.quantile(0.25), 25.0, 1.0);
+  EXPECT_EQ(cdf.quantile(0.0), 1.0);
+  EXPECT_EQ(cdf.quantile(1.0), 100.0);
+  // Out-of-range q is clamped.
+  EXPECT_EQ(cdf.quantile(-3.0), 1.0);
+  EXPECT_EQ(cdf.quantile(7.0), 100.0);
+}
+
+TEST(Cdf, StepsAreDistinctAndMonotone) {
+  const Cdf cdf = Cdf::of(std::vector<int>{5, 5, 5, 7, 9, 9});
+  const auto steps = cdf.steps();
+  ASSERT_EQ(steps.size(), 3u);
+  EXPECT_EQ(steps[0].first, 5.0);
+  EXPECT_DOUBLE_EQ(steps[0].second, 0.5);
+  EXPECT_EQ(steps[1].first, 7.0);
+  EXPECT_NEAR(steps[1].second, 4.0 / 6.0, 1e-12);
+  EXPECT_EQ(steps[2].first, 9.0);
+  EXPECT_DOUBLE_EQ(steps[2].second, 1.0);
+}
+
+TEST(TextTable, AlignsColumnsAndPadsMissingCells) {
+  TextTable table{{"a", "long-header"}};
+  table.add_row({"x", "1"});
+  table.add_row({"yyyy"});  // short row: second cell padded
+  const std::string out = table.to_string();
+  std::istringstream lines{out};
+  std::string header;
+  std::string divider;
+  std::string row1;
+  std::string row2;
+  std::getline(lines, header);
+  std::getline(lines, divider);
+  std::getline(lines, row1);
+  std::getline(lines, row2);
+  EXPECT_EQ(header.size(), divider.size());
+  EXPECT_EQ(header.size(), row1.size());
+  EXPECT_EQ(header.size(), row2.size());
+  EXPECT_NE(header.find("long-header"), std::string::npos);
+  EXPECT_NE(row2.find("yyyy"), std::string::npos);
+}
+
+TEST(AllocationGrid, InternAssignsStableIds) {
+  AllocationGrid grid;
+  const int a = grid.intern(111);
+  const int b = grid.intern(222);
+  EXPECT_NE(a, b);
+  EXPECT_EQ(grid.intern(111), a);
+  EXPECT_EQ(grid.distinct_sources(), 2u);
+}
+
+TEST(AllocationGrid, RenderShowsBandsAndSilence) {
+  AllocationGrid grid;
+  // Fill rows 0-127 (b7 < 128) with source A; leave the rest silent.
+  const int id = grid.intern(42);
+  for (unsigned b7 = 0; b7 < 128; ++b7) {
+    for (unsigned b8 = 0; b8 < 256; ++b8) {
+      grid.mark(static_cast<std::uint8_t>(b7), static_cast<std::uint8_t>(b8),
+                id);
+    }
+  }
+  const std::string out = grid.render(4, 8);
+  std::istringstream lines{out};
+  std::string row;
+  std::getline(lines, row);
+  EXPECT_EQ(row, "AAAAAAAA");
+  std::getline(lines, row);
+  EXPECT_EQ(row, "AAAAAAAA");
+  std::getline(lines, row);
+  EXPECT_EQ(row, "........");
+  std::getline(lines, row);
+  EXPECT_EQ(row, "........");
+}
+
+TEST(AllocationGrid, PaletteCyclesPastSixtyTwoSources) {
+  AllocationGrid grid;
+  for (int i = 0; i < 100; ++i) {
+    grid.mark(0, static_cast<std::uint8_t>(i), grid.intern(1000 + i));
+  }
+  EXPECT_EQ(grid.distinct_sources(), 100u);
+  const std::string out = grid.render(1, 256);
+  EXPECT_EQ(out.find('.'), 100u);  // first silent cell right after the marks
+}
+
+}  // namespace
+}  // namespace scent::core

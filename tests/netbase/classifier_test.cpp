@@ -1,0 +1,72 @@
+// Tests for IID classification: EUI-64 vs low-byte vs embedded vs random.
+#include "netbase/address_classifier.h"
+
+#include <gtest/gtest.h>
+
+#include "sim/rng.h"
+
+namespace scent::net {
+namespace {
+
+TEST(Classifier, Eui64TakesPrecedence) {
+  EXPECT_EQ(classify_iid(0x3a10d5fffeaabbccULL), IidClass::kEui64);
+}
+
+TEST(Classifier, LowByteAddresses) {
+  EXPECT_EQ(classify_iid(0x1), IidClass::kLowByte);
+  EXPECT_EQ(classify_iid(0x2), IidClass::kLowByte);
+  EXPECT_EQ(classify_iid(0xffff), IidClass::kLowByte);
+  // ::1:0:0:1-style is not low-byte.
+  EXPECT_NE(classify_iid(0x0001000000000001ULL), IidClass::kLowByte);
+}
+
+TEST(Classifier, ZeroIsLowByte) {
+  EXPECT_EQ(classify_iid(0), IidClass::kLowByte);
+}
+
+TEST(Classifier, EmbeddedWordPatterns) {
+  EXPECT_EQ(classify_iid(0x00000000cafe0000ULL), IidClass::kEmbedded);
+  EXPECT_EQ(classify_iid(0x0002000200020002ULL), IidClass::kEmbedded);
+  EXPECT_EQ(classify_iid(0x1111111111111111ULL), IidClass::kEmbedded);
+}
+
+TEST(Classifier, HighEntropyIsRandom) {
+  EXPECT_EQ(classify_iid(0x8f3e2a91c4d57b06ULL), IidClass::kRandom);
+  EXPECT_EQ(classify_iid(0x9b27d4e5a1f08c63ULL), IidClass::kRandom);
+}
+
+TEST(Classifier, RandomIidsClassifyAsRandomAtScale) {
+  // Statistical property: RFC 4941 privacy IIDs almost never look
+  // low-byte or embedded. (EUI-64 false positives occur at ~2^-16.)
+  sim::Rng rng{12345};
+  int random_count = 0;
+  constexpr int kTrials = 10000;
+  for (int i = 0; i < kTrials; ++i) {
+    const auto c = classify_iid(rng.next());
+    if (c == IidClass::kRandom) ++random_count;
+    EXPECT_NE(c, IidClass::kLowByte);
+  }
+  EXPECT_GT(random_count, kTrials * 98 / 100);
+}
+
+TEST(Classifier, ToStringNames) {
+  EXPECT_EQ(to_string(IidClass::kEui64), "eui64");
+  EXPECT_EQ(to_string(IidClass::kLowByte), "low-byte");
+  EXPECT_EQ(to_string(IidClass::kEmbedded), "embedded");
+  EXPECT_EQ(to_string(IidClass::kRandom), "random");
+}
+
+TEST(Classifier, AddressOverloadUsesIid) {
+  const Ipv6Address a{0x20010db8deadbeefULL, 0x1};
+  EXPECT_EQ(classify(a), IidClass::kLowByte);
+}
+
+TEST(Classifier, Popcount64) {
+  EXPECT_EQ(popcount64(0), 0u);
+  EXPECT_EQ(popcount64(1), 1u);
+  EXPECT_EQ(popcount64(0xffffffffffffffffULL), 64u);
+  EXPECT_EQ(popcount64(0x8000000000000001ULL), 2u);
+}
+
+}  // namespace
+}  // namespace scent::net

@@ -1,0 +1,148 @@
+// Tests for IPv6 address parsing, formatting, and field access.
+#include "netbase/ipv6_address.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace scent::net {
+namespace {
+
+TEST(Ipv6Address, ParseFullForm) {
+  const auto a = Ipv6Address::parse("2001:0db8:0000:0000:0000:0000:0000:0001");
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(a->network(), 0x20010db800000000ULL);
+  EXPECT_EQ(a->iid(), 1u);
+}
+
+TEST(Ipv6Address, ParseCompressedMiddle) {
+  const auto a = Ipv6Address::parse("2001:db8::1");
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(a->network(), 0x20010db800000000ULL);
+  EXPECT_EQ(a->iid(), 1u);
+}
+
+TEST(Ipv6Address, ParseAllZero) {
+  const auto a = Ipv6Address::parse("::");
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(*a, Ipv6Address{});
+}
+
+TEST(Ipv6Address, ParseLeadingGap) {
+  const auto a = Ipv6Address::parse("::ffff:1");
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(a->iid(), 0x00000000ffff0001ULL);
+  EXPECT_EQ(a->network(), 0u);
+}
+
+TEST(Ipv6Address, ParseTrailingGap) {
+  const auto a = Ipv6Address::parse("fe80::");
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(a->network(), 0xfe80000000000000ULL);
+  EXPECT_EQ(a->iid(), 0u);
+}
+
+TEST(Ipv6Address, ParseEui64Example) {
+  // The paper's Figure 1 address shape.
+  const auto a = Ipv6Address::parse("2001:16b8:2:300:3a10:d5ff:feaa:bbcc");
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(a->iid(), 0x3a10d5fffeaabbccULL);
+}
+
+TEST(Ipv6Address, ParseRejectsMalformed) {
+  EXPECT_FALSE(Ipv6Address::parse(""));
+  EXPECT_FALSE(Ipv6Address::parse(":"));
+  EXPECT_FALSE(Ipv6Address::parse(":::"));
+  EXPECT_FALSE(Ipv6Address::parse("1:2:3:4:5:6:7"));        // 7 groups
+  EXPECT_FALSE(Ipv6Address::parse("1:2:3:4:5:6:7:8:9"));    // 9 groups
+  EXPECT_FALSE(Ipv6Address::parse("12345::"));              // >4 digits
+  EXPECT_FALSE(Ipv6Address::parse("g::1"));                 // bad hex
+  EXPECT_FALSE(Ipv6Address::parse("1::2::3"));              // two gaps
+  EXPECT_FALSE(Ipv6Address::parse("1:2:3:4:5:6:7:8::"));    // gap elides 0
+  EXPECT_FALSE(Ipv6Address::parse("::1%eth0"));             // zone id
+  EXPECT_FALSE(Ipv6Address::parse("::ffff:1.2.3.4"));       // embedded v4
+  EXPECT_FALSE(Ipv6Address::parse("1:2:3:4:5:6:7:"));       // trailing colon
+  EXPECT_FALSE(Ipv6Address::parse(":1:2:3:4:5:6:7"));       // leading colon
+}
+
+TEST(Ipv6Address, FormatCompressesLongestRun) {
+  EXPECT_EQ(Ipv6Address(0x20010db800000000ULL, 1).to_string(), "2001:db8::1");
+  EXPECT_EQ(Ipv6Address{}.to_string(), "::");
+  EXPECT_EQ(Ipv6Address(0, 1).to_string(), "::1");
+  EXPECT_EQ(Ipv6Address(0xfe80000000000000ULL, 0).to_string(), "fe80::");
+}
+
+TEST(Ipv6Address, FormatPrefersFirstOfEqualRuns) {
+  // 2001:0:0:1:2:0:0:3 - two 2-group runs; RFC 5952 compresses the first.
+  const Ipv6Address a{0x2001000000000001ULL, 0x0002000000000003ULL};
+  EXPECT_EQ(a.to_string(), "2001::1:2:0:0:3");
+}
+
+TEST(Ipv6Address, FormatDoesNotCompressSingleZero) {
+  const Ipv6Address a{0x2001000016b80001ULL, 0x0001000100010001ULL};
+  EXPECT_EQ(a.to_string(), "2001:0:16b8:1:1:1:1:1");
+}
+
+TEST(Ipv6Address, RoundTripBytes) {
+  const Ipv6Address a{0x0123456789abcdefULL, 0xfedcba9876543210ULL};
+  EXPECT_EQ(Ipv6Address::from_bytes(a.to_bytes()), a);
+  const auto bytes = a.to_bytes();
+  EXPECT_EQ(bytes[0], 0x01);
+  EXPECT_EQ(bytes[7], 0xef);
+  EXPECT_EQ(bytes[8], 0xfe);
+  EXPECT_EQ(bytes[15], 0x10);
+}
+
+TEST(Ipv6Address, ByteAccessor) {
+  const Ipv6Address a{0x0011223344556677ULL, 0x8899aabbccddeeffULL};
+  EXPECT_EQ(a.byte(0), 0x00);
+  EXPECT_EQ(a.byte(6), 0x66);  // the paper's Figure 3 y-axis byte
+  EXPECT_EQ(a.byte(7), 0x77);  // ... and x-axis byte
+  EXPECT_EQ(a.byte(8), 0x88);
+  EXPECT_EQ(a.byte(15), 0xff);
+}
+
+TEST(Ipv6Address, WithIidAndWithNetwork) {
+  const Ipv6Address a{0x20010db8deadbeefULL, 0x1111111111111111ULL};
+  EXPECT_EQ(a.with_iid(7).iid(), 7u);
+  EXPECT_EQ(a.with_iid(7).network(), a.network());
+  EXPECT_EQ(a.with_network(42).network(), 42u);
+  EXPECT_EQ(a.with_network(42).iid(), a.iid());
+}
+
+TEST(Ipv6Address, OrderingFollowsNumericValue) {
+  EXPECT_LT(*Ipv6Address::parse("2001:db8::1"), *Ipv6Address::parse("2001:db8::2"));
+  EXPECT_LT(*Ipv6Address::parse("2001:db8::ffff"),
+            *Ipv6Address::parse("2001:db9::"));
+}
+
+TEST(Ipv6Address, HashDistinguishesNetworkAndIid) {
+  const Ipv6AddressHash h;
+  EXPECT_NE(h(Ipv6Address(1, 2)), h(Ipv6Address(2, 1)));
+}
+
+/// Property: parse(to_string(a)) == a for a spread of addresses.
+class Ipv6RoundTrip : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(Ipv6RoundTrip, ParseFormatsBackToCanonical) {
+  const auto a = Ipv6Address::parse(GetParam());
+  ASSERT_TRUE(a.has_value()) << GetParam();
+  const std::string text = a->to_string();
+  const auto b = Ipv6Address::parse(text);
+  ASSERT_TRUE(b.has_value()) << text;
+  EXPECT_EQ(*a, *b);
+  // Canonical form is a fixed point of parse/format.
+  EXPECT_EQ(b->to_string(), text);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Corpus, Ipv6RoundTrip,
+    ::testing::Values("::", "::1", "1::", "2001:db8::1",
+                      "2001:16b8:2:300:3a10:d5ff:feaa:bbcc",
+                      "fe80::1ff:fe23:4567:890a", "2003:e2::42",
+                      "ffff:ffff:ffff:ffff:ffff:ffff:ffff:ffff",
+                      "1:0:0:2:0:0:0:3", "a:b:c:d:e:f:1:2", "0:0:0:1::",
+                      "::2:0:0:0", "2001:0:0:1::1"));
+
+}  // namespace
+}  // namespace scent::net

@@ -1,0 +1,136 @@
+// Tests for MAC addresses, OUIs, and the EUI-64 codec — the reversible
+// mapping at the heart of the tracking vulnerability.
+#include <gtest/gtest.h>
+
+#include "netbase/eui64.h"
+#include "netbase/mac_address.h"
+
+namespace scent::net {
+namespace {
+
+TEST(MacAddress, ParseColonSeparated) {
+  const auto m = MacAddress::parse("38:10:d5:aa:bb:cc");
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(m->bits(), 0x3810d5aabbccULL);
+}
+
+TEST(MacAddress, ParseDashSeparated) {
+  const auto m = MacAddress::parse("38-10-D5-AA-BB-CC");
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(m->bits(), 0x3810d5aabbccULL);
+}
+
+TEST(MacAddress, ParseRejectsMalformed) {
+  EXPECT_FALSE(MacAddress::parse(""));
+  EXPECT_FALSE(MacAddress::parse("38:10:d5:aa:bb"));       // 5 groups
+  EXPECT_FALSE(MacAddress::parse("38:10:d5:aa:bb:cc:dd")); // 7 groups
+  EXPECT_FALSE(MacAddress::parse("3g:10:d5:aa:bb:cc"));    // bad hex
+  EXPECT_FALSE(MacAddress::parse("38.10.d5.aa.bb.cc"));    // bad separator
+  EXPECT_FALSE(MacAddress::parse("3810d5aabbcc"));         // no separators
+}
+
+TEST(MacAddress, ToStringLowercase) {
+  EXPECT_EQ(MacAddress{0x3810D5AABBCCULL}.to_string(), "38:10:d5:aa:bb:cc");
+  EXPECT_EQ(MacAddress{0}.to_string(), "00:00:00:00:00:00");
+}
+
+TEST(MacAddress, ByteAccessor) {
+  const MacAddress m{0x0123456789abULL};
+  EXPECT_EQ(m.byte(0), 0x01);
+  EXPECT_EQ(m.byte(3), 0x67);
+  EXPECT_EQ(m.byte(5), 0xab);
+}
+
+TEST(MacAddress, OuiIsTopThreeBytes) {
+  const MacAddress m = *MacAddress::parse("38:10:d5:aa:bb:cc");
+  EXPECT_EQ(m.oui().value(), 0x3810d5u);
+  EXPECT_EQ(m.oui().to_string(), "38:10:d5");
+}
+
+TEST(MacAddress, FlagBits) {
+  EXPECT_FALSE(MacAddress{0x3810d5000000ULL}.locally_administered());
+  EXPECT_TRUE(MacAddress{0x0200d5000000ULL}.locally_administered());
+  EXPECT_FALSE(MacAddress{0x3810d5000000ULL}.multicast());
+  EXPECT_TRUE(MacAddress{0x0100d5000000ULL}.multicast());
+}
+
+TEST(MacAddress, ConstructFromSixBytes) {
+  const MacAddress m{0x38, 0x10, 0xd5, 0xaa, 0xbb, 0xcc};
+  EXPECT_EQ(m.bits(), 0x3810d5aabbccULL);
+}
+
+TEST(MacAddress, TopSixteenBitsMasked) {
+  EXPECT_EQ(MacAddress{0xffff3810d5aabbccULL}.bits(), 0x3810d5aabbccULL);
+}
+
+// ---- EUI-64 codec -------------------------------------------------------
+
+TEST(Eui64, EncodePaperFigure1Example) {
+  // Figure 1: MAC 38:10:d5:aa:bb:cc -> IID 3a10:d5ff:feaa:bbcc
+  // (U/L bit flipped: 0x38 -> 0x3a; ff:fe inserted mid-MAC).
+  const MacAddress mac = *MacAddress::parse("38:10:d5:aa:bb:cc");
+  EXPECT_EQ(mac_to_eui64(mac), 0x3a10d5fffeaabbccULL);
+}
+
+TEST(Eui64, DecodeRecoversOriginalMac) {
+  const auto mac = eui64_to_mac(0x3a10d5fffeaabbccULL);
+  ASSERT_TRUE(mac.has_value());
+  EXPECT_EQ(mac->to_string(), "38:10:d5:aa:bb:cc");
+}
+
+TEST(Eui64, MarkerDetection) {
+  EXPECT_TRUE(is_eui64_iid(0x3a10d5fffeaabbccULL));
+  EXPECT_FALSE(is_eui64_iid(0x3a10d5fffaaabbccULL));  // fe -> fa
+  EXPECT_FALSE(is_eui64_iid(0x3a10d5effeaabbccULL));  // ff -> ef
+  EXPECT_FALSE(is_eui64_iid(0));
+  EXPECT_FALSE(is_eui64_iid(1));
+  // The marker alone suffices (false-positive rate 2^-16 accepted).
+  EXPECT_TRUE(is_eui64_iid(0x000000fffe000000ULL));
+}
+
+TEST(Eui64, AddressLevelHelpers) {
+  const Ipv6Address eui_addr{0x20010db800000000ULL, 0x3a10d5fffeaabbccULL};
+  const Ipv6Address priv_addr{0x20010db800000000ULL, 0x8f3e2a91c4d57b06ULL};
+  EXPECT_TRUE(is_eui64(eui_addr));
+  EXPECT_FALSE(is_eui64(priv_addr));
+  ASSERT_TRUE(embedded_mac(eui_addr).has_value());
+  EXPECT_EQ(embedded_mac(eui_addr)->bits(), 0x3810d5aabbccULL);
+  EXPECT_FALSE(embedded_mac(priv_addr).has_value());
+}
+
+TEST(Eui64, DecodeRejectsNonMarkerIid) {
+  EXPECT_FALSE(eui64_to_mac(0xdeadbeefcafef00dULL).has_value());
+}
+
+TEST(Eui64, ZeroMacEncodesWithUniversalBit) {
+  // The all-zero default MAC (a §5.5 pathology) still yields a valid,
+  // detectable EUI-64 IID.
+  const std::uint64_t iid = mac_to_eui64(MacAddress{0});
+  EXPECT_TRUE(is_eui64_iid(iid));
+  EXPECT_EQ(iid, 0x020000fffe000000ULL);
+  EXPECT_EQ(eui64_to_mac(iid)->bits(), 0u);
+}
+
+/// Property: encode/decode round-trips for MACs across all OUI and NIC
+/// byte patterns.
+class Eui64RoundTrip : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(Eui64RoundTrip, MacSurvivesCodec) {
+  const MacAddress mac{GetParam()};
+  const std::uint64_t iid = mac_to_eui64(mac);
+  EXPECT_TRUE(is_eui64_iid(iid));
+  const auto decoded = eui64_to_mac(iid);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, mac);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    MacCorpus, Eui64RoundTrip,
+    ::testing::Values(0x000000000000ULL, 0xffffffffffffULL,
+                      0x3810d5aabbccULL, 0x344b50123456ULL,
+                      0x00e0fc000001ULL, 0x020000000001ULL,
+                      0x800000000080ULL, 0x555555555555ULL,
+                      0xaaaaaaaaaaaaULL, 0x123456789abcULL));
+
+}  // namespace
+}  // namespace scent::net

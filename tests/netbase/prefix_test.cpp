@@ -1,0 +1,150 @@
+// Tests for the Prefix value type: masking, containment, subnet math.
+#include "netbase/prefix.h"
+
+#include <gtest/gtest.h>
+
+namespace scent::net {
+namespace {
+
+Ipv6Address addr(const char* text) { return *Ipv6Address::parse(text); }
+
+TEST(Prefix, ConstructionMasksHostBits) {
+  const Prefix p{addr("2001:db8::dead:beef"), 32};
+  EXPECT_EQ(p.base(), addr("2001:db8::"));
+  EXPECT_EQ(p.length(), 32u);
+}
+
+TEST(Prefix, EqualRegardlessOfConstructionAddress) {
+  EXPECT_EQ((Prefix{addr("2001:db8::1"), 48}),
+            (Prefix{addr("2001:db8::ffff"), 48}));
+}
+
+TEST(Prefix, ParseValid) {
+  const auto p = Prefix::parse("2001:16b8::/32");
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->length(), 32u);
+  EXPECT_EQ(p->base(), addr("2001:16b8::"));
+}
+
+TEST(Prefix, ParseRejectsMalformed) {
+  EXPECT_FALSE(Prefix::parse("2001:db8::"));       // no length
+  EXPECT_FALSE(Prefix::parse("2001:db8::/"));      // empty length
+  EXPECT_FALSE(Prefix::parse("2001:db8::/129"));   // too long
+  EXPECT_FALSE(Prefix::parse("2001:db8::/1x"));    // trailing junk
+  EXPECT_FALSE(Prefix::parse("notanaddr/32"));
+  EXPECT_FALSE(Prefix::parse("/32"));
+}
+
+TEST(Prefix, ParseFullRangeLengths) {
+  EXPECT_EQ(Prefix::parse("::/0")->length(), 0u);
+  EXPECT_EQ(Prefix::parse("::1/128")->length(), 128u);
+}
+
+TEST(Prefix, MaskValues) {
+  EXPECT_EQ(Prefix::mask(0), Uint128{});
+  EXPECT_EQ(Prefix::mask(64), Uint128(~0ULL, 0));
+  EXPECT_EQ(Prefix::mask(128), Uint128::max());
+  EXPECT_EQ(Prefix::mask(1), Uint128(0x8000000000000000ULL, 0));
+  EXPECT_EQ(Prefix::mask(48), Uint128(0xffffffffffff0000ULL, 0));
+}
+
+TEST(Prefix, ContainsAddress) {
+  const Prefix p = *Prefix::parse("2001:16b8::/32");
+  EXPECT_TRUE(p.contains(addr("2001:16b8::1")));
+  EXPECT_TRUE(p.contains(addr("2001:16b8:ffff:ffff:ffff:ffff:ffff:ffff")));
+  EXPECT_FALSE(p.contains(addr("2001:16b9::")));
+  EXPECT_FALSE(p.contains(addr("2003:e2::1")));
+}
+
+TEST(Prefix, ContainsPrefix) {
+  const Prefix p32 = *Prefix::parse("2001:16b8::/32");
+  EXPECT_TRUE(p32.contains(*Prefix::parse("2001:16b8:100::/46")));
+  EXPECT_TRUE(p32.contains(p32));
+  EXPECT_FALSE(p32.contains(*Prefix::parse("2001::/16")));  // shorter
+  EXPECT_FALSE(p32.contains(*Prefix::parse("2003:e2::/48")));
+}
+
+TEST(Prefix, ZeroLengthContainsEverything) {
+  const Prefix all = *Prefix::parse("::/0");
+  EXPECT_TRUE(all.contains(addr("ffff::1")));
+  EXPECT_TRUE(all.contains(*Prefix::parse("2001:db8::/32")));
+}
+
+TEST(Prefix, CountSubnets) {
+  const Prefix p48 = *Prefix::parse("2001:db8::/48");
+  EXPECT_EQ(p48.count_subnets(64), Uint128{65536});
+  EXPECT_EQ(p48.count_subnets(56), Uint128{256});
+  EXPECT_EQ(p48.count_subnets(48), Uint128{1});
+  EXPECT_EQ(p48.count_subnets(32), Uint128{1});  // not more specific
+}
+
+TEST(Prefix, SubnetEnumeration) {
+  const Prefix p48 = *Prefix::parse("2001:db8::/48");
+  EXPECT_EQ(p48.subnet(56, Uint128{0}), *Prefix::parse("2001:db8::/56"));
+  EXPECT_EQ(p48.subnet(56, Uint128{1}), *Prefix::parse("2001:db8:0:100::/56"));
+  EXPECT_EQ(p48.subnet(56, Uint128{255}),
+            *Prefix::parse("2001:db8:0:ff00::/56"));
+  EXPECT_EQ(p48.subnet(64, Uint128{65535}),
+            *Prefix::parse("2001:db8:0:ffff::/64"));
+}
+
+TEST(Prefix, SubnetIndexInvertsSubnet) {
+  const Prefix pool = *Prefix::parse("2001:16b8:100::/46");
+  for (const std::uint64_t i : {0ULL, 1ULL, 255ULL, 1023ULL}) {
+    const Prefix sub = pool.subnet(56, Uint128{i});
+    EXPECT_EQ(pool.subnet_index(sub.base(), 56), Uint128{i});
+    // Any address inside the subnet maps to the same index.
+    EXPECT_EQ(pool.subnet_index(
+                  Ipv6Address{sub.base().network() | 0xff, 0x1234}, 56),
+              Uint128{i});
+  }
+}
+
+TEST(Prefix, FirstAndLast) {
+  const Prefix p = *Prefix::parse("2001:db8::/48");
+  EXPECT_EQ(p.first(), addr("2001:db8::"));
+  EXPECT_EQ(p.last(),
+            addr("2001:db8:0:ffff:ffff:ffff:ffff:ffff"));
+}
+
+TEST(Prefix, Parent) {
+  const Prefix p = *Prefix::parse("2001:db8:1234::/48");
+  EXPECT_EQ(p.parent(32), *Prefix::parse("2001:db8::/32"));
+  EXPECT_EQ(p.parent(60), p);  // cannot widen to longer length
+}
+
+TEST(Prefix, ToStringRoundTrip) {
+  const Prefix p = *Prefix::parse("2001:16b8:100::/46");
+  EXPECT_EQ(p.to_string(), "2001:16b8:100::/46");
+  EXPECT_EQ(*Prefix::parse(p.to_string()), p);
+}
+
+TEST(Prefix, LengthClampedTo128) {
+  const Prefix p{addr("::1"), 200};
+  EXPECT_EQ(p.length(), 128u);
+  EXPECT_TRUE(p.contains(addr("::1")));
+  EXPECT_FALSE(p.contains(addr("::2")));
+}
+
+/// Property sweep over lengths: base is masked, last/first bracket all
+/// contained addresses, count*size covers the range.
+class PrefixLengthProperty : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(PrefixLengthProperty, MaskAndBoundsAreConsistent) {
+  const unsigned len = GetParam();
+  const Prefix p{addr("2001:16b8:aaaa:bbbb:cccc:dddd:eeee:ffff"), len};
+  EXPECT_EQ(p.base().bits() & ~Prefix::mask(len), Uint128{});
+  EXPECT_TRUE(p.contains(p.first()));
+  EXPECT_TRUE(p.contains(p.last()));
+  if (len > 0) {
+    // The address just past last() is outside (except for /0).
+    EXPECT_FALSE(p.contains(Ipv6Address{p.last().bits() + Uint128{1}}));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Lengths, PrefixLengthProperty,
+                         ::testing::Values(0u, 1u, 16u, 32u, 46u, 48u, 56u,
+                                           60u, 63u, 64u, 65u, 96u, 127u));
+
+}  // namespace
+}  // namespace scent::net

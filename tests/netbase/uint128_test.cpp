@@ -1,0 +1,182 @@
+// Tests for the portable 128-bit integer underlying all address arithmetic.
+#include "netbase/uint128.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+namespace scent::net {
+namespace {
+
+TEST(Uint128, DefaultIsZero) {
+  constexpr Uint128 z;
+  EXPECT_EQ(z.hi(), 0u);
+  EXPECT_EQ(z.lo(), 0u);
+  EXPECT_EQ(z, Uint128{0});
+}
+
+TEST(Uint128, ComparisonOrdersByHiThenLo) {
+  EXPECT_LT(Uint128(0, 5), Uint128(1, 0));
+  EXPECT_LT(Uint128(1, 0), Uint128(1, 1));
+  EXPECT_GT(Uint128(2, 0), Uint128(1, 0xffffffffffffffffULL));
+  EXPECT_EQ(Uint128(3, 4), Uint128(3, 4));
+}
+
+TEST(Uint128, AdditionCarriesAcrossLimb) {
+  const Uint128 a{0, 0xffffffffffffffffULL};
+  const Uint128 sum = a + Uint128{1};
+  EXPECT_EQ(sum, Uint128(1, 0));
+}
+
+TEST(Uint128, SubtractionBorrowsAcrossLimb) {
+  const Uint128 a{1, 0};
+  EXPECT_EQ(a - Uint128{1}, Uint128(0, 0xffffffffffffffffULL));
+}
+
+TEST(Uint128, AdditionWrapsAtMax) {
+  EXPECT_EQ(Uint128::max() + Uint128{1}, Uint128{});
+}
+
+TEST(Uint128, SubtractionWrapsBelowZero) {
+  EXPECT_EQ(Uint128{} - Uint128{1}, Uint128::max());
+}
+
+TEST(Uint128, ShiftLeftWithinAndAcrossLimbs) {
+  const Uint128 one{1};
+  EXPECT_EQ(one << 0, one);
+  EXPECT_EQ((one << 1).lo(), 2u);
+  EXPECT_EQ((one << 64), Uint128(1, 0));
+  EXPECT_EQ((one << 127), Uint128(0x8000000000000000ULL, 0));
+  EXPECT_EQ((one << 128), Uint128{});
+}
+
+TEST(Uint128, ShiftRightWithinAndAcrossLimbs) {
+  const Uint128 top{0x8000000000000000ULL, 0};
+  EXPECT_EQ(top >> 0, top);
+  EXPECT_EQ(top >> 63, Uint128(1, 0));
+  EXPECT_EQ(top >> 64, Uint128(0, 0x8000000000000000ULL));
+  EXPECT_EQ(top >> 127, Uint128{1});
+  EXPECT_EQ(top >> 128, Uint128{});
+}
+
+TEST(Uint128, ShiftCrossLimbPreservesBits) {
+  const Uint128 v{0x0123456789abcdefULL, 0xfedcba9876543210ULL};
+  EXPECT_EQ(v << 8, Uint128(0x23456789abcdeffeULL, 0xdcba987654321000ULL));
+  EXPECT_EQ(v >> 8, Uint128(0x000123456789abcdULL, 0xeffedcba98765432ULL));
+}
+
+TEST(Uint128, BitwiseOperators) {
+  const Uint128 a{0xff00ff00ff00ff00ULL, 0x0f0f0f0f0f0f0f0fULL};
+  const Uint128 b{0x0ff00ff00ff00ff0ULL, 0x00ff00ff00ff00ffULL};
+  EXPECT_EQ((a & b).hi(), 0x0f000f000f000f00ULL);
+  EXPECT_EQ((a | b).lo(), 0x0fff0fff0fff0fffULL);
+  EXPECT_EQ((a ^ a), Uint128{});
+  EXPECT_EQ(~Uint128{}, Uint128::max());
+}
+
+TEST(Uint128, MultiplySmallValues) {
+  EXPECT_EQ(Uint128{7} * Uint128{6}, Uint128{42});
+  EXPECT_EQ(Uint128{0} * Uint128::max(), Uint128{});
+  EXPECT_EQ(Uint128{1} * Uint128::max(), Uint128::max());
+}
+
+TEST(Uint128, MultiplyCarriesIntoHighLimb) {
+  // 2^32 * 2^32 = 2^64.
+  const Uint128 two32{std::uint64_t{1} << 32};
+  EXPECT_EQ(two32 * two32, Uint128(1, 0));
+  // (2^64 - 1)^2 = 2^128 - 2^65 + 1.
+  const Uint128 m{0, ~0ULL};
+  EXPECT_EQ(m * m, Uint128(0xfffffffffffffffeULL, 1));
+}
+
+TEST(Uint128, MultiplyWrapsModulo2To128) {
+  EXPECT_EQ(Uint128::max() * Uint128{2},
+            Uint128::max() - Uint128{1});
+}
+
+TEST(Uint128, DivisionAndModulo) {
+  const Uint128 n{0x12345678ULL, 0x9abcdef012345678ULL};
+  const Uint128 d{0x1000};
+  const auto [q, r] = div_mod(n, d);
+  EXPECT_EQ(q * d + r, n);
+  EXPECT_LT(r, d);
+  EXPECT_EQ(n / Uint128{1}, n);
+  EXPECT_EQ(n % Uint128{1}, Uint128{});
+}
+
+TEST(Uint128, DivisionBy128BitDivisor) {
+  const Uint128 n{5, 123};
+  const Uint128 d{1, 0};  // 2^64
+  EXPECT_EQ(n / d, Uint128{5});
+  EXPECT_EQ(n % d, Uint128{123});
+}
+
+TEST(Uint128, DivisionByZeroYieldsZero) {
+  EXPECT_EQ(Uint128{5} / Uint128{}, Uint128{});
+  EXPECT_EQ(Uint128{5} % Uint128{}, Uint128{});
+}
+
+TEST(Uint128, BitAccess) {
+  const Uint128 v = Uint128{1} << 100;
+  EXPECT_TRUE(v.bit(100));
+  EXPECT_FALSE(v.bit(99));
+  EXPECT_FALSE(v.bit(101));
+  EXPECT_FALSE(v.bit(200));
+  EXPECT_TRUE(Uint128{1}.bit(0));
+}
+
+TEST(Uint128, CountlZero) {
+  EXPECT_EQ(Uint128{}.countl_zero(), 128u);
+  EXPECT_EQ(Uint128{1}.countl_zero(), 127u);
+  EXPECT_EQ((Uint128{1} << 64).countl_zero(), 63u);
+  EXPECT_EQ(Uint128::max().countl_zero(), 0u);
+}
+
+TEST(Uint128, FloorAndCeilLog2) {
+  EXPECT_EQ(Uint128{1}.floor_log2(), 0u);
+  EXPECT_EQ(Uint128{2}.floor_log2(), 1u);
+  EXPECT_EQ(Uint128{3}.floor_log2(), 1u);
+  EXPECT_EQ(Uint128{4}.floor_log2(), 2u);
+  EXPECT_EQ((Uint128{1} << 100).floor_log2(), 100u);
+
+  EXPECT_EQ(Uint128{1}.ceil_log2(), 0u);
+  EXPECT_EQ(Uint128{2}.ceil_log2(), 1u);
+  EXPECT_EQ(Uint128{3}.ceil_log2(), 2u);
+  EXPECT_EQ(Uint128{4}.ceil_log2(), 2u);
+  EXPECT_EQ(Uint128{5}.ceil_log2(), 3u);
+}
+
+TEST(Uint128, IncrementDecrement) {
+  Uint128 v{0, ~0ULL};
+  ++v;
+  EXPECT_EQ(v, Uint128(1, 0));
+  --v;
+  EXPECT_EQ(v, Uint128(0, ~0ULL));
+}
+
+/// Property sweep: div_mod reconstruction identity over varied operands.
+class Uint128DivisionProperty
+    : public ::testing::TestWithParam<std::pair<std::uint64_t, std::uint64_t>> {
+};
+
+TEST_P(Uint128DivisionProperty, QuotientTimesDivisorPlusRemainderIsDividend) {
+  const auto [a_seed, b_seed] = GetParam();
+  // Derive structured 128-bit operands from the seeds.
+  const Uint128 n{a_seed * 0x9e3779b97f4a7c15ULL, a_seed ^ 0x1234567890abcdefULL};
+  const Uint128 d{b_seed >> 33, b_seed | 1};
+  const auto [q, r] = div_mod(n, d);
+  EXPECT_EQ(q * d + r, n);
+  EXPECT_LT(r, d);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Seeds, Uint128DivisionProperty,
+    ::testing::Values(std::pair{1ULL, 3ULL}, std::pair{17ULL, 257ULL},
+                      std::pair{0xffffULL, 0xff00ff00ff00ULL},
+                      std::pair{0xdeadbeefULL, 2ULL},
+                      std::pair{0x8000000000000000ULL, 0x8000000000000001ULL},
+                      std::pair{42ULL, 0xffffffffffffffffULL},
+                      std::pair{0xabcdefULL, 0x1000000ULL}));
+
+}  // namespace
+}  // namespace scent::net

@@ -1,0 +1,82 @@
+// Tests for the OUI -> manufacturer registry.
+#include "oui/oui_registry.h"
+
+#include <gtest/gtest.h>
+
+namespace scent::oui {
+namespace {
+
+TEST(OuiRegistry, BuiltinContainsPaperVendors) {
+  const Registry& reg = builtin_registry();
+  // AVM's 38:10:d5 block is the paper's Figure 1 example.
+  EXPECT_EQ(reg.vendor(net::Oui{0x3810d5}).value_or(""), "AVM GmbH");
+  EXPECT_EQ(reg.vendor(net::Oui{0x344b50}).value_or(""), "ZTE Corporation");
+  EXPECT_EQ(reg.vendor(net::Oui{0x001349}).value_or(""),
+            "Zyxel Communications");
+  EXPECT_EQ(reg.vendor(net::Oui{0x00a057}).value_or(""), "Lancom Systems");
+}
+
+TEST(OuiRegistry, UnknownOuiReturnsNullopt) {
+  EXPECT_FALSE(builtin_registry().vendor(net::Oui{0xdddddd}).has_value());
+}
+
+TEST(OuiRegistry, LookupByMacUsesItsOui) {
+  const auto mac = *net::MacAddress::parse("38:10:d5:12:34:56");
+  EXPECT_EQ(builtin_registry().vendor(mac).value_or(""), "AVM GmbH");
+}
+
+TEST(OuiRegistry, OuisOfFindsAllVendorBlocks) {
+  const auto avm = builtin_registry().ouis_of("AVM");
+  EXPECT_GE(avm.size(), 4u);
+  for (const auto& oui : avm) {
+    EXPECT_EQ(builtin_registry().vendor(oui).value_or(""), "AVM GmbH");
+  }
+  EXPECT_TRUE(builtin_registry().ouis_of("NoSuchVendor").empty());
+}
+
+TEST(OuiRegistry, AddReplacesExisting) {
+  Registry reg;
+  reg.add(net::Oui{0x112233}, "First");
+  reg.add(net::Oui{0x112233}, "Second");
+  EXPECT_EQ(reg.vendor(net::Oui{0x112233}).value_or(""), "Second");
+  EXPECT_EQ(reg.size(), 1u);
+}
+
+TEST(OuiRegistry, LoadIeeeTextParsesHexLines) {
+  Registry reg;
+  const char* text =
+      "OUI/MA-L                                                    Organization\n"
+      "company_id                                                  Organization\n"
+      "                                                            Address\n"
+      "\n"
+      "38-10-D5   (hex)\t\tAVM GmbH\n"
+      "3810D5     (base 16)\t\tAVM GmbH\n"
+      "\t\t\t\tAlt-Moabit 95\n"
+      "\n"
+      "34-4B-50   (hex)\t\tZTE Corporation\n"
+      "344B50     (base 16)\t\tZTE Corporation\n";
+  EXPECT_EQ(reg.load_ieee_text(text), 2u);
+  EXPECT_EQ(reg.vendor(net::Oui{0x3810d5}).value_or(""), "AVM GmbH");
+  EXPECT_EQ(reg.vendor(net::Oui{0x344b50}).value_or(""), "ZTE Corporation");
+}
+
+TEST(OuiRegistry, LoadIeeeTextSkipsMalformedLines) {
+  Registry reg;
+  EXPECT_EQ(reg.load_ieee_text("garbage\n(hex) but no oui\nZZ-10-D5 (hex) X\n"),
+            0u);
+  EXPECT_EQ(reg.size(), 0u);
+}
+
+TEST(OuiRegistry, LoadIeeeTextTrimsWhitespace) {
+  Registry reg;
+  reg.load_ieee_text("00-11-22   (hex)\t\t  Spaced Vendor Inc.  \r\n");
+  EXPECT_EQ(reg.vendor(net::Oui{0x001122}).value_or(""),
+            "Spaced Vendor Inc.");
+}
+
+TEST(OuiRegistry, OuiMasks24Bits) {
+  EXPECT_EQ(net::Oui{0xff123456}.value(), 0x123456u);
+}
+
+}  // namespace
+}  // namespace scent::oui

@@ -1,0 +1,168 @@
+// Tests for the zmap-style cyclic-group permutation and its number theory.
+#include "probe/permutation.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+namespace scent::probe {
+namespace {
+
+TEST(NumberTheory, MulModMatchesSmallCases) {
+  EXPECT_EQ(mul_mod_u64(7, 8, 5), 1u);
+  EXPECT_EQ(mul_mod_u64(0, 12345, 7), 0u);
+  EXPECT_EQ(mul_mod_u64(1ULL << 62, 4, 1000003), (1ULL << 62) % 1000003 * 4 %
+                                                      1000003);
+}
+
+TEST(NumberTheory, MulModHandlesHugeOperands) {
+  const std::uint64_t m = 0xffffffffffffffc5ULL;  // large prime
+  // (m-1)^2 mod m == 1.
+  EXPECT_EQ(mul_mod_u64(m - 1, m - 1, m), 1u);
+}
+
+TEST(NumberTheory, PowMod) {
+  EXPECT_EQ(pow_mod_u64(2, 10, 1000000007), 1024u);
+  EXPECT_EQ(pow_mod_u64(5, 0, 13), 1u);
+  // Fermat: a^(p-1) = 1 mod p.
+  EXPECT_EQ(pow_mod_u64(3, 1000003 - 1, 1000003), 1u);
+}
+
+TEST(NumberTheory, IsPrimeSmall) {
+  EXPECT_FALSE(is_prime_u64(0));
+  EXPECT_FALSE(is_prime_u64(1));
+  EXPECT_TRUE(is_prime_u64(2));
+  EXPECT_TRUE(is_prime_u64(3));
+  EXPECT_FALSE(is_prime_u64(4));
+  EXPECT_TRUE(is_prime_u64(5));
+  EXPECT_FALSE(is_prime_u64(1000001));  // 101 * 9901
+  EXPECT_TRUE(is_prime_u64(1000003));
+}
+
+TEST(NumberTheory, IsPrimeLarge) {
+  EXPECT_TRUE(is_prime_u64(0xffffffffffffffc5ULL));   // 2^64 - 59
+  EXPECT_FALSE(is_prime_u64(0xffffffffffffffc4ULL));
+  EXPECT_TRUE(is_prime_u64((1ULL << 61) - 1));        // Mersenne prime M61
+  EXPECT_FALSE(is_prime_u64((1ULL << 62) - 1));
+  // Carmichael numbers must not fool the deterministic witness set.
+  EXPECT_FALSE(is_prime_u64(561));
+  EXPECT_FALSE(is_prime_u64(1105));
+  EXPECT_FALSE(is_prime_u64(825265));
+}
+
+TEST(CyclicPermutation, CoversDomainExactlyOnce) {
+  for (const std::uint64_t n : {8ULL, 100ULL, 1000ULL, 65536ULL}) {
+    CyclicPermutation perm{n, 42};
+    std::set<std::uint64_t> seen;
+    std::uint64_t out = 0;
+    while (perm.next(out)) {
+      EXPECT_LT(out, n);
+      EXPECT_TRUE(seen.insert(out).second) << "dup " << out << " n=" << n;
+    }
+    EXPECT_EQ(seen.size(), n);
+    // Exhausted: further next() calls fail.
+    EXPECT_FALSE(perm.next(out));
+  }
+}
+
+TEST(CyclicPermutation, TinyDomainsStillCover) {
+  for (const std::uint64_t n : {1ULL, 2ULL, 3ULL, 7ULL}) {
+    CyclicPermutation perm{n, 9};
+    std::set<std::uint64_t> seen;
+    std::uint64_t out = 0;
+    while (perm.next(out)) seen.insert(out);
+    EXPECT_EQ(seen.size(), n);
+  }
+}
+
+TEST(CyclicPermutation, SameSeedSameOrder) {
+  CyclicPermutation a{10000, 7};
+  CyclicPermutation b{10000, 7};
+  std::uint64_t x = 0;
+  std::uint64_t y = 0;
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_TRUE(a.next(x));
+    ASSERT_TRUE(b.next(y));
+    EXPECT_EQ(x, y);
+  }
+}
+
+TEST(CyclicPermutation, DifferentSeedsDifferentOrder) {
+  CyclicPermutation a{10000, 7};
+  CyclicPermutation b{10000, 8};
+  std::uint64_t x = 0;
+  std::uint64_t y = 0;
+  int same = 0;
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_TRUE(a.next(x));
+    ASSERT_TRUE(b.next(y));
+    if (x == y) ++same;
+  }
+  EXPECT_LT(same, 10);
+}
+
+TEST(CyclicPermutation, ResetReplaysIdenticalOrder) {
+  CyclicPermutation perm{5000, 3};
+  std::vector<std::uint64_t> first;
+  std::uint64_t out = 0;
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(perm.next(out));
+    first.push_back(out);
+  }
+  perm.reset();
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(perm.next(out));
+    EXPECT_EQ(out, first[static_cast<std::size_t>(i)]);
+  }
+}
+
+TEST(CyclicPermutation, PrimeIsSafeAndAboveN) {
+  CyclicPermutation perm{65536, 1};
+  const std::uint64_t p = perm.prime();
+  EXPECT_GT(p, 65536u);
+  EXPECT_TRUE(is_prime_u64(p));
+  EXPECT_TRUE(is_prime_u64((p - 1) / 2));  // safe prime
+}
+
+TEST(CyclicPermutation, OrderLooksScrambled) {
+  CyclicPermutation perm{1 << 16, 11};
+  std::uint64_t prev = 0;
+  ASSERT_TRUE(perm.next(prev));
+  int ascending_steps = 0;
+  std::uint64_t cur = 0;
+  constexpr int kSamples = 1000;
+  for (int i = 0; i < kSamples; ++i) {
+    ASSERT_TRUE(perm.next(cur));
+    if (cur == prev + 1) ++ascending_steps;
+    prev = cur;
+  }
+  EXPECT_LT(ascending_steps, 5);
+}
+
+/// Property: coverage holds for awkward sizes around prime gaps and powers
+/// of two.
+class PermutationSizes : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PermutationSizes, ExactCoverage) {
+  const std::uint64_t n = GetParam();
+  CyclicPermutation perm{n, 0xD00D};
+  std::vector<bool> seen(n, false);
+  std::uint64_t out = 0;
+  std::uint64_t count = 0;
+  while (perm.next(out)) {
+    ASSERT_LT(out, n);
+    ASSERT_FALSE(seen[out]);
+    seen[out] = true;
+    ++count;
+  }
+  EXPECT_EQ(count, n);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, PermutationSizes,
+                         ::testing::Values(8ULL, 9ULL, 255ULL, 256ULL, 257ULL,
+                                           1023ULL, 1024ULL, 4095ULL,
+                                           65535ULL, 65537ULL, 262144ULL));
+
+}  // namespace
+}  // namespace scent::probe

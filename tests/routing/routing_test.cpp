@@ -1,0 +1,141 @@
+// Tests for the prefix trie (LPM) and the BGP table substitute.
+#include <gtest/gtest.h>
+
+#include "routing/bgp_table.h"
+#include "routing/prefix_trie.h"
+
+namespace scent::routing {
+namespace {
+
+net::Prefix pfx(const char* text) { return *net::Prefix::parse(text); }
+net::Ipv6Address addr(const char* text) {
+  return *net::Ipv6Address::parse(text);
+}
+
+TEST(PrefixTrie, InsertAndExactFind) {
+  PrefixTrie<int> trie;
+  EXPECT_TRUE(trie.insert(pfx("2001:db8::/32"), 1));
+  EXPECT_TRUE(trie.insert(pfx("2001:db8:1::/48"), 2));
+  ASSERT_NE(trie.find(pfx("2001:db8::/32")), nullptr);
+  EXPECT_EQ(*trie.find(pfx("2001:db8::/32")), 1);
+  EXPECT_EQ(*trie.find(pfx("2001:db8:1::/48")), 2);
+  EXPECT_EQ(trie.find(pfx("2001:db8::/33")), nullptr);
+  EXPECT_EQ(trie.size(), 2u);
+}
+
+TEST(PrefixTrie, InsertReplacesValue) {
+  PrefixTrie<int> trie;
+  EXPECT_TRUE(trie.insert(pfx("2001:db8::/32"), 1));
+  EXPECT_FALSE(trie.insert(pfx("2001:db8::/32"), 9));
+  EXPECT_EQ(*trie.find(pfx("2001:db8::/32")), 9);
+  EXPECT_EQ(trie.size(), 1u);
+}
+
+TEST(PrefixTrie, LongestMatchPrefersMoreSpecific) {
+  PrefixTrie<int> trie;
+  trie.insert(pfx("2001:db8::/32"), 1);
+  trie.insert(pfx("2001:db8:1::/48"), 2);
+  trie.insert(pfx("2001:db8:1:100::/56"), 3);
+
+  const auto m1 = trie.longest_match(addr("2001:db8:ffff::1"));
+  ASSERT_TRUE(m1.has_value());
+  EXPECT_EQ(*m1->value, 1);
+  EXPECT_EQ(m1->prefix, pfx("2001:db8::/32"));
+
+  const auto m2 = trie.longest_match(addr("2001:db8:1:200::1"));
+  ASSERT_TRUE(m2.has_value());
+  EXPECT_EQ(*m2->value, 2);
+
+  const auto m3 = trie.longest_match(addr("2001:db8:1:1ff::1"));
+  ASSERT_TRUE(m3.has_value());
+  EXPECT_EQ(*m3->value, 3);
+}
+
+TEST(PrefixTrie, LongestMatchMissesOutsideAllPrefixes) {
+  PrefixTrie<int> trie;
+  trie.insert(pfx("2001:db8::/32"), 1);
+  EXPECT_FALSE(trie.longest_match(addr("2003:e2::1")).has_value());
+}
+
+TEST(PrefixTrie, DefaultRouteMatchesEverything) {
+  PrefixTrie<int> trie;
+  trie.insert(pfx("::/0"), 42);
+  const auto m = trie.longest_match(addr("ffff:ffff::1"));
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(*m->value, 42);
+  EXPECT_EQ(m->prefix.length(), 0u);
+}
+
+TEST(PrefixTrie, EraseKeepsMoreSpecifics) {
+  PrefixTrie<int> trie;
+  trie.insert(pfx("2001:db8::/32"), 1);
+  trie.insert(pfx("2001:db8:1::/48"), 2);
+  EXPECT_TRUE(trie.erase(pfx("2001:db8::/32")));
+  EXPECT_FALSE(trie.erase(pfx("2001:db8::/32")));
+  EXPECT_EQ(trie.find(pfx("2001:db8::/32")), nullptr);
+  ASSERT_NE(trie.find(pfx("2001:db8:1::/48")), nullptr);
+  const auto m = trie.longest_match(addr("2001:db8:1::9"));
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(*m->value, 2);
+  EXPECT_FALSE(trie.longest_match(addr("2001:db8:2::9")).has_value());
+}
+
+TEST(PrefixTrie, ForEachVisitsInPrefixOrder) {
+  PrefixTrie<int> trie;
+  trie.insert(pfx("2003::/16"), 3);
+  trie.insert(pfx("2001:db8::/32"), 1);
+  trie.insert(pfx("2001:db8:1::/48"), 2);
+  std::vector<net::Prefix> visited;
+  trie.for_each([&](const net::Prefix& p, int) { visited.push_back(p); });
+  ASSERT_EQ(visited.size(), 3u);
+  EXPECT_EQ(visited[0], pfx("2001:db8::/32"));
+  EXPECT_EQ(visited[1], pfx("2001:db8:1::/48"));
+  EXPECT_EQ(visited[2], pfx("2003::/16"));
+}
+
+TEST(PrefixTrie, HostRouteAtFullLength) {
+  PrefixTrie<int> trie;
+  trie.insert(pfx("2001:db8::7/128"), 7);
+  const auto m = trie.longest_match(addr("2001:db8::7"));
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(*m->value, 7);
+  EXPECT_FALSE(trie.longest_match(addr("2001:db8::8")).has_value());
+}
+
+// ---- BgpTable -------------------------------------------------------------
+
+TEST(BgpTable, LookupAttributesToMostSpecific) {
+  BgpTable bgp;
+  bgp.announce({pfx("2001:16b8::/32"), 8881, "DE", "Versatel"});
+  bgp.announce({pfx("2001:16b8:8000::/33"), 8882, "DE", "MoreSpecific"});
+
+  const auto a1 = bgp.lookup(addr("2001:16b8:1::1"));
+  ASSERT_TRUE(a1.has_value());
+  EXPECT_EQ(a1->origin_asn, 8881u);
+  EXPECT_EQ(a1->bgp_prefix, pfx("2001:16b8::/32"));
+  EXPECT_EQ(a1->country, "DE");
+
+  const auto a2 = bgp.lookup(addr("2001:16b8:8000::1"));
+  ASSERT_TRUE(a2.has_value());
+  EXPECT_EQ(a2->origin_asn, 8882u);
+}
+
+TEST(BgpTable, LookupMissReturnsNullopt) {
+  BgpTable bgp;
+  bgp.announce({pfx("2001:16b8::/32"), 8881, "DE", "Versatel"});
+  EXPECT_FALSE(bgp.lookup(addr("2003:e2::1")).has_value());
+}
+
+TEST(BgpTable, DumpReturnsAllAnnouncements) {
+  BgpTable bgp;
+  bgp.announce({pfx("2003:e2::/32"), 3320, "DE", "DTAG"});
+  bgp.announce({pfx("2001:16b8::/32"), 8881, "DE", "Versatel"});
+  const auto ads = bgp.dump();
+  ASSERT_EQ(ads.size(), 2u);
+  EXPECT_EQ(ads[0].origin_asn, 8881u);  // prefix order
+  EXPECT_EQ(ads[1].origin_asn, 3320u);
+  EXPECT_EQ(bgp.size(), 2u);
+}
+
+}  // namespace
+}  // namespace scent::routing

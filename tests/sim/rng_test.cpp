@@ -1,0 +1,189 @@
+// Tests for deterministic randomness: SplitMix64 and the Feistel bijection.
+#include "sim/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+namespace scent::sim {
+namespace {
+
+TEST(Mix64, IsDeterministic) {
+  EXPECT_EQ(mix64(42), mix64(42));
+  EXPECT_EQ(mix64(1, 2), mix64(1, 2));
+  EXPECT_EQ(mix64(1, 2, 3), mix64(1, 2, 3));
+}
+
+TEST(Mix64, DistinguishesInputs) {
+  EXPECT_NE(mix64(1), mix64(2));
+  EXPECT_NE(mix64(1, 2), mix64(2, 1));
+  EXPECT_NE(mix64(1, 2, 3), mix64(1, 3, 2));
+  EXPECT_NE(mix64(0), mix64(0, 0));
+}
+
+TEST(Rng, SameSeedSameSequence) {
+  Rng a{7};
+  Rng b{7};
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a{7};
+  Rng b{8};
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next() == b.next()) ++equal;
+  }
+  EXPECT_EQ(equal, 0);
+}
+
+TEST(Rng, BelowStaysInRange) {
+  Rng rng{123};
+  for (const std::uint64_t bound : {1ULL, 2ULL, 7ULL, 1000ULL, 1ULL << 40}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(rng.below(bound), bound) << "bound " << bound;
+    }
+  }
+}
+
+TEST(Rng, BelowCoversSmallRangeUniformly) {
+  Rng rng{99};
+  std::vector<int> counts(8, 0);
+  constexpr int kTrials = 8000;
+  for (int i = 0; i < kTrials; ++i) ++counts[rng.below(8)];
+  for (const int c : counts) {
+    EXPECT_GT(c, kTrials / 8 / 2);
+    EXPECT_LT(c, kTrials / 8 * 2);
+  }
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng{5};
+  double sum = 0;
+  constexpr int kTrials = 10000;
+  for (int i = 0; i < kTrials; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / kTrials, 0.5, 0.02);
+}
+
+TEST(Rng, ChanceMatchesProbability) {
+  Rng rng{11};
+  int hits = 0;
+  constexpr int kTrials = 20000;
+  for (int i = 0; i < kTrials; ++i) {
+    if (rng.chance(0.25)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / kTrials, 0.25, 0.02);
+}
+
+TEST(Rng, ForkIsIndependentAndDeterministic) {
+  Rng parent1{3};
+  Rng parent2{3};
+  Rng child1 = parent1.fork(9);
+  Rng child2 = parent2.fork(9);
+  EXPECT_EQ(child1.next(), child2.next());
+  // Different salt yields a different stream.
+  Rng parent3{3};
+  Rng child3 = parent3.fork(10);
+  EXPECT_NE(child1.next(), child3.next());
+}
+
+// ---- FeistelPermutation ----------------------------------------------------
+
+TEST(Feistel, IsBijectionOnExactPowerOfFourDomain) {
+  const FeistelPermutation perm{256, 42};
+  std::set<std::uint64_t> seen;
+  for (std::uint64_t i = 0; i < 256; ++i) {
+    const std::uint64_t y = perm.forward(i);
+    EXPECT_LT(y, 256u);
+    seen.insert(y);
+  }
+  EXPECT_EQ(seen.size(), 256u);
+}
+
+TEST(Feistel, IsBijectionOnAwkwardDomain) {
+  // 1000 is not a power of two: exercises cycle-walking.
+  const FeistelPermutation perm{1000, 7};
+  std::set<std::uint64_t> seen;
+  for (std::uint64_t i = 0; i < 1000; ++i) {
+    const std::uint64_t y = perm.forward(i);
+    EXPECT_LT(y, 1000u);
+    seen.insert(y);
+  }
+  EXPECT_EQ(seen.size(), 1000u);
+}
+
+TEST(Feistel, InverseUndoesForward) {
+  const FeistelPermutation perm{12345, 99};
+  for (std::uint64_t i = 0; i < 12345; i += 37) {
+    EXPECT_EQ(perm.inverse(perm.forward(i)), i);
+    EXPECT_EQ(perm.forward(perm.inverse(i)), i);
+  }
+}
+
+TEST(Feistel, KeyChangesPermutation) {
+  const FeistelPermutation a{4096, 1};
+  const FeistelPermutation b{4096, 2};
+  int same = 0;
+  for (std::uint64_t i = 0; i < 4096; ++i) {
+    if (a.forward(i) == b.forward(i)) ++same;
+  }
+  // Two random permutations of n elements agree in ~1 position.
+  EXPECT_LT(same, 24);
+}
+
+TEST(Feistel, SizeOneDomain) {
+  const FeistelPermutation perm{1, 5};
+  EXPECT_EQ(perm.forward(0), 0u);
+  EXPECT_EQ(perm.inverse(0), 0u);
+}
+
+TEST(Feistel, ActuallyScrambles) {
+  const FeistelPermutation perm{1 << 20, 1234};
+  // Not the identity, and not a simple shift: count fixed points and check
+  // consecutive inputs do not map to consecutive outputs.
+  int fixed = 0;
+  int consecutive = 0;
+  std::uint64_t prev = perm.forward(0);
+  for (std::uint64_t i = 1; i < 4096; ++i) {
+    const std::uint64_t y = perm.forward(i);
+    if (y == i) ++fixed;
+    if (y == prev + 1) ++consecutive;
+    prev = y;
+  }
+  EXPECT_LT(fixed, 4);
+  EXPECT_LT(consecutive, 4);
+}
+
+/// Property: bijection holds across domain sizes.
+class FeistelDomains : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FeistelDomains, BijectionAndInverse) {
+  const std::uint64_t n = GetParam();
+  const FeistelPermutation perm{n, 0xfeedface};
+  std::set<std::uint64_t> seen;
+  const std::uint64_t step = n < 2048 ? 1 : n / 1024;
+  for (std::uint64_t i = 0; i < n; i += step) {
+    const std::uint64_t y = perm.forward(i);
+    ASSERT_LT(y, n);
+    EXPECT_EQ(perm.inverse(y), i);
+    if (n < 2048) seen.insert(y);
+  }
+  if (n < 2048) {
+    EXPECT_EQ(seen.size(), n);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, FeistelDomains,
+                         ::testing::Values(1ULL, 2ULL, 3ULL, 5ULL, 16ULL,
+                                           17ULL, 100ULL, 255ULL, 256ULL,
+                                           257ULL, 1024ULL, 1ULL << 18,
+                                           (1ULL << 18) - 1, 1ULL << 24));
+
+}  // namespace
+}  // namespace scent::sim

@@ -1,0 +1,225 @@
+// Tests for world building: specs instantiate correctly and the paper
+// world has the distributional properties the experiments rely on.
+#include "sim/scenario.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <unordered_set>
+
+#include "oui/oui_registry.h"
+
+namespace scent::sim {
+namespace {
+
+TEST(WorldBuilder, TinyWorldShape) {
+  PaperWorld world = make_tiny_world(1, 24);
+  EXPECT_EQ(world.internet.provider_count(), 2u);
+  const Provider& rot = world.internet.provider(world.versatel);
+  EXPECT_EQ(rot.config().asn, 65001u);
+  ASSERT_EQ(rot.pools().size(), 1u);
+  EXPECT_EQ(rot.pools()[0].devices().size(), 24u);
+  EXPECT_TRUE(rot.pools()[0].config().rotation.rotates());
+  const Provider& stat = world.internet.provider(world.viettel);
+  EXPECT_FALSE(stat.pools()[0].config().rotation.rotates());
+}
+
+TEST(WorldBuilder, SameSeedSameWorld) {
+  PaperWorld a = make_tiny_world(99, 16);
+  PaperWorld b = make_tiny_world(99, 16);
+  const auto& da = a.internet.provider(a.versatel).pools()[0].devices();
+  const auto& db = b.internet.provider(b.versatel).pools()[0].devices();
+  ASSERT_EQ(da.size(), db.size());
+  for (std::size_t i = 0; i < da.size(); ++i) {
+    EXPECT_EQ(da[i].mac, db[i].mac);
+    EXPECT_EQ(da[i].initial_slot, db[i].initial_slot);
+  }
+}
+
+TEST(WorldBuilder, DifferentSeedsDifferentMacs) {
+  PaperWorld a = make_tiny_world(1, 16);
+  PaperWorld b = make_tiny_world(2, 16);
+  const auto& da = a.internet.provider(a.versatel).pools()[0].devices();
+  const auto& db = b.internet.provider(b.versatel).pools()[0].devices();
+  int same = 0;
+  for (std::size_t i = 0; i < da.size(); ++i) {
+    if (da[i].mac == db[i].mac) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(WorldBuilder, MintedMacsAreUniqueAndVendorCorrect) {
+  PaperWorld world = make_tiny_world(5, 24);
+  std::set<net::MacAddress> macs;
+  for (const std::size_t p : {world.versatel, world.viettel}) {
+    for (const auto& pool : world.internet.provider(p).pools()) {
+      for (const auto& d : pool.devices()) {
+        EXPECT_TRUE(macs.insert(d.mac).second) << d.mac.to_string();
+      }
+    }
+  }
+  // TinyRotator is all-AVM, TinyStatic all-ZTE.
+  for (const auto& d :
+       world.internet.provider(world.versatel).pools()[0].devices()) {
+    EXPECT_EQ(d.mac.oui().value(), 0x3810d5u);
+  }
+  for (const auto& d :
+       world.internet.provider(world.viettel).pools()[0].devices()) {
+    EXPECT_EQ(d.mac.oui().value(), 0x344b50u);
+  }
+}
+
+TEST(WorldBuilder, InitialSlotsAreDistinctPerPool) {
+  PaperWorld world = make_tiny_world(5, 24);
+  for (const std::size_t p : {world.versatel, world.viettel}) {
+    for (const auto& pool : world.internet.provider(p).pools()) {
+      std::set<std::uint64_t> slots;
+      for (const auto& d : pool.devices()) {
+        EXPECT_TRUE(slots.insert(d.initial_slot).second);
+        EXPECT_LT(d.initial_slot, pool.num_slots());
+      }
+    }
+  }
+}
+
+TEST(WorldBuilder, StridePoolsPlaceContiguously) {
+  // kAuto -> contiguous for stride pools: slot i for device i.
+  PaperWorld world = make_tiny_world(5, 24);
+  const auto& devices =
+      world.internet.provider(world.versatel).pools()[0].devices();
+  for (std::size_t i = 0; i < devices.size(); ++i) {
+    EXPECT_EQ(devices[i].initial_slot, i);
+  }
+}
+
+TEST(WorldBuilder, StaticPoolsScatter) {
+  PaperWorld world = make_tiny_world(5, 24);
+  const auto& devices =
+      world.internet.provider(world.viettel).pools()[0].devices();
+  bool any_nonsequential = false;
+  for (std::size_t i = 0; i < devices.size(); ++i) {
+    if (devices[i].initial_slot != i) any_nonsequential = true;
+  }
+  EXPECT_TRUE(any_nonsequential);
+}
+
+// ---- Paper world (scaled down for test runtime) ---------------------------
+
+class PaperWorldTest : public ::testing::Test {
+ protected:
+  static const PaperWorld& world() {
+    static const PaperWorld w = [] {
+      PaperWorldOptions options;
+      options.scale = 0.1;
+      options.tail_as_count = 24;
+      options.devices_per_tail_pool = 24;
+      return make_paper_world(options);
+    }();
+    return w;
+  }
+};
+
+TEST_F(PaperWorldTest, ProviderInventory) {
+  // 9 named + 24 tail.
+  EXPECT_EQ(world().internet.provider_count(), 33u);
+  EXPECT_EQ(world().internet.provider(world().versatel).config().asn, 8881u);
+  EXPECT_EQ(world().internet.provider(world().viettel).config().country, "VN");
+}
+
+TEST_F(PaperWorldTest, PoolsNestInsideAdvertisements) {
+  for (std::size_t p = 0; p < world().internet.provider_count(); ++p) {
+    const Provider& provider = world().internet.provider(p);
+    ASSERT_FALSE(provider.config().advertisements.empty());
+    const net::Prefix advert = provider.config().advertisements.front();
+    for (const auto& pool : provider.pools()) {
+      EXPECT_TRUE(advert.contains(pool.config().prefix))
+          << provider.config().name << " pool "
+          << pool.config().prefix.to_string();
+    }
+  }
+}
+
+TEST_F(PaperWorldTest, PoolsDoNotOverlap) {
+  for (std::size_t p = 0; p < world().internet.provider_count(); ++p) {
+    const auto& pools = world().internet.provider(p).pools();
+    for (std::size_t i = 0; i < pools.size(); ++i) {
+      for (std::size_t j = i + 1; j < pools.size(); ++j) {
+        EXPECT_FALSE(
+            pools[i].config().prefix.contains(pools[j].config().prefix));
+        EXPECT_FALSE(
+            pools[j].config().prefix.contains(pools[i].config().prefix));
+      }
+    }
+  }
+}
+
+TEST_F(PaperWorldTest, NetCologneIsAvmDominated) {
+  const Provider& nc = world().internet.provider(world().netcologne);
+  std::size_t avm = 0;
+  std::size_t total = 0;
+  const auto avm_ouis = oui::builtin_registry().ouis_of("AVM");
+  for (const auto& pool : nc.pools()) {
+    for (const auto& d : pool.devices()) {
+      ++total;
+      for (const auto& o : avm_ouis) {
+        if (d.mac.oui() == o) {
+          ++avm;
+          break;
+        }
+      }
+    }
+  }
+  ASSERT_GT(total, 0u);
+  EXPECT_GT(static_cast<double>(avm) / static_cast<double>(total), 0.99);
+}
+
+TEST_F(PaperWorldTest, PathologiesArePlanted) {
+  // Reused MAC present in multiple providers.
+  int reuse_count = 0;
+  int zero_count = 0;
+  for (std::size_t p = 0; p < world().internet.provider_count(); ++p) {
+    const Provider& provider = world().internet.provider(p);
+    if (provider.find_device(world().reused_mac)) ++reuse_count;
+    if (provider.find_device(world().default_mac)) ++zero_count;
+  }
+  EXPECT_GE(reuse_count, 3);
+  EXPECT_GE(zero_count, 5);
+}
+
+TEST_F(PaperWorldTest, ProviderSwitchersHaveDisjointActiveIntervals) {
+  const Provider& versatel = world().internet.provider(world().versatel);
+  const Provider& dtag = world().internet.provider(world().dtag);
+  const auto in_a = versatel.find_device(world().switcher_ab);
+  const auto in_b = dtag.find_device(world().switcher_ab);
+  ASSERT_TRUE(in_a.has_value());
+  ASSERT_TRUE(in_b.has_value());
+  const CpeDevice& da =
+      versatel.pools()[in_a->pool_index].devices()[in_a->device_index];
+  const CpeDevice& db =
+      dtag.pools()[in_b->pool_index].devices()[in_b->device_index];
+  EXPECT_LE(da.active_until, db.active_from);
+}
+
+TEST_F(PaperWorldTest, TailCoversManyCountries) {
+  std::set<std::string> countries;
+  for (std::size_t p = 0; p < world().internet.provider_count(); ++p) {
+    countries.insert(world().internet.provider(p).config().country);
+  }
+  EXPECT_GE(countries.size(), 15u);
+}
+
+TEST_F(PaperWorldTest, RoughlyHalfOfTailRotates) {
+  int rotating = 0;
+  for (const std::size_t p : world().tail) {
+    if (world().internet.provider(p).pools()[0].config().rotation.rotates()) {
+      ++rotating;
+    }
+  }
+  const double fraction =
+      static_cast<double>(rotating) / static_cast<double>(world().tail.size());
+  EXPECT_GT(fraction, 0.3);
+  EXPECT_LT(fraction, 0.8);
+}
+
+}  // namespace
+}  // namespace scent::sim

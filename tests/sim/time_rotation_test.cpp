@@ -1,0 +1,177 @@
+// Tests for virtual time and the rotation schedule.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "sim/rotation.h"
+#include "sim/sim_time.h"
+
+namespace scent::sim {
+namespace {
+
+TEST(SimTime, UnitArithmetic) {
+  EXPECT_EQ(kSecond, 1000000);
+  EXPECT_EQ(days(2), 2 * 24 * 3600 * kSecond);
+  EXPECT_EQ(hours(3), 3 * 3600 * kSecond);
+  EXPECT_EQ(minutes(90), hours(1) + minutes(30));
+}
+
+TEST(SimTime, DayOfAndTimeOfDay) {
+  EXPECT_EQ(day_of(0), 0);
+  EXPECT_EQ(day_of(kDay - 1), 0);
+  EXPECT_EQ(day_of(kDay), 1);
+  EXPECT_EQ(day_of(days(44) + hours(6)), 44);
+  EXPECT_EQ(time_of_day(days(3) + hours(7) + minutes(5)),
+            hours(7) + minutes(5));
+}
+
+TEST(SimTime, FormatTime) {
+  EXPECT_EQ(format_time(0), "d0 00:00:00");
+  EXPECT_EQ(format_time(days(3) + hours(7) + minutes(15) + 42 * kSecond),
+            "d3 07:15:42");
+}
+
+TEST(VirtualClock, AdvancesMonotonically) {
+  VirtualClock clock;
+  EXPECT_EQ(clock.now(), 0);
+  clock.advance(100);
+  EXPECT_EQ(clock.now(), 100);
+  clock.advance_to(50);  // never goes backwards
+  EXPECT_EQ(clock.now(), 100);
+  clock.advance_to(5000);
+  EXPECT_EQ(clock.now(), 5000);
+}
+
+// ---- RotationSchedule ------------------------------------------------------
+
+RotationPolicy stride_policy(std::uint64_t stride, Duration period = kDay) {
+  RotationPolicy p;
+  p.kind = RotationPolicy::Kind::kStride;
+  p.period = period;
+  p.window_start = 0;
+  p.window_length = hours(6);
+  p.stride = stride;
+  return p;
+}
+
+TEST(RotationSchedule, StaticNeverRotates) {
+  RotationPolicy p;  // kStatic
+  const RotationSchedule sched{p, 1024, 1};
+  EXPECT_EQ(sched.epochs_elapsed(5, days(100)), 0u);
+  EXPECT_EQ(sched.slot_at(17, 0), 17u);
+  EXPECT_EQ(sched.slot_at(17, 99), 17u);  // epoch ignored
+}
+
+TEST(RotationSchedule, EpochZeroBeforeFirstWindow) {
+  const RotationSchedule sched{stride_policy(1), 1024, 1};
+  EXPECT_EQ(sched.epochs_elapsed(5, 0), 0u);
+  EXPECT_EQ(sched.epochs_elapsed(5, kDay - 1), 0u);
+}
+
+TEST(RotationSchedule, EpochAdvancesWithinWindow) {
+  const RotationSchedule sched{stride_policy(1), 1024, 1};
+  // By the end of day 1's window every device has rotated once.
+  EXPECT_EQ(sched.epochs_elapsed(5, kDay + hours(6)), 1u);
+  // Before the window opens on day 1, no device has.
+  EXPECT_EQ(sched.epochs_elapsed(5, kDay - 1), 0u);
+}
+
+TEST(RotationSchedule, EpochCountsAccumulateDaily) {
+  const RotationSchedule sched{stride_policy(1), 1024, 1};
+  for (std::int64_t day = 1; day <= 30; ++day) {
+    EXPECT_EQ(sched.epochs_elapsed(5, days(day) + hours(7)),
+              static_cast<std::uint64_t>(day))
+        << "day " << day;
+  }
+}
+
+TEST(RotationSchedule, JitterSpreadsDevicesAcrossWindow) {
+  const RotationSchedule sched{stride_policy(1), 1024, 42};
+  // Mid-window, some devices have rotated and some have not.
+  const TimePoint mid_window = kDay + hours(3);
+  int rotated = 0;
+  constexpr int kDevices = 200;
+  for (std::uint64_t d = 0; d < kDevices; ++d) {
+    if (sched.epochs_elapsed(d, mid_window) == 1) ++rotated;
+  }
+  EXPECT_GT(rotated, kDevices / 5);
+  EXPECT_LT(rotated, kDevices * 4 / 5);
+}
+
+TEST(RotationSchedule, RotationInstantWithinWindow) {
+  const RotationSchedule sched{stride_policy(1), 1024, 7};
+  for (std::uint64_t d = 0; d < 50; ++d) {
+    const TimePoint instant = sched.rotation_instant(d, 3);
+    EXPECT_GE(instant, days(3));
+    EXPECT_LT(instant, days(3) + hours(6));
+  }
+}
+
+TEST(RotationSchedule, StrideSlotMath) {
+  const RotationSchedule sched{stride_policy(236), 1024, 1};
+  EXPECT_EQ(sched.slot_at(0, 0), 0u);
+  EXPECT_EQ(sched.slot_at(0, 1), 236u);
+  EXPECT_EQ(sched.slot_at(0, 5), (5 * 236) % 1024);
+  EXPECT_EQ(sched.slot_at(1000, 1), (1000 + 236) % 1024);
+}
+
+TEST(RotationSchedule, StrideInverseRoundTrips) {
+  const RotationSchedule sched{stride_policy(236), 1024, 1};
+  for (const std::uint64_t epoch : {0ULL, 1ULL, 7ULL, 100ULL, 12345ULL}) {
+    for (const std::uint64_t slot : {0ULL, 1ULL, 511ULL, 1023ULL}) {
+      EXPECT_EQ(sched.slot_at(sched.initial_of(slot, epoch), epoch), slot);
+    }
+  }
+}
+
+TEST(RotationSchedule, ShuffleIsBijectivePerEpoch) {
+  RotationPolicy p;
+  p.kind = RotationPolicy::Kind::kShuffle;
+  p.period = kDay;
+  p.window_length = hours(6);
+  const RotationSchedule sched{p, 256, 9};
+
+  for (const std::uint64_t epoch : {1ULL, 2ULL, 17ULL}) {
+    std::set<std::uint64_t> seen;
+    for (std::uint64_t i = 0; i < 256; ++i) {
+      const std::uint64_t s = sched.slot_at(i, epoch);
+      EXPECT_LT(s, 256u);
+      EXPECT_EQ(sched.initial_of(s, epoch), i);
+      seen.insert(s);
+    }
+    EXPECT_EQ(seen.size(), 256u);
+  }
+}
+
+TEST(RotationSchedule, ShuffleEpochsDiffer) {
+  RotationPolicy p;
+  p.kind = RotationPolicy::Kind::kShuffle;
+  const RotationSchedule sched{p, 4096, 9};
+  int same = 0;
+  for (std::uint64_t i = 0; i < 4096; ++i) {
+    if (sched.slot_at(i, 1) == sched.slot_at(i, 2)) ++same;
+  }
+  EXPECT_LT(same, 24);
+}
+
+TEST(RotationSchedule, MaxEpochsBoundsAllDevices) {
+  const RotationSchedule sched{stride_policy(3), 1024, 11};
+  for (const TimePoint t : {TimePoint{0}, kDay - 1, kDay + hours(2),
+                            days(10) + hours(5), days(44)}) {
+    const std::uint64_t bound = sched.max_epochs(t);
+    for (std::uint64_t d = 0; d < 64; ++d) {
+      EXPECT_LE(sched.epochs_elapsed(d, t), bound);
+      EXPECT_GE(sched.epochs_elapsed(d, t) + 1, bound);
+    }
+  }
+}
+
+TEST(RotationSchedule, LongerPeriodRotatesSlower) {
+  const RotationSchedule sched{stride_policy(1, days(3)), 1024, 1};
+  EXPECT_EQ(sched.epochs_elapsed(5, days(2)), 0u);
+  EXPECT_EQ(sched.epochs_elapsed(5, days(3) + hours(6)), 1u);
+  EXPECT_EQ(sched.epochs_elapsed(5, days(9) + hours(6)), 3u);
+}
+
+}  // namespace
+}  // namespace scent::sim
