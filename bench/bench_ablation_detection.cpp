@@ -80,6 +80,8 @@ int main() {
   core::TextTable table{{"snapshots", "threshold", "daily(TP)", "slow(TP)",
                          "static-churny(FP)", "probes"}};
 
+  telemetry::Registry registry;
+
   for (const unsigned snapshots : {2u, 3u, 5u}) {
     for (const std::uint64_t threshold : {0ULL, 2ULL, 8ULL}) {
       sim::PaperWorld world = detection_world(0xDE7EC7);
@@ -88,6 +90,13 @@ int main() {
       opts.wire_mode = false;
       opts.packets_per_second = 2000000;
       probe::Prober prober{world.internet, clock, opts};
+      registry.set_clock(&clock);
+      prober.attach_telemetry(registry);
+      char setting_name[48];
+      std::snprintf(setting_name, sizeof setting_name,
+                    "detect_s%u_t%llu", snapshots,
+                    static_cast<unsigned long long>(threshold));
+      telemetry::Span setting_span{&registry, setting_name};
 
       const net::Prefix pools[3] = {
           net::Prefix{world.internet.provider(world.versatel)
@@ -118,8 +127,8 @@ int main() {
       Score score;
       score.probes = probes;
       for (unsigned s = 0; s + 1 < snapshots; ++s) {
-        for (const auto& v :
-             core::detect_rotation(snaps[s], snaps[s + 1], threshold)) {
+        for (const auto& v : core::detect_rotation(snaps[s], snaps[s + 1],
+                                                   threshold, &registry)) {
           if (!v.rotating) continue;
           if (pools[0].contains(v.prefix)) score.daily = true;
           if (pools[1].contains(v.prefix)) score.slow = true;
@@ -174,6 +183,14 @@ int main() {
         if (v.rotating && slow48.contains(v.prefix)) five_snapshot_slow = true;
       }
     }
+  }
+
+  registry.set_clock(nullptr);
+  std::printf("\n");
+  telemetry::print_summary(stdout, registry);
+  if (!telemetry::write_json(bench::kTelemetryJsonPath, registry)) {
+    std::printf("  warning: failed to write telemetry json %s\n",
+                bench::kTelemetryJsonPath);
   }
 
   const bool ok = paper_setting_daily && five_snapshot_slow;

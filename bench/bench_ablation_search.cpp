@@ -137,5 +137,7 @@ int main() {
                   steady_means[1] > 20 * steady_means[2] &&
                   steady_means[2] < 10;
   std::printf("shape check: %s\n", ok ? "yes" : "NO");
+
+  pipeline.print_telemetry();
   return ok ? 0 : 1;
 }

@@ -33,11 +33,17 @@ int main() {
       core::BlockScope::kAllocation, core::BlockScope::kPool,
       core::BlockScope::kEuiFollow};
 
+  telemetry::Registry registry;
+
   core::BlockingOutcome pool_outcome;
   core::BlockingOutcome follow_outcome;
   core::BlockingOutcome address_outcome;
   for (const auto scope : scopes) {
     sim::VirtualClock clock{sim::hours(12)};
+    registry.set_clock(&clock);
+    const std::string span_name =
+        std::string{"block."} + std::string{core::to_string(scope)};
+    telemetry::Span scope_span{&registry, span_name};
     core::BlockingPolicyEvaluator evaluator{
         scope, pool.config().allocation_length, pool.config().prefix};
     for (unsigned day = 0; day < kDays; ++day) {
@@ -51,6 +57,12 @@ int main() {
       evaluator.day(abuser, innocents, clock.now());
     }
     const auto outcome = evaluator.outcome();
+    registry.counter("block.scopes_evaluated").inc();
+    registry.counter("block.days_evaluated").add(kDays);
+    registry.gauge(span_name + ".days_blocked")
+        .set_u64(outcome.days_abuser_blocked);
+    registry.gauge(span_name + ".innocent_device_days")
+        .set_u64(outcome.innocent_blocked_device_days);
     if (scope == core::BlockScope::kPool) pool_outcome = outcome;
     if (scope == core::BlockScope::kEuiFollow) follow_outcome = outcome;
     if (scope == core::BlockScope::kAddress) address_outcome = outcome;
@@ -71,6 +83,14 @@ int main() {
               "but takes every customer down with it; a defender that "
               "follows the EUI-64 scent gets both precision and coverage — "
               "the same legacy identifier that broke client privacy.\n");
+
+  registry.set_clock(nullptr);
+  std::printf("\n");
+  telemetry::print_summary(stdout, registry);
+  if (!telemetry::write_json(bench::kTelemetryJsonPath, registry)) {
+    std::printf("  warning: failed to write telemetry json %s\n",
+                bench::kTelemetryJsonPath);
+  }
 
   const bool ok = address_outcome.days_abuser_blocked == 0 &&
                   pool_outcome.days_abuser_blocked >= kDays - 1 &&

@@ -22,6 +22,8 @@ int main() {
   core::TextTable table{{"upgraded fraction", "victims still trackable",
                          "track rate (days 10-13)"}};
 
+  telemetry::Registry registry;
+
   bool monotone = true;
   double last_rate = 1.1;
   double rate_at_zero = 0;
@@ -37,6 +39,12 @@ int main() {
     popt.wire_mode = false;
     popt.packets_per_second = 2000000;
     probe::Prober prober{world.internet, clock, popt};
+    registry.set_clock(&clock);
+    prober.attach_telemetry(registry);
+    char wave_name[32];
+    std::snprintf(wave_name, sizeof wave_name, "rollout_%.0f%%",
+                  fraction * 100);
+    telemetry::Span wave_span{&registry, wave_name};
     const auto& pool = world.internet.provider(world.versatel).pools()[0];
 
     // A panel of 24 victims tracked daily for two weeks.
@@ -48,6 +56,7 @@ int main() {
       config.pool = pool.config().prefix;
       config.allocation_length = pool.config().allocation_length;
       config.seed = sim::mix64(0x06F5, v);
+      config.registry = &registry;
       trackers.emplace_back(prober, config);
     }
 
@@ -91,6 +100,14 @@ int main() {
   table.print(std::cout);
   std::printf("\n(track rate = post-rollout daily re-identification success "
               "across the victim panel)\n");
+
+  registry.set_clock(nullptr);
+  std::printf("\n");
+  telemetry::print_summary(stdout, registry);
+  if (!telemetry::write_json(bench::kTelemetryJsonPath, registry)) {
+    std::printf("  warning: failed to write telemetry json %s\n",
+                bench::kTelemetryJsonPath);
+  }
 
   const bool ok = monotone && rate_at_zero > 0.95 && rate_at_full < 0.05;
   std::printf("\nshape check: monotone_decay=%s full_fix_untrackable=%s\n",

@@ -122,5 +122,7 @@ int main() {
               window_moves > 20 * (outside_moves + 1) ? "yes" : "NO",
               skew_every_day ? "yes" : "NO",
               dense_48s.size() >= 2 ? "yes" : "NO");
+
+  pipeline.print_telemetry();
   return ok ? 0 : 1;
 }

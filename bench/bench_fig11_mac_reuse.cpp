@@ -90,5 +90,7 @@ int main() {
                   concurrent_days * 2 >= presence.days.size() &&
                   zero_asns.size() >= 4;
   std::printf("\nshape check: %s\n", ok ? "yes" : "NO");
+
+  pipeline.print_telemetry();
   return ok ? 0 : 1;
 }

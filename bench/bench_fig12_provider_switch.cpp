@@ -62,5 +62,7 @@ int main() {
 
   std::printf("\nshape check: A(8881->3320)=%s B(3320->8881)=%s\n",
               ab_ok ? "yes" : "NO", ba_ok ? "yes" : "NO");
+
+  pipeline.print_telemetry();
   return (ab_ok && ba_ok) ? 0 : 1;
 }

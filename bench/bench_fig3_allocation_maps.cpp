@@ -74,5 +74,7 @@ int main() {
   std::printf("\nshape check: entel=/56:%s bhtelecom=/60:%s starcat=/64:%s\n",
               entel == 56 ? "yes" : "NO", bh == 60 ? "yes" : "NO",
               starcat == 64 ? "yes" : "NO");
+
+  pipeline.print_telemetry();
   return (entel == 56 && bh == 60 && starcat == 64) ? 0 : 1;
 }

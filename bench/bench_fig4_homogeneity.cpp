@@ -86,5 +86,7 @@ int main() {
                   viettel_vendor == "ZTE Corporation" &&
                   netcologne_index > 0.99 && viettel_index > 0.98;
   std::printf("shape check: %s\n", ok ? "yes" : "NO");
+
+  pipeline.print_telemetry();
   return ok ? 0 : 1;
 }

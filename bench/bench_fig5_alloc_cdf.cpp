@@ -84,5 +84,7 @@ int main() {
   const bool ok = slash56_plurality && share(64) > 0.10 && share(56) > 0.25 &&
                   as_56 >= 0.4;
   std::printf("shape check: %s\n", ok ? "yes" : "NO");
+
+  pipeline.print_telemetry();
   return ok ? 0 : 1;
 }

@@ -82,5 +82,7 @@ int main() {
                   r64.distinct_cpe > r56.distinct_cpe;
   std::printf("shape check: fig6a=/64:%s fig6b=/56:%s\n",
               r64.median == 64 ? "yes" : "NO", r56.median == 56 ? "yes" : "NO");
+
+  pipeline.print_telemetry();
   return ok ? 0 : 1;
 }

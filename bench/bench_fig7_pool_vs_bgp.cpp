@@ -82,5 +82,7 @@ int main() {
   const bool ok = fraction_64 > 0.35 && fraction_64 < 0.85 &&
                   pool_median - bgp_median >= 8 && bgp_cdf.quantile(0.5) <= 34;
   std::printf("shape check: %s\n", ok ? "yes" : "NO");
+
+  pipeline.print_telemetry();
   return ok ? 0 : 1;
 }

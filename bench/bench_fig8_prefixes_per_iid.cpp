@@ -72,5 +72,7 @@ int main() {
                   max_count >= 20 * static_cast<std::uint64_t>(
                                        std::max(1.0, median));
   std::printf("\nshape check: %s\n", ok ? "yes" : "NO");
+
+  pipeline.print_telemetry();
   return ok ? 0 : 1;
 }

@@ -109,5 +109,7 @@ int main() {
   std::printf("\nshape check: strides_fit_and_predict=%s wrap_observed=%s "
               "iids_in_3plus_/48s=%zu/3\n",
               all_fit ? "yes" : "NO", wrap_seen ? "yes" : "NO", multi_48);
+
+  pipeline.print_telemetry();
   return (all_fit && wrap_seen && multi_48 >= 2) ? 0 : 1;
 }

@@ -5,8 +5,13 @@
 // parse/format, EUI-64 codec, checksum, packet build+parse, LPM lookup,
 // permutation step, and the full probe/response loop) runs far above that
 // rate, so the simulated campaigns are limited by scale choices, not
-// implementation overheads.
+// implementation overheads. main() additionally asserts that attaching a
+// telemetry registry to the prober costs <5% of fast-path throughput.
 #include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
 
 #include "netbase/eui64.h"
 #include "netbase/ipv6_address.h"
@@ -15,6 +20,7 @@
 #include "probe/target_generator.h"
 #include "routing/prefix_trie.h"
 #include "sim/scenario.h"
+#include "telemetry/metrics.h"
 #include "wire/icmpv6.h"
 
 namespace {
@@ -132,6 +138,30 @@ void BM_ProbeLoopFast(benchmark::State& state) {
 }
 BENCHMARK(BM_ProbeLoopFast);
 
+/// Fast-path loop with a telemetry registry attached: per probe this adds
+/// two cached-pointer null checks and two counter increments. Compare
+/// items/sec against BM_ProbeLoopFast.
+void BM_ProbeLoopFastTelemetry(benchmark::State& state) {
+  static sim::PaperWorld world = sim::make_tiny_world(5, 512);
+  sim::VirtualClock clock{sim::hours(12)};
+  probe::ProberOptions options;
+  options.wire_mode = false;
+  options.packets_per_second = 0;
+  probe::Prober prober{world.internet, clock, options};
+  telemetry::Registry registry;
+  registry.set_clock(&clock);
+  prober.attach_telemetry(registry);
+  const auto& pool = world.internet.provider(world.versatel).pools()[0];
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    const auto target = probe::target_in(
+        pool.config().prefix.subnet(56, net::Uint128{i++ & 1023}), 3);
+    benchmark::DoNotOptimize(prober.probe_one(target));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ProbeLoopFastTelemetry);
+
 /// Same loop through full wire serialization, checksum, parse.
 void BM_ProbeLoopWire(benchmark::State& state) {
   static sim::PaperWorld world = sim::make_tiny_world(6, 512);
@@ -151,6 +181,61 @@ void BM_ProbeLoopWire(benchmark::State& state) {
 }
 BENCHMARK(BM_ProbeLoopWire);
 
+/// Measures fast-path probe throughput (probes/sec) over a fixed batch,
+/// with or without a telemetry registry attached.
+double probe_loop_rate(bool with_telemetry, std::uint64_t batch) {
+  sim::PaperWorld world = sim::make_tiny_world(5, 512);
+  sim::VirtualClock clock{sim::hours(12)};
+  probe::ProberOptions options;
+  options.wire_mode = false;
+  options.packets_per_second = 0;
+  probe::Prober prober{world.internet, clock, options};
+  telemetry::Registry registry;
+  registry.set_clock(&clock);
+  if (with_telemetry) prober.attach_telemetry(registry);
+  const auto& pool = world.internet.provider(world.versatel).pools()[0];
+
+  const auto start = std::chrono::steady_clock::now();
+  for (std::uint64_t i = 0; i < batch; ++i) {
+    const auto target = probe::target_in(
+        pool.config().prefix.subnet(56, net::Uint128{i & 1023}), 3);
+    benchmark::DoNotOptimize(prober.probe_one(target));
+  }
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  return static_cast<double>(batch) / seconds;
+}
+
+/// Guards the telemetry hot-path budget: attaching a registry must cost
+/// <5% of fast-path sweep throughput. Interleaved best-of-N trials cancel
+/// out frequency-scaling and cache-warmth drift.
+bool check_telemetry_overhead() {
+  constexpr std::uint64_t kBatch = 400000;
+  constexpr int kTrials = 5;
+  probe_loop_rate(false, kBatch / 4);  // warm-up, discarded
+  double best_plain = 0;
+  double best_telemetry = 0;
+  for (int t = 0; t < kTrials; ++t) {
+    best_plain = std::max(best_plain, probe_loop_rate(false, kBatch));
+    best_telemetry = std::max(best_telemetry, probe_loop_rate(true, kBatch));
+  }
+  const double overhead = best_plain / best_telemetry - 1.0;
+  const bool ok = overhead < 0.05;
+  std::printf("telemetry overhead guard: plain=%.3gM/s telemetry=%.3gM/s "
+              "overhead=%.2f%% (budget 5%%) %s\n",
+              best_plain / 1e6, best_telemetry / 1e6, overhead * 100,
+              ok ? "OK" : "FAILED");
+  return ok;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  const bool overhead_ok = check_telemetry_overhead();
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return overhead_ok ? 0 : 1;
+}

@@ -87,5 +87,7 @@ int main() {
               versatel_dominates ? "yes" : "NO",
               de_dominates ? "yes" : "NO", rotation_observed ? "yes" : "NO",
               by_asn.size() >= 20 ? "yes" : "NO");
+
+  pipeline.print_telemetry();
   return versatel_dominates && de_dominates && rotation_observed ? 0 : 1;
 }

@@ -187,6 +187,8 @@ int main() {
       if (!pool) continue;
       config.pool = *pool;
       config.seed = sim::mix64(seed, c.mac.bits());
+      config.registry = &pipeline.registry;
+      config.journal = &pipeline.journal;
 
       TrackRecord record;
       record.candidate = c;
@@ -285,5 +287,7 @@ int main() {
               2 * min_found_b >= records_b.size() ? "yes" : "NO",
               2 * rotated_b_final >= records_b.size() ? "yes" : "NO",
               best_mean < 100000 ? "yes" : "NO");
+
+  pipeline.print_telemetry();
   return ok ? 0 : 1;
 }

@@ -4,11 +4,14 @@
 // against the simulated Internet. Most need the same pipeline front end:
 // build the paper-shaped world, run the §4 discovery funnel, then (for the
 // longitudinal figures) the §5 campaign. This header provides that pipeline
-// with bench-friendly defaults, wall-clock stage timing, and the shared
-// output helpers.
+// with bench-friendly defaults, the shared output helpers, and the
+// telemetry plumbing: one metrics registry + event journal per pipeline,
+// attached to every stage, summarized by print_telemetry() and dumped as
+// JSON for the bench trajectory.
 #pragma once
 
 #include <chrono>
+#include <cinttypes>
 #include <cstdio>
 #include <memory>
 #include <string>
@@ -17,8 +20,13 @@
 #include "core/io.h"
 #include "core/campaign.h"
 #include "core/report.h"
+#include "core/tracker.h"
 #include "probe/prober.h"
 #include "sim/scenario.h"
+#include "telemetry/export.h"
+#include "telemetry/journal.h"
+#include "telemetry/metrics.h"
+#include "telemetry/span.h"
 
 namespace scent::bench {
 
@@ -49,12 +57,22 @@ inline void banner(const char* experiment, const char* paper_claim) {
   std::printf("==============================================================\n");
 }
 
+/// Default artifact paths every bench shares (cwd-relative, gitignored).
+inline constexpr const char* kJournalPath = ".scent_journal.jsonl";
+inline constexpr const char* kTelemetryJsonPath = ".scent_telemetry.json";
+
 /// The common world + funnel front end.
 struct Pipeline {
   sim::PaperWorld world;
   sim::VirtualClock clock{sim::hours(10)};
   std::unique_ptr<probe::Prober> prober;
   core::BootstrapResult funnel;
+
+  /// Per-pipeline telemetry: spans and counters from every stage land
+  /// here; notable events (funnel records, rotation windows, tracker
+  /// hits) land in the journal at kJournalPath.
+  telemetry::Registry registry;
+  telemetry::Journal journal;
 
   /// Builds the world and runs the §4 funnel. Probing uses the logical
   /// fast path at an elevated virtual rate so multi-million-probe stages
@@ -65,8 +83,17 @@ struct Pipeline {
   /// use_cache=false to force a fresh funnel.
   explicit Pipeline(const sim::PaperWorldOptions& world_options,
                     bool run_funnel = true, bool use_cache = true) {
+    registry.set_clock(&clock);
+    if (!journal.open(kJournalPath)) {
+      std::printf("  warning: cannot open journal %s\n", kJournalPath);
+    }
+    journal.set_clock(&clock);
+
     Stopwatch timer;
-    world = sim::make_paper_world(world_options);
+    {
+      telemetry::Span span{&registry, "world_build"};
+      world = sim::make_paper_world(world_options);
+    }
     timer.lap("world built");
 
     probe::ProberOptions probe_options;
@@ -74,6 +101,7 @@ struct Pipeline {
     probe_options.packets_per_second = 2000000;
     prober = std::make_unique<probe::Prober>(world.internet, clock,
                                              probe_options);
+    prober->attach_telemetry(registry);
 
     if (!run_funnel) return;
 
@@ -87,12 +115,14 @@ struct Pipeline {
 
     core::BootstrapOptions boot;
     boot.probes_per_48 = 8;
+    boot.registry = &registry;
+    boot.journal = &journal;
     funnel = core::run_bootstrap(world.internet, clock, *prober, boot);
-    std::printf("  funnel: %llu probes, %zu seed /48s, %zu expanded, "
+    std::printf("  funnel: %" PRIu64 " probes, %zu seed /48s, %zu expanded, "
                 "%zu high-density, %zu rotating /48s\n",
-                static_cast<unsigned long long>(funnel.probes_sent),
-                funnel.seed_48s.size(), funnel.expanded_48s.size(),
-                funnel.high_density_48s.size(), funnel.rotating_48s.size());
+                funnel.probes_sent, funnel.seed_48s.size(),
+                funnel.expanded_48s.size(), funnel.high_density_48s.size(),
+                funnel.rotating_48s.size());
     timer.lap("funnel complete");
     if (use_cache) save_rotating_cache(cache_path);
   }
@@ -107,8 +137,8 @@ struct Pipeline {
         sim::mix64(o.devices_per_tail_pool, o.versatel_pool_count,
                    o.inject_pathologies ? 1 : 0));
     char name[64];
-    std::snprintf(name, sizeof name, ".scent_funnel_cache_%016llx.txt",
-                  static_cast<unsigned long long>(key));
+    std::snprintf(name, sizeof name, ".scent_funnel_cache_%016" PRIx64 ".txt",
+                  key);
     return name;
   }
 
@@ -120,8 +150,11 @@ struct Pipeline {
   }
 
   void save_rotating_cache(const std::string& path) const {
-    core::save_prefixes(path, funnel.rotating_48s,
-                        "scent funnel cache: rotating /48s");
+    if (!core::save_prefixes(path, funnel.rotating_48s,
+                             "scent funnel cache: rotating /48s")) {
+      std::printf("  warning: failed to write funnel cache %s\n",
+                  path.c_str());
+    }
   }
 
   /// Runs the §5 campaign over the funnel's rotating /48s.
@@ -129,15 +162,66 @@ struct Pipeline {
     Stopwatch timer;
     core::CampaignOptions options;
     options.days = days;
+    options.registry = &registry;
+    options.journal = &journal;
     auto result = core::run_campaign(world.internet, clock, *prober,
                                      funnel.rotating_48s, options);
-    std::printf("  campaign: %u days, %llu probes, %llu responses, "
-                "%zu unique IIDs\n",
-                days, static_cast<unsigned long long>(result.probes_sent),
-                static_cast<unsigned long long>(result.responses),
+    std::printf("  campaign: %u days, %" PRIu64 " probes, %" PRIu64
+                " responses, %zu unique IIDs\n",
+                days, result.probes_sent, result.responses,
                 result.observations.unique_eui64_iids());
     timer.lap("campaign complete");
     return result;
+  }
+
+  /// A tracker pre-wired to this pipeline's telemetry sinks.
+  [[nodiscard]] core::Tracker make_tracker(core::TrackerConfig config) {
+    config.registry = &registry;
+    config.journal = &journal;
+    return core::Tracker{*prober, std::move(config)};
+  }
+
+  /// Prints the per-stage telemetry summary plus the funnel line(s), dumps
+  /// the registry as JSON for the bench trajectory, and closes the
+  /// journal. Call once, after the experiment's own output.
+  void print_telemetry(const char* json_path = kTelemetryJsonPath) {
+    std::printf("\n");
+    telemetry::print_summary(stdout, registry);
+    const auto gauge = [&](const char* name) -> const telemetry::Gauge* {
+      return registry.find_gauge(name);
+    };
+    // Funnel lines read back the gauges the stages published — the same
+    // values the stage results report, so bench output and telemetry
+    // output must agree exactly.
+    if (gauge("funnel.probes") != nullptr) {
+      std::printf("  funnel: %" PRId64 " probes -> %" PRId64
+                  " responses -> %" PRId64 " EUI-64 addrs -> %" PRId64
+                  " unique IIDs\n",
+                  gauge("funnel.probes")->value(),
+                  gauge("funnel.responses")->value(),
+                  gauge("funnel.eui64_addresses")->value(),
+                  gauge("funnel.unique_iids")->value());
+    }
+    if (gauge("campaign.probes") != nullptr) {
+      std::printf("  campaign funnel: %" PRId64 " probes -> %" PRId64
+                  " responses -> %" PRId64 " EUI-64 addrs -> %" PRId64
+                  " unique IIDs\n",
+                  gauge("campaign.probes")->value(),
+                  gauge("campaign.responses")->value(),
+                  gauge("campaign.eui64_addresses")->value(),
+                  gauge("campaign.unique_iids")->value());
+    }
+    if (telemetry::write_json(json_path, registry)) {
+      std::printf("  telemetry json: %s, journal: %s (%zu events)\n",
+                  json_path, journal.path().c_str(),
+                  journal.events_written());
+    } else {
+      std::printf("  warning: failed to write telemetry json %s\n", json_path);
+    }
+    if (!journal.close()) {
+      std::printf("  warning: journal write failed (%s)\n",
+                  journal.path().c_str());
+    }
   }
 };
 

@@ -14,6 +14,9 @@
 #include "probe/traceroute.h"
 #include "probe/target_generator.h"
 #include "sim/scenario.h"
+#include "telemetry/export.h"
+#include "telemetry/journal.h"
+#include "telemetry/metrics.h"
 
 int main() {
   using namespace scent;
@@ -29,6 +32,15 @@ int main() {
   popt.wire_mode = false;       // flip to true for full packet serialization
   popt.packets_per_second = 500000;
   probe::Prober prober{world.internet, clock, popt};
+
+  // Telemetry: the registry collects per-stage spans and counters, the
+  // journal records the funnel + every detected rotation window as JSONL.
+  telemetry::Registry registry;
+  registry.set_clock(&clock);
+  prober.attach_telemetry(registry);
+  telemetry::Journal journal;
+  journal.open("discover_rotation_journal.jsonl");
+  journal.set_clock(&clock);
 
   // --- Step 0 (flavor): a single yarrp-style traceroute shows why the CPE
   // is the "last hop": core routers answer Time Exceeded, then the CPE
@@ -48,6 +60,8 @@ int main() {
   // --- The funnel.
   core::BootstrapOptions boot;
   boot.probes_per_48 = 8;
+  boot.registry = &registry;
+  boot.journal = &journal;
   const core::BootstrapResult funnel =
       core::run_bootstrap(world.internet, clock, prober, boot);
 
@@ -78,6 +92,13 @@ int main() {
     table.add_row({"AS" + group.key, std::to_string(group.count)});
   }
   table.print(std::cout);
+
+  std::printf("\n");
+  telemetry::print_summary(stdout, registry);
+  if (journal.close()) {
+    std::printf("  journal: discover_rotation_journal.jsonl (%zu events)\n",
+                journal.events_written());
+  }
 
   return funnel.rotating_48s.empty() ? 1 : 0;
 }

@@ -13,6 +13,8 @@
 #include "core/tracker.h"
 #include "probe/prober.h"
 #include "sim/scenario.h"
+#include "telemetry/export.h"
+#include "telemetry/metrics.h"
 
 int main() {
   using namespace scent;
@@ -23,6 +25,10 @@ int main() {
   popt.packets_per_second = 10000;  // the paper's probing rate
   popt.wire_mode = true;            // real packets end to end
   probe::Prober prober{world.internet, clock, popt};
+
+  telemetry::Registry registry;
+  registry.set_clock(&clock);
+  prober.attach_telemetry(registry);
 
   const auto& provider = world.internet.provider(world.versatel);
   const auto& pool = provider.pools()[0];
@@ -72,6 +78,7 @@ int main() {
   config.pool = *victim_pool;
   config.allocation_length = alloc_len;
   config.seed = 0x7AC;
+  config.registry = &registry;
   core::Tracker tracker{prober, config};
 
   std::printf("day  probes  method      victim address\n");
@@ -97,5 +104,8 @@ int main() {
 
   std::printf("\nthe victim's prefix rotated daily, yet every address above "
               "is the same household.\n");
+
+  std::printf("\n");
+  telemetry::print_summary(stdout, registry);
   return 0;
 }

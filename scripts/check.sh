@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# check.sh - tier-1 verification plus one sanitizer pass.
+#
+#   scripts/check.sh            # plain build + ctest, then ASan/UBSan build + ctest
+#   scripts/check.sh --fast     # plain build + ctest only
+#
+# The plain pass is the repo's tier-1 gate (ROADMAP.md). The sanitized pass
+# rebuilds everything with -fsanitize=address,undefined into build-sanitize/
+# and reruns the test suite under it.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+jobs=$(nproc)
+
+echo "== tier-1: configure + build + ctest (build/) =="
+cmake -B build -S . >/dev/null
+cmake --build build -j"$jobs"
+(cd build && ctest --output-on-failure -j"$jobs")
+
+if [[ "${1:-}" == "--fast" ]]; then
+  echo "== skipping sanitizer pass (--fast) =="
+  exit 0
+fi
+
+echo "== sanitizer: ASan+UBSan build + ctest (build-sanitize/) =="
+cmake -B build-sanitize -S . -DSCENT_SANITIZE=address,undefined >/dev/null
+cmake --build build-sanitize -j"$jobs"
+(cd build-sanitize && ctest --output-on-failure -j"$jobs")
+
+echo "== all checks passed =="

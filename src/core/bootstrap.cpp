@@ -9,6 +9,7 @@
 #include "probe/target_generator.h"
 #include "probe/traceroute.h"
 #include "sim/rng.h"
+#include "telemetry/span.h"
 
 namespace scent::core {
 namespace {
@@ -64,6 +65,8 @@ BootstrapResult run_bootstrap(sim::Internet& internet,
                               const BootstrapOptions& options) {
   BootstrapResult result;
   const std::uint64_t base_sent = prober.counters().sent;
+  telemetry::Span funnel_span{options.registry, "bootstrap"};
+  telemetry::Span seed_span{options.registry, "seed"};
 
   // ---- Stage 0: seed. One last-hop probe per /48 of every advertised
   // prefix that is /32-or-more-specific but shorter than /48.
@@ -129,6 +132,8 @@ BootstrapResult run_bootstrap(sim::Internet& internet,
     }
     result.seed_32s = sorted_unique(std::move(seed_32s));
   }
+  seed_span.stop();
+  telemetry::Span expand_span{options.registry, "expand"};
 
   // ---- Stage 1 (§4.1): exhaustive /48 expansion of the seed /32s.
   std::unordered_map<net::MacAddress, std::vector<net::Prefix>,
@@ -157,6 +162,8 @@ BootstrapResult run_bootstrap(sim::Internet& internet,
     }
     result.expanded_48s = sorted_unique(std::move(expanded));
   }
+  expand_span.stop();
+  telemetry::Span density_span{options.registry, "density"};
 
   // ---- Stage 2 (§4.2): density classification, one probe per /56.
   for (const auto& p48 : result.expanded_48s) {
@@ -187,6 +194,8 @@ BootstrapResult run_bootstrap(sim::Internet& internet,
         break;
     }
   }
+  density_span.stop();
+  telemetry::Span rotation_span{options.registry, "rotation"};
 
   // ---- Stage 3 (§4.3): two same-seed snapshots, one probe per /64 of
   // every high-density /48, `snapshot_gap` apart.
@@ -211,16 +220,53 @@ BootstrapResult run_bootstrap(sim::Internet& internet,
   clock.advance_to(snap1_start + options.snapshot_gap);
   take_snapshot(second);
 
-  result.verdicts = detect_rotation(first, second);
+  result.verdicts = detect_rotation(first, second, /*churn_threshold=*/0,
+                                    options.registry);
   for (const auto& v : result.verdicts) {
     if (v.rotating) result.rotating_48s.push_back(v.prefix);
   }
+  rotation_span.stop();
 
   // ---- Funnel accounting.
   result.probes_sent = prober.counters().sent - base_sent;
   result.total_addresses = result.observations.unique_responses();
   result.eui64_addresses = result.observations.unique_eui64_responses();
   result.unique_iids = result.observations.unique_eui64_iids();
+  funnel_span.stop();
+
+  if (options.registry != nullptr) {
+    telemetry::Registry& reg = *options.registry;
+    reg.gauge("funnel.probes").set_u64(result.probes_sent);
+    reg.gauge("funnel.responses").set_u64(result.observations.size());
+    reg.gauge("funnel.addresses").set_u64(result.total_addresses);
+    reg.gauge("funnel.eui64_addresses").set_u64(result.eui64_addresses);
+    reg.gauge("funnel.unique_iids").set_u64(result.unique_iids);
+    reg.gauge("funnel.seed_48s").set_u64(result.seed_48s.size());
+    reg.gauge("funnel.expanded_48s").set_u64(result.expanded_48s.size());
+    reg.gauge("funnel.high_density_48s")
+        .set_u64(result.high_density_48s.size());
+    reg.gauge("funnel.rotating_48s").set_u64(result.rotating_48s.size());
+  }
+  if (options.journal != nullptr) {
+    options.journal->event(
+        "funnel",
+        {{"probes", result.probes_sent},
+         {"responses", result.observations.size()},
+         {"addresses", result.total_addresses},
+         {"eui64_addresses", result.eui64_addresses},
+         {"unique_iids", result.unique_iids},
+         {"seed_48s", result.seed_48s.size()},
+         {"expanded_48s", result.expanded_48s.size()},
+         {"high_density_48s", result.high_density_48s.size()},
+         {"rotating_48s", result.rotating_48s.size()}});
+    for (const auto& v : result.verdicts) {
+      if (!v.rotating) continue;
+      options.journal->event("rotation_window_detected",
+                             {{"prefix", v.prefix.to_string()},
+                              {"eui_targets", v.eui_targets},
+                              {"changed", v.changed}});
+    }
+  }
   return result;
 }
 

@@ -28,6 +28,8 @@
 #include "routing/bgp_table.h"
 #include "sim/internet.h"
 #include "sim/sim_time.h"
+#include "telemetry/journal.h"
+#include "telemetry/metrics.h"
 
 namespace scent::core {
 
@@ -57,6 +59,14 @@ struct BootstrapOptions {
   /// to zmap, §3.1).
   bool seed_with_traceroute = false;
   unsigned traceroute_max_hops = 12;
+
+  /// Optional telemetry sinks. With a registry, each stage runs under a
+  /// span ("bootstrap/seed", ".../expand", ".../density", ".../rotation")
+  /// and the funnel accounting lands in `funnel.*` gauges; with a journal,
+  /// a "funnel" record and one "rotation_window_detected" event per
+  /// rotating /48 are emitted.
+  telemetry::Registry* registry = nullptr;
+  telemetry::Journal* journal = nullptr;
 };
 
 struct BootstrapResult {

@@ -4,28 +4,23 @@
 
 #include "probe/target_generator.h"
 #include "sim/rng.h"
+#include "telemetry/span.h"
 
 namespace scent::core {
 namespace {
 
-/// Sweeps one /48 at the given subnet granularity, recording responsive
-/// probes into the store and the day's summary.
+/// Sweeps one /48 at the given subnet granularity, appending responsive
+/// probes to `responsive`. Pure probing: ingestion happens in a separate
+/// pass so the day's sweep and store-ingest phases are separately
+/// accountable.
 void sweep_prefix(probe::Prober& prober, net::Prefix prefix,
                   unsigned sub_length, std::uint64_t seed,
-                  ObservationStore& store, DaySummary& summary,
-                  std::unordered_set<net::MacAddress, net::MacAddressHash>&
-                      day_macs) {
+                  std::vector<probe::ProbeResult>& responsive) {
   probe::SubnetTargets targets{prefix, sub_length, seed};
   net::Ipv6Address target;
   while (targets.next(target)) {
-    ++summary.probes;
-    const auto r = prober.probe_one(target);
-    if (!r.responded) continue;
-    ++summary.responses;
-    store.add(r);
-    if (const auto mac = net::embedded_mac(r.response_source)) {
-      day_macs.insert(*mac);
-    }
+    probe::ProbeResult r = prober.probe_one(target);
+    if (r.responded) responsive.push_back(r);
   }
 }
 
@@ -38,45 +33,69 @@ CampaignResult run_campaign(sim::Internet& internet, sim::VirtualClock& clock,
   CampaignResult result;
   const std::uint64_t base_sent = prober.counters().sent;
   const std::uint64_t base_received = prober.counters().received;
+  telemetry::Span campaign_span{options.registry, "campaign"};
 
   const std::int64_t first_day = sim::day_of(clock.now());
 
   // Day 0: full per-/64 sweep; feeds Algorithm 1 per AS.
-  AllocationSizeInference global_alloc;
   std::map<routing::Asn, AllocationSizeInference> per_as_alloc;
 
+  std::vector<probe::ProbeResult> day_results;
   for (unsigned day = 0; day < options.days; ++day) {
     const std::int64_t abs_day = first_day + day;
     clock.advance_to(abs_day * sim::kDay + options.scan_time_of_day);
+    telemetry::Span day_span{options.registry, "day"};
+
+    // The prober's counters are the day's probe/response ledger.
+    const std::uint64_t day_base_sent = prober.counters().sent;
+    const std::uint64_t day_base_received = prober.counters().received;
 
     DaySummary summary;
     summary.day = abs_day;
     std::unordered_set<net::MacAddress, net::MacAddressHash> day_macs;
 
-    for (const auto& p48 : targets) {
-      unsigned granularity = 64;
-      if (day > 0 && options.allocation_granularity_after_day0) {
-        const auto attribution = internet.bgp().lookup(p48.base());
-        if (attribution) {
-          const auto it =
-              result.allocation_length_by_as.find(attribution->origin_asn);
-          if (it != result.allocation_length_by_as.end()) {
-            granularity = it->second;
+    day_results.clear();
+    {
+      telemetry::Span sweep_span{options.registry, "sweep"};
+      for (const auto& p48 : targets) {
+        unsigned granularity = 64;
+        if (day > 0 && options.allocation_granularity_after_day0) {
+          const auto attribution = internet.bgp().lookup(p48.base());
+          if (attribution) {
+            const auto it =
+                result.allocation_length_by_as.find(attribution->origin_asn);
+            if (it != result.allocation_length_by_as.end()) {
+              granularity = it->second;
+            }
           }
         }
+        // Same seed every day: identical targets, identical order (§5).
+        sweep_prefix(prober, p48, granularity,
+                     sim::mix64(options.seed, p48.base().network(),
+                                granularity),
+                     day_results);
       }
-      // Same seed every day: identical targets, identical order (§5).
-      sweep_prefix(prober, p48, granularity,
-                   sim::mix64(options.seed, p48.base().network(), granularity),
-                   result.observations, summary, day_macs);
     }
 
+    {
+      telemetry::Span ingest_span{options.registry, "ingest"};
+      for (const auto& r : day_results) {
+        result.observations.add(r);
+        if (const auto mac = net::embedded_mac(r.response_source)) {
+          day_macs.insert(*mac);
+        }
+      }
+    }
+
+    summary.probes = prober.counters().sent - day_base_sent;
+    summary.responses = prober.counters().received - day_base_received;
     summary.unique_eui64_iids = day_macs.size();
     result.daily.push_back(summary);
 
     if (day == 0) {
       // Run Algorithm 1 on the full-granularity day and freeze the per-AS
       // allocation sizes used by subsequent days (and by trackers).
+      telemetry::Span infer_span{options.registry, "alloc_infer"};
       for (const auto& obs : result.observations.all()) {
         const auto attribution = internet.bgp().lookup(obs.response);
         if (!attribution) continue;
@@ -89,10 +108,30 @@ CampaignResult run_campaign(sim::Internet& internet, sim::VirtualClock& clock,
         }
       }
     }
+
+    if (options.journal != nullptr) {
+      options.journal->event("day_funnel",
+                             {{"day", summary.day},
+                              {"probes", summary.probes},
+                              {"responses", summary.responses},
+                              {"unique_iids", summary.unique_eui64_iids}});
+    }
   }
 
   result.probes_sent = prober.counters().sent - base_sent;
   result.responses = prober.counters().received - base_received;
+  campaign_span.stop();
+
+  if (options.registry != nullptr) {
+    telemetry::Registry& reg = *options.registry;
+    reg.gauge("campaign.days").set_u64(options.days);
+    reg.gauge("campaign.probes").set_u64(result.probes_sent);
+    reg.gauge("campaign.responses").set_u64(result.responses);
+    reg.gauge("campaign.eui64_addresses")
+        .set_u64(result.observations.unique_eui64_responses());
+    reg.gauge("campaign.unique_iids")
+        .set_u64(result.observations.unique_eui64_iids());
+  }
   return result;
 }
 

@@ -21,6 +21,8 @@
 #include "routing/bgp_table.h"
 #include "sim/internet.h"
 #include "sim/sim_time.h"
+#include "telemetry/journal.h"
+#include "telemetry/metrics.h"
 
 namespace scent::core {
 
@@ -33,8 +35,18 @@ struct CampaignOptions {
   /// Day 0 always sweeps per /64. When true, later days probe once per
   /// inferred allocation; when false, every day sweeps per /64.
   bool allocation_granularity_after_day0 = true;
+
+  /// Optional telemetry sinks. With a registry, every day runs under
+  /// nested spans ("campaign/day/sweep", ".../ingest", ".../alloc_infer")
+  /// and campaign totals land in `campaign.*` gauges; with a journal, one
+  /// "day_funnel" record is emitted per campaign day.
+  telemetry::Registry* registry = nullptr;
+  telemetry::Journal* journal = nullptr;
 };
 
+/// Per-day funnel record. Probe/response counts are read back from the
+/// prober's own counters (per-day deltas), not tallied by hand — the
+/// prober is the single source of truth for what went on the wire.
 struct DaySummary {
   std::int64_t day = 0;
   std::uint64_t probes = 0;

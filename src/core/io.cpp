@@ -1,6 +1,7 @@
 #include "core/io.h"
 
 #include <charconv>
+#include <cinttypes>
 #include <cstdio>
 
 namespace scent::core {
@@ -33,6 +34,16 @@ struct File {
   File(const File&) = delete;
   File& operator=(const File&) = delete;
   explicit operator bool() const noexcept { return handle != nullptr; }
+
+  /// Flush-closes. False if any prior write failed or the close itself
+  /// did — stdio buffers writes, so a full disk often only surfaces here.
+  bool close() {
+    if (handle == nullptr) return false;
+    const bool stream_clean = std::ferror(handle) == 0;
+    const bool close_clean = std::fclose(handle) == 0;
+    handle = nullptr;
+    return stream_clean && close_clean;
+  }
 };
 
 std::optional<std::uint64_t> parse_u64(std::string_view text) {
@@ -52,13 +63,15 @@ bool save_prefixes(const std::string& path,
                    const std::string& header_comment) {
   File file{path, "w"};
   if (!file) return false;
+  bool ok = true;
   if (!header_comment.empty()) {
-    std::fprintf(file.handle, "# %s\n", header_comment.c_str());
+    ok = std::fprintf(file.handle, "# %s\n", header_comment.c_str()) >= 0 && ok;
   }
   for (const auto& prefix : prefixes) {
-    std::fprintf(file.handle, "%s\n", prefix.to_string().c_str());
+    ok = std::fprintf(file.handle, "%s\n", prefix.to_string().c_str()) >= 0 &&
+         ok;
   }
-  return std::ferror(file.handle) == 0;
+  return file.close() && ok;
 }
 
 std::optional<std::vector<net::Prefix>> load_prefixes(const std::string& path,
@@ -86,16 +99,17 @@ bool save_observations(const std::string& path,
                        const ObservationStore& store) {
   File file{path, "w"};
   if (!file) return false;
-  std::fprintf(file.handle, "target,response,type,code,time_us\n");
+  bool ok =
+      std::fprintf(file.handle, "target,response,type,code,time_us\n") >= 0;
   for (const auto& obs : store.all()) {
-    std::fprintf(file.handle, "%s,%s,%u,%u,%lld\n",
-                 obs.target.to_string().c_str(),
-                 obs.response.to_string().c_str(),
-                 static_cast<unsigned>(obs.type),
-                 static_cast<unsigned>(obs.code),
-                 static_cast<long long>(obs.time));
+    ok = std::fprintf(file.handle, "%s,%s,%u,%u,%" PRId64 "\n",
+                      obs.target.to_string().c_str(),
+                      obs.response.to_string().c_str(),
+                      static_cast<unsigned>(obs.type),
+                      static_cast<unsigned>(obs.code), obs.time) >= 0 &&
+         ok;
   }
-  return std::ferror(file.handle) == 0;
+  return file.close() && ok;
 }
 
 std::optional<Observation> parse_observation_row(std::string_view line) {

@@ -23,7 +23,8 @@ struct LoadStats {
   std::size_t skipped = 0;  ///< Malformed (non-blank, non-comment) lines.
 };
 
-/// Writes one prefix per line. Returns false on I/O failure.
+/// Writes one prefix per line. Returns false on any I/O failure, including
+/// buffered writes that only fail at flush/close time (disk full).
 bool save_prefixes(const std::string& path,
                    const std::vector<net::Prefix>& prefixes,
                    const std::string& header_comment = {});
@@ -33,6 +34,7 @@ std::optional<std::vector<net::Prefix>> load_prefixes(const std::string& path,
                                                       LoadStats* stats = nullptr);
 
 /// Observation CSV: `target,response,type,code,time_us` with a header row.
+/// Returns false on any I/O failure, including failures surfacing at close.
 bool save_observations(const std::string& path, const ObservationStore& store);
 
 /// Loads an observation CSV; nullopt if the file cannot be opened.

@@ -6,7 +6,8 @@ namespace scent::core {
 
 std::vector<RotationVerdict> detect_rotation(const Snapshot& first,
                                              const Snapshot& second,
-                                             std::uint64_t churn_threshold) {
+                                             std::uint64_t churn_threshold,
+                                             telemetry::Registry* registry) {
   struct Counts {
     std::uint64_t eui_targets = 0;
     std::uint64_t changed = 0;
@@ -47,6 +48,18 @@ std::vector<RotationVerdict> detect_rotation(const Snapshot& first,
             [](const RotationVerdict& a, const RotationVerdict& b) {
               return a.prefix < b.prefix;
             });
+
+  if (registry != nullptr) {
+    telemetry::Histogram& churn =
+        registry->histogram("rotation.churn_pct", {0, 10, 25, 50, 75, 90, 100});
+    std::uint64_t rotating = 0;
+    for (const auto& v : verdicts) {
+      if (v.rotating) ++rotating;
+      if (v.eui_targets > 0) churn.observe(100 * v.changed / v.eui_targets);
+    }
+    registry->counter("rotation.checked_48s").add(verdicts.size());
+    registry->counter("rotation.rotating_48s").add(rotating);
+  }
   return verdicts;
 }
 

@@ -18,6 +18,7 @@
 #include "netbase/ipv6_address.h"
 #include "netbase/prefix.h"
 #include "probe/prober.h"
+#include "telemetry/metrics.h"
 
 namespace scent::core {
 
@@ -55,9 +56,12 @@ struct RotationVerdict {
 
 /// Compares two snapshots and classifies each /48 (grouping targets by
 /// their covering /48). A /48 is flagged when the changed-pair count
-/// exceeds `churn_threshold` (paper default: any change at all).
+/// exceeds `churn_threshold` (paper default: any change at all). With a
+/// registry, bumps `rotation.checked_48s` / `rotation.rotating_48s` and
+/// feeds the per-/48 churn percentage into `rotation.churn_pct`.
 [[nodiscard]] std::vector<RotationVerdict> detect_rotation(
     const Snapshot& first, const Snapshot& second,
-    std::uint64_t churn_threshold = 0);
+    std::uint64_t churn_threshold = 0,
+    telemetry::Registry* registry = nullptr);
 
 }  // namespace scent::core

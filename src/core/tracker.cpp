@@ -3,8 +3,36 @@
 #include "netbase/eui64.h"
 #include "probe/target_generator.h"
 #include "sim/rng.h"
+#include "telemetry/span.h"
 
 namespace scent::core {
+
+TrackAttempt Tracker::finish(TrackAttempt attempt) {
+  if (config_.registry != nullptr) {
+    telemetry::Registry& reg = *config_.registry;
+    reg.counter("tracker.attempts").inc();
+    reg.counter(attempt.found ? "tracker.hits" : "tracker.misses").inc();
+    if (attempt.found_by_prediction) reg.counter("tracker.prediction_hits").inc();
+    reg.counter("tracker.probes").add(attempt.probes_sent);
+    reg.histogram("tracker.probes_per_attempt",
+                  {1, 4, 16, 64, 256, 1024, 4096, 16384})
+        .observe(attempt.probes_sent);
+  }
+  if (config_.journal != nullptr) {
+    if (attempt.found) {
+      config_.journal->event("tracker_hit",
+                             {{"day", attempt.day},
+                              {"probes", attempt.probes_sent},
+                              {"by_prediction", attempt.found_by_prediction},
+                              {"address", attempt.address.to_string()}});
+    } else {
+      config_.journal->event(
+          "tracker_miss",
+          {{"day", attempt.day}, {"probes", attempt.probes_sent}});
+    }
+  }
+  return attempt;
+}
 
 bool Tracker::probe_and_check(net::Ipv6Address target, TrackAttempt& attempt) {
   const probe::ProbeResult r = prober_->probe_one(target);
@@ -20,6 +48,7 @@ bool Tracker::probe_and_check(net::Ipv6Address target, TrackAttempt& attempt) {
 }
 
 TrackAttempt Tracker::locate(std::int64_t day) {
+  telemetry::Span span{config_.registry, "tracker.locate"};
   TrackAttempt attempt;
   attempt.day = day;
 
@@ -43,7 +72,7 @@ TrackAttempt Tracker::locate(std::int64_t day) {
           attempt.found_by_prediction = true;
           sightings_.push_back(
               Sighting{day, attempt.address.network()});
-          return attempt;
+          return finish(std::move(attempt));
         }
       }
     }
@@ -58,10 +87,10 @@ TrackAttempt Tracker::locate(std::int64_t day) {
   while (sweep.next(target)) {
     if (probe_and_check(target, attempt)) {
       sightings_.push_back(Sighting{day, attempt.address.network()});
-      return attempt;
+      return finish(std::move(attempt));
     }
   }
-  return attempt;
+  return finish(std::move(attempt));
 }
 
 bool Tracker::update_prediction(double min_support) {

@@ -18,6 +18,8 @@
 #include "netbase/mac_address.h"
 #include "netbase/prefix.h"
 #include "probe/prober.h"
+#include "telemetry/journal.h"
+#include "telemetry/metrics.h"
 
 namespace scent::core {
 
@@ -31,6 +33,13 @@ struct TrackerConfig {
   /// falling back to the randomized pool sweep.
   std::optional<StrideModel> prediction;
   unsigned prediction_neighborhood = 2;
+
+  /// Optional telemetry sinks. With a registry, attempts run under a
+  /// "tracker.locate" span and feed `tracker.*` counters plus the
+  /// `tracker.probes_per_attempt` histogram; with a journal, every attempt
+  /// emits a "tracker_hit" / "tracker_miss" event.
+  telemetry::Registry* registry = nullptr;
+  telemetry::Journal* journal = nullptr;
 };
 
 struct TrackAttempt {
@@ -71,6 +80,9 @@ class Tracker {
  private:
   [[nodiscard]] bool probe_and_check(net::Ipv6Address target,
                                      TrackAttempt& attempt);
+
+  /// Records the attempt into the configured telemetry sinks.
+  TrackAttempt finish(TrackAttempt attempt);
 
   probe::Prober* prober_;
   TrackerConfig config_;

@@ -8,6 +8,7 @@ ProbeResult Prober::probe_one(net::Ipv6Address target,
   result.target = target;
   result.sent_at = clock_->now();
   ++counters_.sent;
+  if (tm_sent_ != nullptr) tm_sent_->inc();
   ++sequence_;
 
   if (options_.wire_mode) {
@@ -24,6 +25,8 @@ ProbeResult Prober::probe_one(net::Ipv6Address target,
         result.response_source = parsed->ip.source;
         result.type = parsed->icmp.type;
         result.code = parsed->icmp.code;
+      } else if (tm_wire_drops_ != nullptr) {
+        tm_wire_drops_->inc();
       }
     }
   } else {
@@ -37,7 +40,10 @@ ProbeResult Prober::probe_one(net::Ipv6Address target,
     }
   }
 
-  if (result.responded) ++counters_.received;
+  if (result.responded) {
+    ++counters_.received;
+    if (tm_received_ != nullptr) tm_received_->inc();
+  }
 
   // Pace to the configured rate. Integer division floors the gap; a 10kpps
   // prober advances 100us per probe.

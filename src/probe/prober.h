@@ -19,6 +19,7 @@
 #include "probe/target_generator.h"
 #include "sim/internet.h"
 #include "sim/sim_time.h"
+#include "telemetry/metrics.h"
 #include "wire/icmpv6.h"
 
 namespace scent::probe {
@@ -89,12 +90,33 @@ class Prober {
   [[nodiscard]] const Counters& counters() const noexcept { return counters_; }
   void reset_counters() noexcept { counters_ = {}; }
 
+  /// Mirrors every probe into the registry's `probe.sent` / `probe.received`
+  /// / `probe.wire_drops` counters. Counter pointers are cached here so the
+  /// hot path pays one branch plus one add per event; the registry's
+  /// counters accumulate for its lifetime (reset_counters() does not touch
+  /// them — registry deltas are the caller's concern).
+  void attach_telemetry(telemetry::Registry& registry) {
+    telemetry_ = &registry;
+    tm_sent_ = &registry.counter("probe.sent");
+    tm_received_ = &registry.counter("probe.received");
+    tm_wire_drops_ = &registry.counter("probe.wire_drops");
+  }
+
+  /// The attached registry, if any (shared with the traceroute engine).
+  [[nodiscard]] telemetry::Registry* telemetry() const noexcept {
+    return telemetry_;
+  }
+
  private:
   sim::Internet* internet_;
   sim::VirtualClock* clock_;
   ProberOptions options_;
   Counters counters_;
   std::uint16_t sequence_ = 0;
+  telemetry::Registry* telemetry_ = nullptr;
+  telemetry::Counter* tm_sent_ = nullptr;
+  telemetry::Counter* tm_received_ = nullptr;
+  telemetry::Counter* tm_wire_drops_ = nullptr;
 };
 
 }  // namespace scent::probe

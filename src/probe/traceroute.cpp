@@ -1,5 +1,7 @@
 #include "probe/traceroute.h"
 
+#include "telemetry/metrics.h"
+
 namespace scent::probe {
 
 TracerouteResult traceroute(Prober& prober, net::Ipv6Address target,
@@ -13,6 +15,17 @@ TracerouteResult traceroute(Prober& prober, net::Ipv6Address target,
     if (!r.responded) continue;
     result.hops.push_back(Hop{hl, r.response_source, r.type});
     if (r.type != wire::Icmpv6Type::kTimeExceeded) break;  // terminal hop
+  }
+
+  if (telemetry::Registry* reg = prober.telemetry()) {
+    reg->counter("traceroute.runs").inc();
+    reg->counter("traceroute.responsive_hops").add(result.hops.size());
+    if (result.last_hop() &&
+        result.last_hop()->type != wire::Icmpv6Type::kTimeExceeded) {
+      reg->counter("traceroute.reached_periphery").inc();
+    }
+    reg->histogram("traceroute.path_length", {2, 4, 8, 16, 32})
+        .observe(result.hops.size());
   }
   return result;
 }

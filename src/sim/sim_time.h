@@ -6,6 +6,7 @@
 // the rotation-epoch math trivial.
 #pragma once
 
+#include <cinttypes>
 #include <cstdint>
 #include <cstdio>
 #include <string>
@@ -52,11 +53,11 @@ inline constexpr Duration kDay = 24 * kHour;
   const std::int64_t day = day_of(t);
   const Duration tod = time_of_day(t);
   char buf[40];
-  std::snprintf(buf, sizeof buf, "d%lld %02lld:%02lld:%02lld",
-                static_cast<long long>(day),
-                static_cast<long long>(tod / kHour),
-                static_cast<long long>((tod / kMinute) % 60),
-                static_cast<long long>((tod / kSecond) % 60));
+  // PRId64 keeps -Wformat clean for std::int64_t on LP64 (long) and LLP64
+  // (long long) alike.
+  std::snprintf(buf, sizeof buf,
+                "d%" PRId64 " %02" PRId64 ":%02" PRId64 ":%02" PRId64, day,
+                tod / kHour, (tod / kMinute) % 60, (tod / kSecond) % 60);
   return buf;
 }
 

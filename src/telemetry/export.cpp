@@ -1,0 +1,204 @@
+#include "telemetry/export.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <vector>
+
+#include "telemetry/journal.h"
+
+namespace scent::telemetry {
+
+namespace {
+
+std::string format_wall(std::uint64_t ns) {
+  char buf[32];
+  const double seconds = static_cast<double>(ns) / 1e9;
+  if (seconds >= 1.0) {
+    std::snprintf(buf, sizeof buf, "%.2fs", seconds);
+  } else if (seconds >= 1e-3) {
+    std::snprintf(buf, sizeof buf, "%.2fms", seconds * 1e3);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.0fus", seconds * 1e6);
+  }
+  return buf;
+}
+
+/// Span rows in first-opened order — pre-order of the stage tree, since a
+/// parent span always opens before its children.
+std::vector<const std::pair<const std::string, SpanStats>*> ordered_spans(
+    const Registry& registry) {
+  std::vector<const std::pair<const std::string, SpanStats>*> rows;
+  rows.reserve(registry.spans().size());
+  for (const auto& entry : registry.spans()) rows.push_back(&entry);
+  std::sort(rows.begin(), rows.end(), [](const auto* a, const auto* b) {
+    return a->second.first_seq < b->second.first_seq;
+  });
+  return rows;
+}
+
+std::string_view leaf_name(const std::string& path) {
+  const auto pos = path.rfind('/');
+  return pos == std::string::npos ? std::string_view{path}
+                                  : std::string_view{path}.substr(pos + 1);
+}
+
+}  // namespace
+
+std::string format_virtual_duration(sim::Duration us) {
+  const char* sign = us < 0 ? "-" : "";
+  if (us < 0) us = -us;
+  const std::int64_t total_seconds = us / sim::kSecond;
+  const std::int64_t days = total_seconds / (24 * 3600);
+  const std::int64_t hh = (total_seconds / 3600) % 24;
+  const std::int64_t mm = (total_seconds / 60) % 60;
+  const std::int64_t ss = total_seconds % 60;
+  char buf[48];
+  if (days > 0) {
+    std::snprintf(buf, sizeof buf,
+                  "%s%" PRId64 "d %02" PRId64 ":%02" PRId64 ":%02" PRId64,
+                  sign, days, hh, mm, ss);
+  } else {
+    std::snprintf(buf, sizeof buf, "%s%02" PRId64 ":%02" PRId64 ":%02" PRId64,
+                  sign, hh, mm, ss);
+  }
+  return buf;
+}
+
+void print_summary(std::FILE* out, const Registry& registry) {
+  std::fprintf(out, "  -- telemetry %s\n",
+               std::string(49, '-').c_str());
+
+  const auto spans = ordered_spans(registry);
+  if (!spans.empty()) {
+    std::fprintf(out, "  %-34s %10s %14s %8s\n", "span", "wall", "virtual",
+                 "calls");
+    for (const auto* entry : spans) {
+      const auto& [path, stats] = *entry;
+      const std::string name =
+          std::string(2 * stats.depth, ' ') + std::string{leaf_name(path)};
+      std::fprintf(out, "  %-34s %10s %14s %8" PRIu64 "\n", name.c_str(),
+                   format_wall(stats.wall_ns).c_str(),
+                   format_virtual_duration(stats.virtual_us).c_str(),
+                   stats.count);
+    }
+  }
+
+  if (!registry.counters().empty()) {
+    std::fprintf(out, "  counters:\n");
+    for (const auto& [name, counter] : registry.counters()) {
+      std::fprintf(out, "    %-32s %14" PRIu64 "\n", name.c_str(),
+                   counter.value());
+    }
+  }
+
+  if (!registry.gauges().empty()) {
+    std::fprintf(out, "  gauges:\n");
+    for (const auto& [name, gauge] : registry.gauges()) {
+      std::fprintf(out, "    %-32s %14" PRId64 "\n", name.c_str(),
+                   gauge.value());
+    }
+  }
+
+  if (!registry.histograms().empty()) {
+    std::fprintf(out, "  histograms:\n");
+    for (const auto& [name, histogram] : registry.histograms()) {
+      std::fprintf(out,
+                   "    %-32s n=%" PRIu64 " mean=%.1f min=%" PRIu64
+                   " max=%" PRIu64 "\n",
+                   name.c_str(), histogram.count(), histogram.mean(),
+                   histogram.min(), histogram.max());
+      if (histogram.count() == 0) continue;
+      std::fprintf(out, "      ");
+      const auto& bounds = histogram.bounds();
+      const auto& buckets = histogram.buckets();
+      for (std::size_t i = 0; i < buckets.size(); ++i) {
+        if (buckets[i] == 0) continue;
+        if (i < bounds.size()) {
+          std::fprintf(out, "le%" PRIu64 ":%" PRIu64 " ", bounds[i],
+                       buckets[i]);
+        } else {
+          std::fprintf(out, "inf:%" PRIu64 " ", buckets[i]);
+        }
+      }
+      std::fprintf(out, "\n");
+    }
+  }
+  std::fprintf(out, "  %s\n", std::string(62, '-').c_str());
+}
+
+std::string to_json(const Registry& registry) {
+  std::string out = "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, counter] : registry.counters()) {
+    if (!first) out += ',';
+    first = false;
+    append_json_string(out, name);
+    char buf[24];
+    std::snprintf(buf, sizeof buf, ":%" PRIu64, counter.value());
+    out += buf;
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, gauge] : registry.gauges()) {
+    if (!first) out += ',';
+    first = false;
+    append_json_string(out, name);
+    char buf[24];
+    std::snprintf(buf, sizeof buf, ":%" PRId64, gauge.value());
+    out += buf;
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, histogram] : registry.histograms()) {
+    if (!first) out += ',';
+    first = false;
+    append_json_string(out, name);
+    char buf[96];
+    std::snprintf(buf, sizeof buf,
+                  ":{\"count\":%" PRIu64 ",\"sum\":%" PRIu64 ",\"min\":%" PRIu64
+                  ",\"max\":%" PRIu64 ",\"bounds\":[",
+                  histogram.count(), histogram.sum(), histogram.min(),
+                  histogram.max());
+    out += buf;
+    for (std::size_t i = 0; i < histogram.bounds().size(); ++i) {
+      if (i != 0) out += ',';
+      std::snprintf(buf, sizeof buf, "%" PRIu64, histogram.bounds()[i]);
+      out += buf;
+    }
+    out += "],\"buckets\":[";
+    for (std::size_t i = 0; i < histogram.buckets().size(); ++i) {
+      if (i != 0) out += ',';
+      std::snprintf(buf, sizeof buf, "%" PRIu64, histogram.buckets()[i]);
+      out += buf;
+    }
+    out += "]}";
+  }
+  out += "},\"spans\":[";
+  first = true;
+  for (const auto* entry : ordered_spans(registry)) {
+    const auto& [path, stats] = *entry;
+    if (!first) out += ',';
+    first = false;
+    out += "{\"path\":";
+    append_json_string(out, path);
+    char buf[128];
+    std::snprintf(buf, sizeof buf,
+                  ",\"depth\":%u,\"calls\":%" PRIu64 ",\"wall_ns\":%" PRIu64
+                  ",\"virtual_us\":%" PRId64 "}",
+                  stats.depth, stats.count, stats.wall_ns, stats.virtual_us);
+    out += buf;
+  }
+  out += "]}";
+  return out;
+}
+
+bool write_json(const std::string& path, const Registry& registry) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const std::string json = to_json(registry) + "\n";
+  const bool wrote = std::fwrite(json.data(), 1, json.size(), f) == json.size();
+  const bool closed = std::fclose(f) == 0;
+  return wrote && closed;
+}
+
+}  // namespace scent::telemetry

@@ -1,0 +1,29 @@
+// export.h - registry exporters: the human-readable per-stage summary the
+// bench harnesses print, and the machine-readable JSON dump the bench
+// trajectory (and any external tooling) consumes.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "telemetry/metrics.h"
+
+namespace scent::telemetry {
+
+/// Renders a virtual-clock duration as "[Nd ]HH:MM:SS".
+[[nodiscard]] std::string format_virtual_duration(sim::Duration us);
+
+/// Prints the span tree (wall + virtual durations, call counts), counters,
+/// gauges, and histograms as an aligned text block. Spans print in first-
+/// opened order with nesting indentation, so the output reads as the
+/// pipeline's stage breakdown.
+void print_summary(std::FILE* out, const Registry& registry);
+
+/// Serializes the whole registry as one JSON object:
+/// {"counters":{...},"gauges":{...},"histograms":{...},"spans":[...]}.
+[[nodiscard]] std::string to_json(const Registry& registry);
+
+/// Writes to_json() to `path`. Returns false on any I/O failure.
+bool write_json(const std::string& path, const Registry& registry);
+
+}  // namespace scent::telemetry

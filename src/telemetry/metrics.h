@@ -1,0 +1,270 @@
+// metrics.h - the scent metrics registry: named counters, gauges, and
+// fixed-bucket histograms, plus the aggregated span statistics scoped
+// telemetry::Span instances record into it.
+//
+// Design constraints, in order:
+//   1. The probe hot path (fast mode runs millions of probe_one calls per
+//      wall second) must pay at most a cached-pointer increment per event.
+//      Instruments therefore have stable addresses — callers look a metric
+//      up once by name and keep the pointer — and an update is a plain
+//      uint64 add. No locks.
+//   2. Single-threaded by default, matching the simulator. Compiling with
+//      -DSCENT_TELEMETRY_ATOMIC turns counter/gauge cells into relaxed
+//      atomics for multi-threaded probers; histograms and spans stay
+//      single-writer either way (they belong to stage drivers, not packet
+//      loops).
+//   3. A registry pointer of nullptr disables everything: every
+//      instrumentation site null-checks, so un-instrumented library users
+//      pay one predictable branch.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#if defined(SCENT_TELEMETRY_ATOMIC)
+#include <atomic>
+#endif
+
+#include "sim/sim_time.h"
+
+namespace scent::telemetry {
+
+/// Monotonically increasing event count (probes sent, tracker hits, ...).
+class Counter {
+ public:
+  void inc() noexcept { add(1); }
+
+  void add(std::uint64_t delta) noexcept {
+#if defined(SCENT_TELEMETRY_ATOMIC)
+    value_.fetch_add(delta, std::memory_order_relaxed);
+#else
+    value_ += delta;
+#endif
+  }
+
+  [[nodiscard]] std::uint64_t value() const noexcept {
+#if defined(SCENT_TELEMETRY_ATOMIC)
+    return value_.load(std::memory_order_relaxed);
+#else
+    return value_;
+#endif
+  }
+
+  void reset() noexcept {
+#if defined(SCENT_TELEMETRY_ATOMIC)
+    value_.store(0, std::memory_order_relaxed);
+#else
+    value_ = 0;
+#endif
+  }
+
+ private:
+#if defined(SCENT_TELEMETRY_ATOMIC)
+  std::atomic<std::uint64_t> value_{0};
+#else
+  std::uint64_t value_ = 0;
+#endif
+};
+
+/// Last-write-wins signed level (funnel stage sizes, config knobs).
+class Gauge {
+ public:
+  void set(std::int64_t v) noexcept {
+#if defined(SCENT_TELEMETRY_ATOMIC)
+    value_.store(v, std::memory_order_relaxed);
+#else
+    value_ = v;
+#endif
+  }
+
+  void set_u64(std::uint64_t v) noexcept { set(static_cast<std::int64_t>(v)); }
+
+  void add(std::int64_t delta) noexcept {
+#if defined(SCENT_TELEMETRY_ATOMIC)
+    value_.fetch_add(delta, std::memory_order_relaxed);
+#else
+    value_ += delta;
+#endif
+  }
+
+  [[nodiscard]] std::int64_t value() const noexcept {
+#if defined(SCENT_TELEMETRY_ATOMIC)
+    return value_.load(std::memory_order_relaxed);
+#else
+    return value_;
+#endif
+  }
+
+ private:
+#if defined(SCENT_TELEMETRY_ATOMIC)
+  std::atomic<std::int64_t> value_{0};
+#else
+  std::int64_t value_ = 0;
+#endif
+};
+
+/// Fixed-bucket histogram over non-negative integer samples. Buckets are
+/// cumulative-style "value <= bound" with an implicit +inf overflow bucket.
+/// Single-writer even under SCENT_TELEMETRY_ATOMIC (histograms belong to
+/// stage drivers, not the packet loop).
+class Histogram {
+ public:
+  Histogram() = default;
+
+  /// `bounds` must be ascending; the overflow bucket is appended.
+  explicit Histogram(std::vector<std::uint64_t> bounds)
+      : bounds_(std::move(bounds)), buckets_(bounds_.size() + 1, 0) {}
+
+  void observe(std::uint64_t v) noexcept {
+    std::size_t i = 0;
+    while (i < bounds_.size() && v > bounds_[i]) ++i;
+    ++buckets_[i];
+    sum_ += v;
+    if (count_ == 0 || v < min_) min_ = v;
+    if (count_ == 0 || v > max_) max_ = v;
+    ++count_;
+  }
+
+  [[nodiscard]] std::uint64_t count() const noexcept { return count_; }
+  [[nodiscard]] std::uint64_t sum() const noexcept { return sum_; }
+  [[nodiscard]] std::uint64_t min() const noexcept { return min_; }
+  [[nodiscard]] std::uint64_t max() const noexcept { return max_; }
+  [[nodiscard]] double mean() const noexcept {
+    return count_ == 0 ? 0.0
+                       : static_cast<double>(sum_) / static_cast<double>(count_);
+  }
+  [[nodiscard]] const std::vector<std::uint64_t>& bounds() const noexcept {
+    return bounds_;
+  }
+  /// bounds().size() + 1 entries; the last is the overflow bucket.
+  [[nodiscard]] const std::vector<std::uint64_t>& buckets() const noexcept {
+    return buckets_;
+  }
+
+ private:
+  std::vector<std::uint64_t> bounds_;
+  std::vector<std::uint64_t> buckets_{0};  // degenerate: single +inf bucket
+  std::uint64_t count_ = 0;
+  std::uint64_t sum_ = 0;
+  std::uint64_t min_ = 0;
+  std::uint64_t max_ = 0;
+};
+
+/// Aggregated statistics for one span path ("campaign/day/sweep").
+struct SpanStats {
+  std::uint64_t count = 0;        ///< Completed spans at this path.
+  std::uint64_t wall_ns = 0;      ///< Total wall-clock time.
+  std::int64_t virtual_us = 0;    ///< Total sim::VirtualClock time.
+  unsigned depth = 0;             ///< Nesting depth (0 = root).
+  std::uint64_t first_seq = 0;    ///< Creation order, for report sorting.
+};
+
+/// The named-instrument registry. Instruments are created on first lookup
+/// and live as long as the registry; returned references stay valid (the
+/// backing maps are node-based).
+class Registry {
+ public:
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  Counter& counter(std::string_view name) {
+    return counters_.try_emplace(std::string{name}).first->second;
+  }
+  Gauge& gauge(std::string_view name) {
+    return gauges_.try_emplace(std::string{name}).first->second;
+  }
+  /// `bounds` is consulted only on first creation of `name`.
+  Histogram& histogram(std::string_view name,
+                       std::vector<std::uint64_t> bounds = {}) {
+    auto it = histograms_.find(std::string{name});
+    if (it == histograms_.end()) {
+      if (bounds.empty()) bounds = {1, 10, 100, 1000, 10000, 100000, 1000000};
+      it = histograms_
+               .emplace(std::string{name}, Histogram{std::move(bounds)})
+               .first;
+    }
+    return it->second;
+  }
+
+  [[nodiscard]] const Counter* find_counter(std::string_view name) const {
+    const auto it = counters_.find(std::string{name});
+    return it == counters_.end() ? nullptr : &it->second;
+  }
+  [[nodiscard]] const Gauge* find_gauge(std::string_view name) const {
+    const auto it = gauges_.find(std::string{name});
+    return it == gauges_.end() ? nullptr : &it->second;
+  }
+  [[nodiscard]] const Histogram* find_histogram(std::string_view name) const {
+    const auto it = histograms_.find(std::string{name});
+    return it == histograms_.end() ? nullptr : &it->second;
+  }
+
+  [[nodiscard]] const std::map<std::string, Counter>& counters() const noexcept {
+    return counters_;
+  }
+  [[nodiscard]] const std::map<std::string, Gauge>& gauges() const noexcept {
+    return gauges_;
+  }
+  [[nodiscard]] const std::map<std::string, Histogram>& histograms()
+      const noexcept {
+    return histograms_;
+  }
+  [[nodiscard]] const std::map<std::string, SpanStats>& spans() const noexcept {
+    return spans_;
+  }
+
+  /// Virtual clock consulted by Span for sim-time durations (optional).
+  void set_clock(const sim::VirtualClock* clock) noexcept { clock_ = clock; }
+  [[nodiscard]] const sim::VirtualClock* clock() const noexcept {
+    return clock_;
+  }
+
+  /// Span bookkeeping — called by telemetry::Span, not user code. Paths
+  /// nest by the currently open spans: begin("seed") under an open
+  /// "bootstrap" span aggregates under "bootstrap/seed".
+  void span_begin(std::string_view name) {
+    std::string path = open_paths_.empty() ? std::string{name}
+                                           : open_paths_.back() + "/" +
+                                                 std::string{name};
+    auto [it, created] = spans_.try_emplace(path);
+    if (created) {
+      it->second.depth = static_cast<unsigned>(open_paths_.size());
+      it->second.first_seq = next_seq_++;
+    }
+    open_paths_.push_back(std::move(path));
+  }
+
+  void span_end(std::uint64_t wall_ns, std::int64_t virtual_us) {
+    if (open_paths_.empty()) return;  // unmatched end: ignore
+    SpanStats& stats = spans_[open_paths_.back()];
+    ++stats.count;
+    stats.wall_ns += wall_ns;
+    stats.virtual_us += virtual_us;
+    open_paths_.pop_back();
+  }
+
+  /// Drops every instrument and span record (clock binding is kept).
+  void reset() {
+    counters_.clear();
+    gauges_.clear();
+    histograms_.clear();
+    spans_.clear();
+    open_paths_.clear();
+    next_seq_ = 0;
+  }
+
+ private:
+  std::map<std::string, Counter> counters_;
+  std::map<std::string, Gauge> gauges_;
+  std::map<std::string, Histogram> histograms_;
+  std::map<std::string, SpanStats> spans_;
+  std::vector<std::string> open_paths_;
+  std::uint64_t next_seq_ = 0;
+  const sim::VirtualClock* clock_ = nullptr;
+};
+
+}  // namespace scent::telemetry

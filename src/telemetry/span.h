@@ -1,0 +1,60 @@
+// span.h - scoped spans recording wall-clock *and* virtual-clock durations.
+//
+// A Span brackets one pipeline stage: construction opens it, destruction
+// (or an early stop()) closes it and folds the elapsed time into the
+// registry's aggregated per-path statistics. Spans nest lexically — a
+// "sweep" span opened while a "day" span is open aggregates under
+// "campaign/day/sweep" — which is exactly how a campaign day decomposes
+// into sweep -> ingest -> inference in the reports.
+//
+// Wall time comes from std::chrono::steady_clock; virtual time from the
+// sim::VirtualClock the registry was bound to via set_clock() (zero if
+// none). A nullptr registry makes the span a no-op.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <string_view>
+
+#include "sim/sim_time.h"
+#include "telemetry/metrics.h"
+
+namespace scent::telemetry {
+
+class Span {
+ public:
+  Span(Registry* registry, std::string_view name) : registry_(registry) {
+    if (registry_ == nullptr) return;
+    wall_start_ = std::chrono::steady_clock::now();
+    virtual_start_ =
+        registry_->clock() != nullptr ? registry_->clock()->now() : 0;
+    registry_->span_begin(name);
+  }
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  ~Span() { stop(); }
+
+  /// Closes the span early; later calls (and the destructor) are no-ops.
+  void stop() {
+    if (registry_ == nullptr) return;
+    const auto wall_ns = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - wall_start_)
+            .count());
+    const std::int64_t virtual_us =
+        registry_->clock() != nullptr
+            ? registry_->clock()->now() - virtual_start_
+            : 0;
+    registry_->span_end(wall_ns, virtual_us);
+    registry_ = nullptr;
+  }
+
+ private:
+  Registry* registry_;
+  std::chrono::steady_clock::time_point wall_start_;
+  sim::TimePoint virtual_start_ = 0;
+};
+
+}  // namespace scent::telemetry

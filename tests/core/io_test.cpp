@@ -124,5 +124,36 @@ TEST(ObservationIo, EmptyStoreRoundTrips) {
   EXPECT_TRUE(loaded->empty());
 }
 
+TEST(SaveErrors, UnwritablePathReportsFalse) {
+  EXPECT_FALSE(save_prefixes("/nonexistent_dir_zzz/p.txt",
+                             {pfx("2001:db8::/48")}));
+  EXPECT_FALSE(
+      save_observations("/nonexistent_dir_zzz/o.csv", ObservationStore{}));
+}
+
+#ifdef __linux__
+TEST(SaveErrors, DiskFullIsReportedNotSwallowed) {
+  // /dev/full accepts the open and buffers writes, then fails at flush —
+  // the disk-full mode that only surfaces at fclose. Both writers must
+  // report it as a false return rather than silently truncating.
+  std::FILE* probe = std::fopen("/dev/full", "w");
+  if (probe == nullptr) GTEST_SKIP() << "/dev/full not available";
+  std::fclose(probe);
+
+  std::vector<net::Prefix> prefixes(4096, pfx("2001:db8::/48"));
+  EXPECT_FALSE(save_prefixes("/dev/full", prefixes, "doomed"));
+
+  ObservationStore store;
+  Observation obs;
+  obs.target = addr("2001:db8::1");
+  obs.response = addr("2001:db8::2");
+  obs.type = static_cast<wire::Icmpv6Type>(129);
+  obs.code = 0;
+  obs.time = 100;
+  for (int i = 0; i < 4096; ++i) store.add(obs);
+  EXPECT_FALSE(save_observations("/dev/full", store));
+}
+#endif
+
 }  // namespace
 }  // namespace scent::core

@@ -8,6 +8,7 @@
 #include "probe/target_generator.h"
 #include "probe/traceroute.h"
 #include "sim/scenario.h"
+#include "telemetry/metrics.h"
 
 namespace scent::probe {
 namespace {
@@ -129,6 +130,44 @@ TEST_F(ProberTest, CountersTrackSentAndReceived) {
   EXPECT_EQ(prober.counters().received, 1u);
   prober.reset_counters();
   EXPECT_EQ(prober.counters().sent, 0u);
+}
+
+TEST_F(ProberTest, CountersAccumulateAcrossSweepsAndResetCleanly) {
+  Prober prober{world_.internet, clock_};
+  telemetry::Registry registry;
+  prober.attach_telemetry(registry);
+
+  const auto& pool = world_.internet.provider(world_.versatel).pools()[0];
+  const std::uint64_t per_sweep =
+      SubnetTargets{pool.config().prefix, 56, 0xABC}.size();
+
+  const std::vector<net::Ipv6Address> targets = {
+      device_target(world_.versatel, 0),
+      *net::Ipv6Address::parse("2a0f:ffff::1"),  // unrouted
+  };
+  (void)prober.sweep(targets);
+  (void)prober.sweep_subnets(pool.config().prefix, 56, 0xABC);
+  (void)prober.sweep_subnets(pool.config().prefix, 56, 0xDEF);
+
+  // Every probe path funnels through probe_one: the prober's own counters
+  // and the registry mirror agree, across sweep and sweep_subnets alike.
+  const std::uint64_t expected_sent = targets.size() + 2 * per_sweep;
+  const std::uint64_t expected_received = 1 + 2 * 16;  // 16 tiny-world CPEs
+  EXPECT_EQ(prober.counters().sent, expected_sent);
+  EXPECT_EQ(prober.counters().received, expected_received);
+  EXPECT_EQ(registry.counter("probe.sent").value(), expected_sent);
+  EXPECT_EQ(registry.counter("probe.received").value(), expected_received);
+
+  // reset_counters() clears the prober's counters but leaves the registry
+  // accumulating (campaign code reads per-day deltas from it).
+  prober.reset_counters();
+  EXPECT_EQ(prober.counters().sent, 0u);
+  EXPECT_EQ(prober.counters().received, 0u);
+  EXPECT_EQ(registry.counter("probe.sent").value(), expected_sent);
+
+  (void)prober.probe_one(device_target(world_.versatel, 1));
+  EXPECT_EQ(prober.counters().sent, 1u);
+  EXPECT_EQ(registry.counter("probe.sent").value(), expected_sent + 1);
 }
 
 TEST_F(ProberTest, SweepReturnsOnlyResponsive) {

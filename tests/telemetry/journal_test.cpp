@@ -1,0 +1,160 @@
+// JSONL journal round-trip, escaping, timestamping, and error reporting.
+#include "telemetry/journal.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+
+namespace scent::telemetry {
+namespace {
+
+/// Unique temp path per test, removed on destruction (same pattern as
+/// core/io_test.cpp).
+struct TempFile {
+  std::string path;
+  explicit TempFile(const char* tag) {
+    path = std::string{::testing::TempDir()} + "/scent_journal_" + tag + "_" +
+           std::to_string(reinterpret_cast<std::uintptr_t>(this)) + ".jsonl";
+  }
+  ~TempFile() { std::remove(path.c_str()); }
+};
+
+TEST(Journal, RoundTripPreservesTypesAndValues) {
+  TempFile tmp{"roundtrip"};
+  sim::VirtualClock clock{sim::hours(3)};
+  Journal journal;
+  ASSERT_TRUE(journal.open(tmp.path));
+  journal.set_clock(&clock);
+
+  EXPECT_TRUE(journal.event("funnel", {{"probes", std::uint64_t{123456789}},
+                                       {"ratio", 0.75},
+                                       {"rotating", true},
+                                       {"prefix", "2001:db8::/48"}}));
+  clock.advance(sim::kDay);
+  EXPECT_TRUE(journal.event("tracker_miss", {{"day", -1}}));
+  EXPECT_EQ(journal.events_written(), 2u);
+  ASSERT_TRUE(journal.close());
+
+  const auto events = load_journal(tmp.path);
+  ASSERT_TRUE(events.has_value());
+  ASSERT_EQ(events->size(), 2u);
+
+  const JournalEvent& funnel = (*events)[0];
+  EXPECT_EQ(funnel.type, "funnel");
+  ASSERT_NE(funnel.find("time_us"), nullptr);
+  EXPECT_EQ(std::get<std::int64_t>(*funnel.find("time_us")), sim::hours(3));
+  EXPECT_EQ(std::get<std::int64_t>(*funnel.find("probes")), 123456789);
+  EXPECT_DOUBLE_EQ(std::get<double>(*funnel.find("ratio")), 0.75);
+  EXPECT_EQ(std::get<bool>(*funnel.find("rotating")), true);
+  EXPECT_EQ(std::get<std::string>(*funnel.find("prefix")), "2001:db8::/48");
+
+  const JournalEvent& miss = (*events)[1];
+  EXPECT_EQ(miss.type, "tracker_miss");
+  EXPECT_EQ(std::get<std::int64_t>(*miss.find("time_us")),
+            sim::hours(3) + sim::kDay);
+  EXPECT_EQ(std::get<std::int64_t>(*miss.find("day")), -1);
+}
+
+TEST(Journal, StringsAreEscapedAndRecovered) {
+  TempFile tmp{"escape"};
+  Journal journal;
+  ASSERT_TRUE(journal.open(tmp.path));
+  const std::string nasty = "quote\" slash\\ newline\n tab\t done";
+  EXPECT_TRUE(journal.event("note", {{"text", nasty}}));
+  ASSERT_TRUE(journal.close());
+
+  const auto events = load_journal(tmp.path);
+  ASSERT_TRUE(events.has_value());
+  ASSERT_EQ(events->size(), 1u);
+  EXPECT_EQ(std::get<std::string>(*(*events)[0].find("text")), nasty);
+}
+
+TEST(Journal, NoClockMeansNoTimestampField) {
+  TempFile tmp{"noclock"};
+  Journal journal;
+  ASSERT_TRUE(journal.open(tmp.path));
+  EXPECT_TRUE(journal.event("bare", {}));
+  ASSERT_TRUE(journal.close());
+  const auto events = load_journal(tmp.path);
+  ASSERT_TRUE(events.has_value());
+  ASSERT_EQ(events->size(), 1u);
+  EXPECT_EQ((*events)[0].find("time_us"), nullptr);
+}
+
+TEST(Journal, EventOnClosedJournalFails) {
+  Journal journal;
+  EXPECT_FALSE(journal.event("x", {}));
+  EXPECT_FALSE(journal.is_open());
+  EXPECT_TRUE(journal.close());  // nothing failed; close is a clean no-op
+}
+
+TEST(Journal, OpenFailureReportsFalse) {
+  Journal journal;
+  EXPECT_FALSE(journal.open("/nonexistent_dir_zzz/journal.jsonl"));
+  EXPECT_FALSE(journal.is_open());
+}
+
+#ifdef __linux__
+TEST(Journal, DiskFullSurfacesAtEventOrClose) {
+  // /dev/full accepts opens and buffered writes but fails them at flush —
+  // exactly the disk-full failure mode the journal must report.
+  std::FILE* probe = std::fopen("/dev/full", "w");
+  if (probe == nullptr) GTEST_SKIP() << "/dev/full not available";
+  std::fclose(probe);
+
+  Journal journal;
+  ASSERT_TRUE(journal.open("/dev/full"));
+  // The write may be buffered (reported ok) or flushed (reported failed);
+  // either way close() must report the failure.
+  bool all_ok = true;
+  for (int i = 0; i < 10000; ++i) {
+    all_ok = journal.event("fill", {{"i", i}}) && all_ok;
+  }
+  const bool close_ok = journal.close();
+  EXPECT_FALSE(all_ok && close_ok);
+}
+#endif
+
+TEST(ParseJournalLine, RejectsMalformedInput) {
+  EXPECT_FALSE(parse_journal_line("").has_value());
+  EXPECT_FALSE(parse_journal_line("not json").has_value());
+  EXPECT_FALSE(parse_journal_line("{\"no_type\":1}").has_value());
+  EXPECT_FALSE(parse_journal_line("{\"type\":\"x\",\"bad\":}").has_value());
+  EXPECT_FALSE(parse_journal_line("{\"type\":\"x\"").has_value());
+}
+
+TEST(ParseJournalLine, AcceptsFlatObject) {
+  const auto event =
+      parse_journal_line("{\"type\":\"t\",\"n\":-5,\"f\":1.5,\"b\":false}");
+  ASSERT_TRUE(event.has_value());
+  EXPECT_EQ(event->type, "t");
+  EXPECT_EQ(std::get<std::int64_t>(*event->find("n")), -5);
+  EXPECT_DOUBLE_EQ(std::get<double>(*event->find("f")), 1.5);
+  EXPECT_EQ(std::get<bool>(*event->find("b")), false);
+}
+
+TEST(LoadJournal, SkipsMalformedLinesAndCounts) {
+  TempFile tmp{"skip"};
+  std::FILE* f = std::fopen(tmp.path.c_str(), "w");
+  ASSERT_NE(f, nullptr);
+  std::fputs("{\"type\":\"good\",\"v\":1}\n", f);
+  std::fputs("garbage line\n", f);
+  std::fputs("\n", f);  // blank lines are tolerated, not counted
+  std::fputs("{\"type\":\"good\",\"v\":2}\n", f);
+  std::fclose(f);
+
+  std::size_t skipped = 0;
+  const auto events = load_journal(tmp.path, &skipped);
+  ASSERT_TRUE(events.has_value());
+  EXPECT_EQ(events->size(), 2u);
+  EXPECT_EQ(skipped, 1u);
+}
+
+TEST(LoadJournal, MissingFileIsNullopt) {
+  EXPECT_FALSE(load_journal("/nonexistent_zzz.jsonl").has_value());
+}
+
+}  // namespace
+}  // namespace scent::telemetry

@@ -1,0 +1,118 @@
+// Counter/gauge/histogram semantics of telemetry::Registry.
+#include "telemetry/metrics.h"
+
+#include <gtest/gtest.h>
+
+namespace scent::telemetry {
+namespace {
+
+TEST(Counter, StartsAtZeroAndAccumulates) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.inc();
+  c.add(41);
+  EXPECT_EQ(c.value(), 42u);
+  c.reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Gauge, LastWriteWinsAndSigned) {
+  Gauge g;
+  EXPECT_EQ(g.value(), 0);
+  g.set(7);
+  g.set(-3);
+  EXPECT_EQ(g.value(), -3);
+  g.add(5);
+  EXPECT_EQ(g.value(), 2);
+  g.set_u64(123);
+  EXPECT_EQ(g.value(), 123);
+}
+
+TEST(Histogram, BucketsAreValueLeBoundWithOverflow) {
+  Histogram h{{10, 100}};
+  h.observe(0);
+  h.observe(10);    // boundary lands in the le10 bucket
+  h.observe(11);
+  h.observe(100);
+  h.observe(101);   // overflow
+  ASSERT_EQ(h.buckets().size(), 3u);
+  EXPECT_EQ(h.buckets()[0], 2u);
+  EXPECT_EQ(h.buckets()[1], 2u);
+  EXPECT_EQ(h.buckets()[2], 1u);
+  EXPECT_EQ(h.count(), 5u);
+  EXPECT_EQ(h.sum(), 0u + 10 + 11 + 100 + 101);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 101u);
+  EXPECT_DOUBLE_EQ(h.mean(), 222.0 / 5.0);
+}
+
+TEST(Histogram, EmptyHistogramHasZeroStats) {
+  Histogram h{{1, 2}};
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.sum(), 0u);
+  EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+}
+
+TEST(Registry, InstrumentsAreCreatedOnFirstLookupAndStable) {
+  Registry reg;
+  Counter& c1 = reg.counter("probe.sent");
+  c1.add(5);
+  // Same name returns the same cell; creating other instruments must not
+  // move it (hot-path callers cache the pointer).
+  Counter* address = &c1;
+  for (int i = 0; i < 100; ++i) {
+    reg.counter("filler." + std::to_string(i));
+  }
+  Counter& c2 = reg.counter("probe.sent");
+  EXPECT_EQ(&c2, address);
+  EXPECT_EQ(c2.value(), 5u);
+}
+
+TEST(Registry, FindReturnsNullForMissingInstruments) {
+  Registry reg;
+  EXPECT_EQ(reg.find_counter("nope"), nullptr);
+  EXPECT_EQ(reg.find_gauge("nope"), nullptr);
+  EXPECT_EQ(reg.find_histogram("nope"), nullptr);
+  reg.counter("yes").inc();
+  ASSERT_NE(reg.find_counter("yes"), nullptr);
+  EXPECT_EQ(reg.find_counter("yes")->value(), 1u);
+}
+
+TEST(Registry, HistogramBoundsConsultedOnlyOnFirstCreation) {
+  Registry reg;
+  Histogram& h = reg.histogram("x", {5, 50});
+  ASSERT_EQ(h.bounds().size(), 2u);
+  // A second lookup with different bounds returns the original histogram.
+  Histogram& again = reg.histogram("x", {1, 2, 3, 4});
+  EXPECT_EQ(&again, &h);
+  EXPECT_EQ(again.bounds().size(), 2u);
+}
+
+TEST(Registry, DefaultHistogramBoundsAreDecades) {
+  Registry reg;
+  const Histogram& h = reg.histogram("y");
+  ASSERT_EQ(h.bounds().size(), 7u);
+  EXPECT_EQ(h.bounds().front(), 1u);
+  EXPECT_EQ(h.bounds().back(), 1000000u);
+}
+
+TEST(Registry, ResetDropsInstrumentsButKeepsClock) {
+  sim::VirtualClock clock{42};
+  Registry reg;
+  reg.set_clock(&clock);
+  reg.counter("a").inc();
+  reg.gauge("b").set(1);
+  reg.histogram("c").observe(1);
+  reg.span_begin("s");
+  reg.span_end(1, 1);
+  reg.reset();
+  EXPECT_EQ(reg.find_counter("a"), nullptr);
+  EXPECT_TRUE(reg.counters().empty());
+  EXPECT_TRUE(reg.gauges().empty());
+  EXPECT_TRUE(reg.histograms().empty());
+  EXPECT_TRUE(reg.spans().empty());
+  EXPECT_EQ(reg.clock(), &clock);
+}
+
+}  // namespace
+}  // namespace scent::telemetry

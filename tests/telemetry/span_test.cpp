@@ -1,0 +1,113 @@
+// Scoped-span nesting and dual wall/virtual duration accounting.
+#include "telemetry/span.h"
+
+#include <gtest/gtest.h>
+
+#include "telemetry/metrics.h"
+
+namespace scent::telemetry {
+namespace {
+
+TEST(Span, NullRegistryIsANoOp) {
+  Span span{nullptr, "anything"};
+  span.stop();  // must not crash
+}
+
+TEST(Span, RecordsVirtualDurationFromRegistryClock) {
+  sim::VirtualClock clock{sim::hours(1)};
+  Registry reg;
+  reg.set_clock(&clock);
+  {
+    Span span{&reg, "stage"};
+    clock.advance(sim::minutes(30));
+  }
+  const auto& spans = reg.spans();
+  ASSERT_EQ(spans.size(), 1u);
+  const SpanStats& stats = spans.at("stage");
+  EXPECT_EQ(stats.count, 1u);
+  EXPECT_EQ(stats.virtual_us, sim::minutes(30));
+  EXPECT_EQ(stats.depth, 0u);
+}
+
+TEST(Span, NestedSpansAggregateUnderSlashJoinedPaths) {
+  sim::VirtualClock clock{0};
+  Registry reg;
+  reg.set_clock(&clock);
+  {
+    Span outer{&reg, "campaign"};
+    for (int day = 0; day < 3; ++day) {
+      Span inner{&reg, "day"};
+      clock.advance(sim::kDay);
+      {
+        Span leaf{&reg, "sweep"};
+        clock.advance(sim::kHour);
+      }
+    }
+  }
+  ASSERT_EQ(reg.spans().size(), 3u);
+  const SpanStats& outer = reg.spans().at("campaign");
+  const SpanStats& inner = reg.spans().at("campaign/day");
+  const SpanStats& leaf = reg.spans().at("campaign/day/sweep");
+  EXPECT_EQ(outer.count, 1u);
+  EXPECT_EQ(inner.count, 3u);
+  EXPECT_EQ(leaf.count, 3u);
+  EXPECT_EQ(outer.depth, 0u);
+  EXPECT_EQ(inner.depth, 1u);
+  EXPECT_EQ(leaf.depth, 2u);
+  EXPECT_EQ(outer.virtual_us, 3 * (sim::kDay + sim::kHour));
+  EXPECT_EQ(inner.virtual_us, 3 * (sim::kDay + sim::kHour));
+  EXPECT_EQ(leaf.virtual_us, 3 * sim::kHour);
+  // Creation order is preserved for pre-order report printing.
+  EXPECT_LT(outer.first_seq, inner.first_seq);
+  EXPECT_LT(inner.first_seq, leaf.first_seq);
+}
+
+TEST(Span, SameNameUnderDifferentParentsIsADistinctPath) {
+  Registry reg;
+  {
+    Span a{&reg, "bootstrap"};
+    Span s{&reg, "sweep"};
+  }
+  {
+    Span b{&reg, "campaign"};
+    Span s{&reg, "sweep"};
+  }
+  EXPECT_NE(reg.spans().find("bootstrap/sweep"), reg.spans().end());
+  EXPECT_NE(reg.spans().find("campaign/sweep"), reg.spans().end());
+  EXPECT_EQ(reg.spans().find("sweep"), reg.spans().end());
+}
+
+TEST(Span, StopIsIdempotentAndEarly) {
+  sim::VirtualClock clock{0};
+  Registry reg;
+  reg.set_clock(&clock);
+  Span span{&reg, "stage"};
+  clock.advance(sim::kMinute);
+  span.stop();
+  clock.advance(sim::kHour);  // after stop: not attributed
+  span.stop();                // second stop: no double count
+  const SpanStats& stats = reg.spans().at("stage");
+  EXPECT_EQ(stats.count, 1u);
+  EXPECT_EQ(stats.virtual_us, sim::kMinute);
+}
+
+TEST(Span, NoClockMeansZeroVirtualDuration) {
+  Registry reg;
+  { Span span{&reg, "stage"}; }
+  EXPECT_EQ(reg.spans().at("stage").virtual_us, 0);
+  EXPECT_EQ(reg.spans().at("stage").count, 1u);
+}
+
+TEST(Span, WallClockDurationIsRecorded) {
+  Registry reg;
+  {
+    Span span{&reg, "stage"};
+    // Burn a little real time so wall_ns is observably nonzero.
+    volatile unsigned sink = 0;
+    for (unsigned i = 0; i < 100000; ++i) sink = sink + i;
+  }
+  EXPECT_GT(reg.spans().at("stage").wall_ns, 0u);
+}
+
+}  // namespace
+}  // namespace scent::telemetry
