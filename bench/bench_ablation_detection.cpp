@@ -72,7 +72,8 @@ struct Score {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  scent::bench::parse_threads(argc, argv);
   bench::banner("Ablation - snapshot count and churn threshold (§4.3)",
                 "2 snapshots @24h catch daily rotators, miss slow ones; "
                 "any-change threshold admits churn false positives");

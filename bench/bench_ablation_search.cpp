@@ -20,7 +20,8 @@
 #include "bench_util.h"
 #include "core/tracker.h"
 
-int main() {
+int main(int argc, char** argv) {
+  scent::bench::parse_threads(argc, argv);
   using namespace scent;
   bench::banner("Ablation - search-space reduction levels (Figure 2, §3.2)",
                 "pool bound ~2^17 probes, allocation-aware ~2^9, stride "

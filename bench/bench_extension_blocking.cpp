@@ -14,7 +14,8 @@
 #include "bench_util.h"
 #include "core/blocklist.h"
 
-int main() {
+int main(int argc, char** argv) {
+  scent::bench::parse_threads(argc, argv);
   using namespace scent;
   bench::banner("Extension - abuse blocking under daily prefix rotation",
                 "/128 and /56 blocks are evaded daily; pool-wide blocks "

@@ -13,7 +13,8 @@
 #include "bench_util.h"
 #include "core/tracker.h"
 
-int main() {
+int main(int argc, char** argv) {
+  scent::bench::parse_threads(argc, argv);
   using namespace scent;
   bench::banner("Extension - EUI-64 deprecation rollout vs tracking (§8)",
                 "vendor ships privacy extensions; tracking success decays "

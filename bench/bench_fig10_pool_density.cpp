@@ -15,7 +15,8 @@
 
 #include "bench_util.h"
 
-int main() {
+int main(int argc, char** argv) {
+  scent::bench::parse_threads(argc, argv);
   using namespace scent;
   bench::banner("Figure 10 - /46 rotation pool density over a week, hourly",
                 "reassignment at 00:00-06:00; one /48 dense, one empty, two "

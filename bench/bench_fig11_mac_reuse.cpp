@@ -16,7 +16,8 @@
 #include "bench_util.h"
 #include "core/pathology.h"
 
-int main() {
+int main(int argc, char** argv) {
+  scent::bench::parse_threads(argc, argv);
   using namespace scent;
   bench::banner("Figure 11 / s5.5 - multi-AS EUI-64 IIDs and MAC reuse",
                 "all-zero MAC in 12 ASes; reused vendor MACs concurrently "

@@ -13,7 +13,8 @@
 #include "bench_util.h"
 #include "core/pathology.h"
 
-int main() {
+int main(int argc, char** argv) {
+  scent::bench::parse_threads(argc, argv);
   using namespace scent;
   bench::banner("Figure 12 - EUI-64 IIDs changing between German ISPs",
                 "one IID AS8881->AS3320 mid-campaign, one the reverse; "

@@ -49,7 +49,8 @@ unsigned map_prefix(bench::Pipeline& pipeline, net::Prefix p48,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  scent::bench::parse_threads(argc, argv);
   bench::banner(
       "Figure 3 - inferring customer allocation policies by probing",
       "Entel /56 banding; BH Telecom /60 banding; Starcat /64 pixels with "

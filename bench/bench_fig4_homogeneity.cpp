@@ -16,7 +16,8 @@
 #include "core/homogeneity.h"
 #include "oui/oui_registry.h"
 
-int main() {
+int main(int argc, char** argv) {
+  scent::bench::parse_threads(argc, argv);
   using namespace scent;
   bench::banner("Figure 4 - per-AS CPE manufacturer homogeneity",
                 ">1/2 of ASes above 0.9; 3/4 above 0.67; min above ~0.35; "

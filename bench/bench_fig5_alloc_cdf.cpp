@@ -13,7 +13,8 @@
 #include "bench_util.h"
 #include "core/inference.h"
 
-int main() {
+int main(int argc, char** argv) {
+  scent::bench::parse_threads(argc, argv);
   using namespace scent;
   bench::banner("Figure 5 - inferred customer allocation sizes",
                 "5a: ~40% of IIDs at /56, ~30% at /64, inflection at /60; "

@@ -48,7 +48,8 @@ MapResult map_prefix(bench::Pipeline& pipeline, net::Prefix p48) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  scent::bench::parse_threads(argc, argv);
   bench::banner("Figure 6 - a provider with multiple allocation sizes",
                 "Versatel: one /48 carved into /64s, another into /56s");
 

@@ -17,7 +17,8 @@
 #include "bench_util.h"
 #include "core/inference.h"
 
-int main() {
+int main(int argc, char** argv) {
+  scent::bench::parse_threads(argc, argv);
   using namespace scent;
   bench::banner("Figure 7 - rotation pool sizes vs BGP prefix sizes",
                 ">1/2 of ASes show /64 pools (no rotation observed); "

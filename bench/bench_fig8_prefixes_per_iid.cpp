@@ -12,7 +12,8 @@
 
 #include "bench_util.h"
 
-int main() {
+int main(int argc, char** argv) {
+  scent::bench::parse_threads(argc, argv);
   using namespace scent;
   bench::banner("Figure 8 - distinct /64 prefixes per EUI-64 IID",
                 "~25% of IIDs in one /64; ~70% in more; extreme tail from "

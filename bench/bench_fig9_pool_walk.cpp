@@ -16,7 +16,8 @@
 #include "core/predictor.h"
 #include "core/tracker.h"
 
-int main() {
+int main(int argc, char** argv) {
+  scent::bench::parse_threads(argc, argv);
   using namespace scent;
   bench::banner("Figure 9 - daily /64 prefix increments modulo the pool",
                 "AS8881 IIDs advance by a fixed stride each day, wrap mod "

@@ -41,7 +41,8 @@ void print_groups(const char* title,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  scent::bench::parse_threads(argc, argv);
   using namespace scent;
   bench::banner("Table 1 - top ASNs and countries by rotating /48 prefixes",
                 "AS8881 ~40% of 12,885 rotating /48s; DE ~46%; >100 ASes, "

@@ -73,7 +73,8 @@ struct TrackRecord {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  scent::bench::parse_threads(argc, argv);
   bench::banner("Table 2 / Figure 13 - the device-tracking case study",
                 "random set: 9-10/10 found daily; rotating set: 6-8/10, all "
                 "rotated by day 4; probe cost orders below naive 2^32");

@@ -13,6 +13,8 @@
 #include <chrono>
 #include <cinttypes>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <memory>
 #include <string>
 
@@ -48,6 +50,31 @@ class Stopwatch {
  private:
   std::chrono::steady_clock::time_point start_;
 };
+
+/// Worker-thread count for every engine-backed sweep a bench runs (the
+/// bootstrap funnel and campaign days). 1 = serial, 0 = hardware
+/// concurrency. The engine's determinism contract makes any value produce
+/// a bit-identical corpus, so figures and tables are unchanged by it.
+inline unsigned g_threads = 1;
+
+/// Parses `--threads=N` (or the SCENT_THREADS environment variable; the
+/// flag wins) into g_threads. Call first thing in main(); every bench
+/// accepts the flag so any figure or table can be regenerated sharded.
+inline unsigned parse_threads(int argc, char** argv) {
+  if (const char* env = std::getenv("SCENT_THREADS")) {
+    g_threads = static_cast<unsigned>(std::strtoul(env, nullptr, 10));
+  }
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--threads=", 10) == 0) {
+      g_threads = static_cast<unsigned>(std::strtoul(argv[i] + 10, nullptr, 10));
+    }
+  }
+  if (g_threads != 1) {
+    std::printf("sweep threads: %u%s\n", g_threads,
+                g_threads == 0 ? " (hardware concurrency)" : "");
+  }
+  return g_threads;
+}
 
 /// Prints the standard bench banner.
 inline void banner(const char* experiment, const char* paper_claim) {
@@ -115,6 +142,7 @@ struct Pipeline {
 
     core::BootstrapOptions boot;
     boot.probes_per_48 = 8;
+    boot.threads = g_threads;
     boot.registry = &registry;
     boot.journal = &journal;
     funnel = core::run_bootstrap(world.internet, clock, *prober, boot);
@@ -162,6 +190,7 @@ struct Pipeline {
     Stopwatch timer;
     core::CampaignOptions options;
     options.days = days;
+    options.threads = g_threads;
     options.registry = &registry;
     options.journal = &journal;
     auto result = core::run_campaign(world.internet, clock, *prober,

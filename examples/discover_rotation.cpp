@@ -6,6 +6,8 @@
 // table an attacker would use to pick targets.
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <iostream>
 
 #include "core/bootstrap.h"
@@ -18,8 +20,18 @@
 #include "telemetry/journal.h"
 #include "telemetry/metrics.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace scent;
+
+  // --threads=N shards every funnel sweep across N workers (0 = hardware
+  // concurrency). The result is bit-identical at any value — the engine's
+  // determinism contract — so this only changes wall-clock time.
+  unsigned threads = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--threads=", 10) == 0) {
+      threads = static_cast<unsigned>(std::strtoul(argv[i] + 10, nullptr, 10));
+    }
+  }
 
   // A small world: one rotating and one static provider (plus everything
   // the paper's pipeline needs: BGP view, ICMPv6 semantics, EUI-64 CPE).
@@ -60,6 +72,7 @@ int main() {
   // --- The funnel.
   core::BootstrapOptions boot;
   boot.probes_per_48 = 8;
+  boot.threads = threads;
   boot.registry = &registry;
   boot.journal = &journal;
   const core::BootstrapResult funnel =

@@ -1,12 +1,14 @@
 #!/usr/bin/env bash
-# check.sh - tier-1 verification plus one sanitizer pass.
+# check.sh - tier-1 verification plus sanitizer passes.
 #
-#   scripts/check.sh            # plain build + ctest, then ASan/UBSan build + ctest
+#   scripts/check.sh            # plain build + ctest, then ASan/UBSan and TSan passes
 #   scripts/check.sh --fast     # plain build + ctest only
 #
-# The plain pass is the repo's tier-1 gate (ROADMAP.md). The sanitized pass
+# The plain pass is the repo's tier-1 gate (ROADMAP.md). The ASan/UBSan pass
 # rebuilds everything with -fsanitize=address,undefined into build-sanitize/
-# and reruns the test suite under it.
+# and reruns the test suite under it. The TSan pass rebuilds into build-tsan/
+# with -fsanitize=thread and runs the engine's sharded-executor tests (the
+# only multi-threaded code in the tree) under ThreadSanitizer.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -26,5 +28,10 @@ echo "== sanitizer: ASan+UBSan build + ctest (build-sanitize/) =="
 cmake -B build-sanitize -S . -DSCENT_SANITIZE=address,undefined >/dev/null
 cmake --build build-sanitize -j"$jobs"
 (cd build-sanitize && ctest --output-on-failure -j"$jobs")
+
+echo "== sanitizer: TSan build + engine tests (build-tsan/) =="
+cmake -B build-tsan -S . -DSCENT_SANITIZE=thread >/dev/null
+cmake --build build-tsan -j"$jobs" --target engine_tests
+(cd build-tsan && ctest --output-on-failure -R '^Engine' -j"$jobs")
 
 echo "== all checks passed =="

@@ -5,6 +5,8 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "core/sweep_ingest.h"
+#include "engine/sweep.h"
 #include "netbase/eui64.h"
 #include "probe/target_generator.h"
 #include "probe/traceroute.h"
@@ -68,6 +70,22 @@ BootstrapResult run_bootstrap(sim::Internet& internet,
   telemetry::Span funnel_span{options.registry, "bootstrap"};
   telemetry::Span seed_span{options.registry, "seed"};
 
+  engine::SweepOptions sweep_options;
+  sweep_options.threads = options.threads;
+  sweep_options.seed = options.seed;
+  sweep_options.merge_registry = prober.telemetry();
+
+  // Engine-backed sweep straight into the result store: shard traffic is
+  // folded into the funnel prober's ledger, per-unit store slices come
+  // back for the stages that classify per unit.
+  const auto sweep = [&](const std::vector<engine::SweepUnit>& units) {
+    const SweepIngest ingest =
+        sweep_into_store(internet, clock, units, prober.options(),
+                         sweep_options, result.observations);
+    prober.accumulate_counters(ingest.counters);
+    return ingest;
+  };
+
   // ---- Stage 0: seed. One last-hop probe per /48 of every advertised
   // prefix that is /32-or-more-specific but shorter than /48.
   std::vector<net::Prefix> advertisements;
@@ -85,17 +103,17 @@ BootstrapResult run_bootstrap(sim::Internet& internet,
   std::unordered_map<net::MacAddress, std::vector<net::Prefix>,
                      net::MacAddressHash>
       seed_by_mac;
-  for (const auto& advert : advertisements) {
-    for (unsigned round = 0; round < options.probes_per_48; ++round) {
-      probe::SubnetTargets targets{advert, 48,
-                                   sim::mix64(options.seed, 0x5EED, round)};
-      net::Ipv6Address target;
-      while (targets.next(target)) {
-        // Probe a random IID in a pseudorandom /64 of the /48 (the /48
-        // subnet target already randomizes all bits below /48).
-        if (options.seed_with_traceroute) {
-          // Literal CAIDA-style seeding: a full traceroute whose last
-          // responsive hop is the periphery.
+  if (options.seed_with_traceroute) {
+    // Literal CAIDA-style seeding: a full traceroute per /48 whose last
+    // responsive hop is the periphery. Serial — the per-target probe
+    // count depends on responses, so there is no a-priori schedule for
+    // the engine to shard deterministically.
+    for (const auto& advert : advertisements) {
+      for (unsigned round = 0; round < options.probes_per_48; ++round) {
+        probe::SubnetTargets targets{advert, 48,
+                                     sim::mix64(options.seed, 0x5EED, round)};
+        net::Ipv6Address target;
+        while (targets.next(target)) {
           const auto trace =
               probe::traceroute(prober, target, options.traceroute_max_hops);
           const auto last = trace.last_hop();
@@ -106,14 +124,26 @@ BootstrapResult run_bootstrap(sim::Internet& internet,
           if (const auto mac = net::embedded_mac(last->address)) {
             seed_by_mac[*mac].push_back(net::Prefix{target, 48});
           }
-          continue;
         }
-        const auto r = prober.probe_one(target);
-        if (!r.responded) continue;
-        result.observations.add(r);
-        if (const auto mac = net::embedded_mac(r.response_source)) {
-          seed_by_mac[*mac].push_back(net::Prefix{target, 48});
-        }
+      }
+    }
+  } else {
+    // One probe at a random IID in a pseudorandom /64 of each /48 (the
+    // /48 subnet target already randomizes all bits below /48).
+    std::vector<engine::SweepUnit> units;
+    units.reserve(advertisements.size() * options.probes_per_48);
+    for (const auto& advert : advertisements) {
+      for (unsigned round = 0; round < options.probes_per_48; ++round) {
+        units.push_back(
+            {advert, 48, sim::mix64(options.seed, 0x5EED, round)});
+      }
+    }
+    const std::size_t stage_begin = result.observations.size();
+    sweep(units);
+    const auto& all = result.observations.all();
+    for (std::size_t i = stage_begin; i < all.size(); ++i) {
+      if (const auto mac = net::embedded_mac(all[i].response)) {
+        seed_by_mac[*mac].push_back(net::Prefix{all[i].target, 48});
       }
     }
   }
@@ -139,18 +169,20 @@ BootstrapResult run_bootstrap(sim::Internet& internet,
   std::unordered_map<net::MacAddress, std::vector<net::Prefix>,
                      net::MacAddressHash>
       expand_by_mac;
-  for (const auto& p32 : result.seed_32s) {
-    for (unsigned round = 0; round < options.probes_per_48; ++round) {
-      probe::SubnetTargets targets{p32, 48,
-                                   sim::mix64(options.seed, 0xE49A, round)};
-      net::Ipv6Address target;
-      while (targets.next(target)) {
-        const auto r = prober.probe_one(target);
-        if (!r.responded) continue;
-        result.observations.add(r);
-        if (const auto mac = net::embedded_mac(r.response_source)) {
-          expand_by_mac[*mac].push_back(net::Prefix{target, 48});
-        }
+  {
+    std::vector<engine::SweepUnit> units;
+    units.reserve(result.seed_32s.size() * options.probes_per_48);
+    for (const auto& p32 : result.seed_32s) {
+      for (unsigned round = 0; round < options.probes_per_48; ++round) {
+        units.push_back({p32, 48, sim::mix64(options.seed, 0xE49A, round)});
+      }
+    }
+    const std::size_t stage_begin = result.observations.size();
+    sweep(units);
+    const auto& all = result.observations.all();
+    for (std::size_t i = stage_begin; i < all.size(); ++i) {
+      if (const auto mac = net::embedded_mac(all[i].response)) {
+        expand_by_mac[*mac].push_back(net::Prefix{all[i].target, 48});
       }
     }
   }
@@ -166,32 +198,33 @@ BootstrapResult run_bootstrap(sim::Internet& internet,
   telemetry::Span density_span{options.registry, "density"};
 
   // ---- Stage 2 (§4.2): density classification, one probe per /56.
-  for (const auto& p48 : result.expanded_48s) {
-    probe::SubnetTargets targets{p48, 56, sim::mix64(options.seed, 0xDE45)};
-    std::vector<probe::ProbeResult> responsive;
-    net::Ipv6Address target;
-    std::uint64_t sent = 0;
-    while (targets.next(target)) {
-      ++sent;
-      const auto r = prober.probe_one(target);
-      if (r.responded) {
-        responsive.push_back(r);
-        result.observations.add(r);
-      }
+  {
+    std::vector<engine::SweepUnit> units;
+    units.reserve(result.expanded_48s.size());
+    for (const auto& p48 : result.expanded_48s) {
+      units.push_back({p48, 56, sim::mix64(options.seed, 0xDE45)});
     }
-    const DensityResult density = classify_density(
-        p48, sent, responsive, options.density_low_threshold);
-    result.densities.push_back(density);
-    switch (density.klass) {
-      case DensityClass::kHigh:
-        result.high_density_48s.push_back(p48);
-        break;
-      case DensityClass::kLow:
-        result.low_density_48s.push_back(p48);
-        break;
-      case DensityClass::kUnresponsive:
-        result.unresponsive_48s.push_back(p48);
-        break;
+    const SweepIngest ingest = sweep(units);
+    const auto& all = result.observations.all();
+    for (std::size_t u = 0; u < units.size(); ++u) {
+      const net::Prefix p48 = result.expanded_48s[u];
+      const UnitIngest& unit = ingest.units[u];
+      const std::span<const Observation> responsive{
+          all.data() + unit.obs_begin, unit.obs_end - unit.obs_begin};
+      const DensityResult density = classify_density(
+          p48, unit.sent, responsive, options.density_low_threshold);
+      result.densities.push_back(density);
+      switch (density.klass) {
+        case DensityClass::kHigh:
+          result.high_density_48s.push_back(p48);
+          break;
+        case DensityClass::kLow:
+          result.low_density_48s.push_back(p48);
+          break;
+        case DensityClass::kUnresponsive:
+          result.unresponsive_48s.push_back(p48);
+          break;
+      }
     }
   }
   density_span.stop();
@@ -200,16 +233,16 @@ BootstrapResult run_bootstrap(sim::Internet& internet,
   // ---- Stage 3 (§4.3): two same-seed snapshots, one probe per /64 of
   // every high-density /48, `snapshot_gap` apart.
   const auto take_snapshot = [&](Snapshot& snap) {
+    std::vector<engine::SweepUnit> units;
+    units.reserve(result.high_density_48s.size());
     for (const auto& p48 : result.high_density_48s) {
-      probe::SubnetTargets targets{p48, 64,
-                                   sim::mix64(options.seed, 0x5A59)};
-      net::Ipv6Address target;
-      while (targets.next(target)) {
-        const auto r = prober.probe_one(target);
-        if (!r.responded) continue;
-        result.observations.add(r);
-        snap.record(r.target, r.response_source);
-      }
+      units.push_back({p48, 64, sim::mix64(options.seed, 0x5A59)});
+    }
+    const std::size_t stage_begin = result.observations.size();
+    sweep(units);
+    const auto& all = result.observations.all();
+    for (std::size_t i = stage_begin; i < all.size(); ++i) {
+      snap.record(all[i].target, all[i].response);
     }
   };
 

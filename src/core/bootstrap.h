@@ -60,6 +60,12 @@ struct BootstrapOptions {
   bool seed_with_traceroute = false;
   unsigned traceroute_max_hops = 12;
 
+  /// Worker shards for every sweep stage (engine executor); 0 = hardware
+  /// concurrency. Bit-identical results at any value — purely a
+  /// wall-clock knob. Traceroute-mode seeding stays serial (its per-hop
+  /// probe count is response-dependent, so it has no a-priori schedule).
+  unsigned threads = 1;
+
   /// Optional telemetry sinks. With a registry, each stage runs under a
   /// span ("bootstrap/seed", ".../expand", ".../density", ".../rotation")
   /// and the funnel accounting lands in `funnel.*` gauges; with a journal,

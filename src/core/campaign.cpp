@@ -2,29 +2,12 @@
 
 #include <unordered_set>
 
-#include "probe/target_generator.h"
+#include "core/sweep_ingest.h"
+#include "engine/sweep.h"
 #include "sim/rng.h"
 #include "telemetry/span.h"
 
 namespace scent::core {
-namespace {
-
-/// Sweeps one /48 at the given subnet granularity, appending responsive
-/// probes to `responsive`. Pure probing: ingestion happens in a separate
-/// pass so the day's sweep and store-ingest phases are separately
-/// accountable.
-void sweep_prefix(probe::Prober& prober, net::Prefix prefix,
-                  unsigned sub_length, std::uint64_t seed,
-                  std::vector<probe::ProbeResult>& responsive) {
-  probe::SubnetTargets targets{prefix, sub_length, seed};
-  net::Ipv6Address target;
-  while (targets.next(target)) {
-    probe::ProbeResult r = prober.probe_one(target);
-    if (r.responded) responsive.push_back(r);
-  }
-}
-
-}  // namespace
 
 CampaignResult run_campaign(sim::Internet& internet, sim::VirtualClock& clock,
                             probe::Prober& prober,
@@ -40,13 +23,20 @@ CampaignResult run_campaign(sim::Internet& internet, sim::VirtualClock& clock,
   // Day 0: full per-/64 sweep; feeds Algorithm 1 per AS.
   std::map<routing::Asn, AllocationSizeInference> per_as_alloc;
 
-  std::vector<probe::ProbeResult> day_results;
+  engine::SweepOptions sweep_options;
+  sweep_options.threads = options.threads;
+  sweep_options.seed = options.seed;
+  sweep_options.merge_registry = prober.telemetry();
+
+  std::vector<engine::SweepUnit> day_units;
   for (unsigned day = 0; day < options.days; ++day) {
     const std::int64_t abs_day = first_day + day;
     clock.advance_to(abs_day * sim::kDay + options.scan_time_of_day);
     telemetry::Span day_span{options.registry, "day"};
 
-    // The prober's counters are the day's probe/response ledger.
+    // The prober's counters are the day's probe/response ledger. The
+    // engine's shard traffic is folded back into them after each sweep,
+    // keeping the ledger identical to a serial run's.
     const std::uint64_t day_base_sent = prober.counters().sent;
     const std::uint64_t day_base_received = prober.counters().received;
 
@@ -54,34 +44,40 @@ CampaignResult run_campaign(sim::Internet& internet, sim::VirtualClock& clock,
     summary.day = abs_day;
     std::unordered_set<net::MacAddress, net::MacAddressHash> day_macs;
 
-    day_results.clear();
-    {
-      telemetry::Span sweep_span{options.registry, "sweep"};
-      for (const auto& p48 : targets) {
-        unsigned granularity = 64;
-        if (day > 0 && options.allocation_granularity_after_day0) {
-          const auto attribution = internet.bgp().lookup(p48.base());
-          if (attribution) {
-            const auto it =
-                result.allocation_length_by_as.find(attribution->origin_asn);
-            if (it != result.allocation_length_by_as.end()) {
-              granularity = it->second;
-            }
+    day_units.clear();
+    day_units.reserve(targets.size());
+    for (const auto& p48 : targets) {
+      unsigned granularity = 64;
+      if (day > 0 && options.allocation_granularity_after_day0) {
+        const auto attribution = internet.bgp().lookup(p48.base());
+        if (attribution) {
+          const auto it =
+              result.allocation_length_by_as.find(attribution->origin_asn);
+          if (it != result.allocation_length_by_as.end()) {
+            granularity = it->second;
           }
         }
-        // Same seed every day: identical targets, identical order (§5).
-        sweep_prefix(prober, p48, granularity,
-                     sim::mix64(options.seed, p48.base().network(),
-                                granularity),
-                     day_results);
       }
+      // Same seed every day: identical targets, identical order (§5).
+      day_units.push_back(
+          {p48, granularity,
+           sim::mix64(options.seed, p48.base().network(), granularity)});
+    }
+
+    const std::size_t day_obs_begin = result.observations.size();
+    {
+      telemetry::Span sweep_span{options.registry, "sweep"};
+      const SweepIngest ingest =
+          sweep_into_store(internet, clock, day_units, prober.options(),
+                           sweep_options, result.observations);
+      prober.accumulate_counters(ingest.counters);
     }
 
     {
       telemetry::Span ingest_span{options.registry, "ingest"};
-      for (const auto& r : day_results) {
-        result.observations.add(r);
-        if (const auto mac = net::embedded_mac(r.response_source)) {
+      const auto& all = result.observations.all();
+      for (std::size_t i = day_obs_begin; i < all.size(); ++i) {
+        if (const auto mac = net::embedded_mac(all[i].response)) {
           day_macs.insert(*mac);
         }
       }

@@ -36,6 +36,11 @@ struct CampaignOptions {
   /// inferred allocation; when false, every day sweeps per /64.
   bool allocation_granularity_after_day0 = true;
 
+  /// Worker shards for the daily sweeps (engine executor); 0 = hardware
+  /// concurrency. Any value yields a bit-identical corpus — the engine's
+  /// determinism contract — so this is purely a wall-clock knob.
+  unsigned threads = 1;
+
   /// Optional telemetry sinks. With a registry, every day runs under
   /// nested spans ("campaign/day/sweep", ".../ingest", ".../alloc_infer")
   /// and campaign totals land in `campaign.*` gauges; with a journal, one

@@ -9,10 +9,12 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
+#include "core/observation.h"
 #include "netbase/eui64.h"
 #include "netbase/prefix.h"
 #include "probe/prober.h"
@@ -54,6 +56,32 @@ struct DensityResult {
     if (!r.responded) continue;
     ++result.responses;
     if (net::is_eui64(r.response_source)) eui.insert(r.response_source);
+  }
+  result.unique_eui64 = eui.size();
+  if (result.responses == 0) {
+    result.klass = DensityClass::kUnresponsive;
+  } else if (result.unique_eui64 <= low_threshold) {
+    result.klass = DensityClass::kLow;
+  } else {
+    result.klass = DensityClass::kHigh;
+  }
+  return result;
+}
+
+/// Same classification over an ingested ObservationStore slice (the
+/// engine's streaming path stores responsive results directly, so the
+/// funnel classifies from store ranges instead of result vectors).
+[[nodiscard]] inline DensityResult classify_density(
+    net::Prefix prefix, std::uint64_t probes_sent,
+    std::span<const Observation> responsive,
+    std::uint64_t low_threshold = 2) {
+  DensityResult result;
+  result.prefix = prefix;
+  result.probes_sent = probes_sent;
+  result.responses = responsive.size();
+  std::unordered_set<net::Ipv6Address, net::Ipv6AddressHash> eui;
+  for (const auto& obs : responsive) {
+    if (net::is_eui64(obs.response)) eui.insert(obs.response);
   }
   result.unique_eui64 = eui.size();
   if (result.responses == 0) {

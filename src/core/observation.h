@@ -32,12 +32,20 @@ struct Observation {
   sim::TimePoint time = 0;
 };
 
-/// Append-only store of observations with lazy per-EUI indexing.
+/// Append-only store of observations, indexed incrementally: add() updates
+/// the per-MAC index and uniqueness sets in O(1) amortized, so campaigns
+/// that interleave adds with queries (every funnel stage does) never pay
+/// the former rebuild-the-world-per-query quadratic cost.
 class ObservationStore {
  public:
   void add(const Observation& obs) {
+    const std::size_t index = observations_.size();
     observations_.push_back(obs);
-    index_dirty_ = true;
+    responses_.insert(obs.response);
+    if (const auto mac = net::embedded_mac(obs.response)) {
+      eui_responses_.insert(obs.response);
+      by_mac_[*mac].push_back(index);
+    }
   }
 
   void add(const probe::ProbeResult& r) {
@@ -50,6 +58,16 @@ class ObservationStore {
     for (const auto& r : results) add(r);
   }
 
+  /// Appends another store's observations in their insertion order — the
+  /// engine's shard-merge primitive. Replaying through add() (rather than
+  /// splicing the other store's indexes) keeps this store's map insertion
+  /// history identical to a serial build over the concatenated sequence,
+  /// so even unordered-container iteration order matches bit for bit.
+  void append(const ObservationStore& other) {
+    observations_.reserve(observations_.size() + other.observations_.size());
+    for (const auto& obs : other.observations_) add(obs);
+  }
+
   [[nodiscard]] const std::vector<Observation>& all() const noexcept {
     return observations_;
   }
@@ -59,37 +77,31 @@ class ObservationStore {
   [[nodiscard]] bool empty() const noexcept { return observations_.empty(); }
 
   /// Observation indices grouped by embedded MAC, for EUI-64 responses only.
-  /// Rebuilt lazily after mutation.
   [[nodiscard]] const std::unordered_map<net::MacAddress,
                                          std::vector<std::size_t>,
                                          net::MacAddressHash>&
-  by_mac() const {
-    rebuild_if_dirty();
+  by_mac() const noexcept {
     return by_mac_;
   }
 
   /// Distinct response addresses seen (any IID class).
-  [[nodiscard]] std::size_t unique_responses() const {
-    rebuild_if_dirty();
-    return unique_responses_;
+  [[nodiscard]] std::size_t unique_responses() const noexcept {
+    return responses_.size();
   }
 
   /// Distinct EUI-64 response addresses seen.
-  [[nodiscard]] std::size_t unique_eui64_responses() const {
-    rebuild_if_dirty();
-    return unique_eui64_responses_;
+  [[nodiscard]] std::size_t unique_eui64_responses() const noexcept {
+    return eui_responses_.size();
   }
 
   /// Distinct EUI-64 IIDs (== distinct embedded MACs).
-  [[nodiscard]] std::size_t unique_eui64_iids() const {
-    rebuild_if_dirty();
+  [[nodiscard]] std::size_t unique_eui64_iids() const noexcept {
     return by_mac_.size();
   }
 
   /// Distinct /64 networks in which a given MAC's EUI-64 address was seen.
   [[nodiscard]] std::vector<std::uint64_t> networks_of(
       net::MacAddress mac) const {
-    rebuild_if_dirty();
     std::vector<std::uint64_t> out;
     const auto it = by_mac_.find(mac);
     if (it == by_mac_.end()) return out;
@@ -103,31 +115,12 @@ class ObservationStore {
   }
 
  private:
-  void rebuild_if_dirty() const {
-    if (!index_dirty_) return;
-    by_mac_.clear();
-    std::unordered_set<net::Ipv6Address, net::Ipv6AddressHash> responses;
-    std::unordered_set<net::Ipv6Address, net::Ipv6AddressHash> eui_responses;
-    for (std::size_t i = 0; i < observations_.size(); ++i) {
-      const auto& obs = observations_[i];
-      responses.insert(obs.response);
-      if (const auto mac = net::embedded_mac(obs.response)) {
-        eui_responses.insert(obs.response);
-        by_mac_[*mac].push_back(i);
-      }
-    }
-    unique_responses_ = responses.size();
-    unique_eui64_responses_ = eui_responses.size();
-    index_dirty_ = false;
-  }
-
   std::vector<Observation> observations_;
-  mutable std::unordered_map<net::MacAddress, std::vector<std::size_t>,
-                             net::MacAddressHash>
+  std::unordered_map<net::MacAddress, std::vector<std::size_t>,
+                     net::MacAddressHash>
       by_mac_;
-  mutable std::size_t unique_responses_ = 0;
-  mutable std::size_t unique_eui64_responses_ = 0;
-  mutable bool index_dirty_ = false;
+  std::unordered_set<net::Ipv6Address, net::Ipv6AddressHash> responses_;
+  std::unordered_set<net::Ipv6Address, net::Ipv6AddressHash> eui_responses_;
 };
 
 }  // namespace scent::core

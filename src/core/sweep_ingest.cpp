@@ -1,0 +1,77 @@
+#include "core/sweep_ingest.h"
+
+namespace scent::core {
+namespace {
+
+/// Shard-local ingest: results land in a private store, unit boundaries
+/// are recorded as store offsets for the post-join range fix-up.
+class StoreShardSink final : public engine::UnitSink {
+ public:
+  void on_unit_begin(std::size_t unit_index) override {
+    ranges_.push_back({unit_index, store_.size(), store_.size()});
+  }
+
+  void on_results(std::size_t unit_index,
+                  std::span<const probe::ProbeResult> batch) override {
+    (void)unit_index;
+    store_.add_all(batch);
+  }
+
+  void on_unit_end(std::size_t unit_index) override {
+    (void)unit_index;
+    ranges_.back().end = store_.size();
+  }
+
+  struct UnitRange {
+    std::size_t unit = 0;
+    std::size_t begin = 0;
+    std::size_t end = 0;
+  };
+
+  [[nodiscard]] const ObservationStore& store() const noexcept {
+    return store_;
+  }
+  [[nodiscard]] const std::vector<UnitRange>& ranges() const noexcept {
+    return ranges_;
+  }
+
+ private:
+  ObservationStore store_;
+  std::vector<UnitRange> ranges_;
+};
+
+}  // namespace
+
+SweepIngest sweep_into_store(sim::Internet& internet, sim::VirtualClock& clock,
+                             std::span<const engine::SweepUnit> units,
+                             const probe::ProberOptions& prober_options,
+                             const engine::SweepOptions& options,
+                             ObservationStore& store) {
+  std::vector<StoreShardSink> sinks(
+      engine::resolve_threads(options.threads));
+  const auto report = engine::run_sharded_sweep(
+      internet, clock, units, prober_options, options,
+      [&sinks](unsigned shard) { return &sinks[shard]; });
+
+  SweepIngest ingest;
+  ingest.counters = report.counters;
+  ingest.threads_used = report.threads_used;
+  ingest.units.resize(units.size());
+
+  // Merge in shard order: shards hold contiguous ascending unit ranges, so
+  // concatenation reproduces the serial observation sequence exactly.
+  for (const auto& sink : sinks) {
+    const std::size_t base = store.size();
+    store.append(sink.store());
+    for (const auto& range : sink.ranges()) {
+      UnitIngest& unit = ingest.units[range.unit];
+      unit.sent = report.units[range.unit].sent;
+      unit.responded = report.units[range.unit].responded;
+      unit.obs_begin = base + range.begin;
+      unit.obs_end = base + range.end;
+    }
+  }
+  return ingest;
+}
+
+}  // namespace scent::core

@@ -1,5 +1,8 @@
 #include "probe/prober.h"
 
+#include <algorithm>
+#include <utility>
+
 namespace scent::probe {
 
 ProbeResult Prober::probe_one(net::Ipv6Address target,
@@ -12,10 +15,13 @@ ProbeResult Prober::probe_one(net::Ipv6Address target,
   ++sequence_;
 
   if (options_.wire_mode) {
-    const wire::Packet request = wire::build_echo_request(
-        options_.vantage, target, options_.identifier, sequence_,
-        hop_limit);
-    const auto response_bytes = internet_->deliver(request, clock_->now());
+    wire::build_echo_request_into(request_scratch_, options_.vantage, target,
+                                  options_.identifier, sequence_, hop_limit);
+    const auto response_bytes =
+        net_ctx_ != nullptr
+            ? std::as_const(*internet_).deliver(request_scratch_,
+                                                clock_->now(), *net_ctx_)
+            : internet_->deliver(request_scratch_, clock_->now());
     if (response_bytes) {
       const auto parsed = wire::parse_packet(*response_bytes);
       // A response that fails to parse or checksum is dropped exactly as a
@@ -31,7 +37,10 @@ ProbeResult Prober::probe_one(net::Ipv6Address target,
     }
   } else {
     const auto reply =
-        internet_->probe(target, hop_limit, clock_->now());
+        net_ctx_ != nullptr
+            ? std::as_const(*internet_).probe(target, hop_limit,
+                                              clock_->now(), *net_ctx_)
+            : internet_->probe(target, hop_limit, clock_->now());
     if (reply) {
       result.responded = true;
       result.response_source = reply->source;
@@ -55,26 +64,65 @@ ProbeResult Prober::probe_one(net::Ipv6Address target,
   return result;
 }
 
+void Prober::probe_into_batch(net::Ipv6Address target,
+                              const ResultSink& sink) {
+  const ProbeResult r = probe_one(target);
+  if (!r.responded) return;
+  batch_.push_back(r);
+  if (batch_.size() >= kBatchSize) {
+    sink(batch_);
+    batch_.clear();
+  }
+}
+
+void Prober::sweep(std::span<const net::Ipv6Address> targets,
+                   const ResultSink& sink) {
+  batch_.clear();
+  batch_.reserve(kBatchSize);
+  for (const auto& target : targets) probe_into_batch(target, sink);
+  if (!batch_.empty()) {
+    sink(batch_);
+    batch_.clear();
+  }
+}
+
+void Prober::sweep_subnets(net::Prefix parent, unsigned sub_length,
+                           std::uint64_t seed, const ResultSink& sink) {
+  SubnetTargets gen{parent, sub_length, seed};
+  batch_.clear();
+  batch_.reserve(kBatchSize);
+  net::Ipv6Address target;
+  while (gen.next(target)) probe_into_batch(target, sink);
+  if (!batch_.empty()) {
+    sink(batch_);
+    batch_.clear();
+  }
+}
+
 std::vector<ProbeResult> Prober::sweep(
     std::span<const net::Ipv6Address> targets) {
   std::vector<ProbeResult> responsive;
-  for (const auto& target : targets) {
-    ProbeResult r = probe_one(target);
-    if (r.responded) responsive.push_back(r);
-  }
+  responsive.reserve(targets.size());
+  sweep(targets, [&responsive](std::span<const ProbeResult> batch) {
+    responsive.insert(responsive.end(), batch.begin(), batch.end());
+  });
   return responsive;
 }
 
 std::vector<ProbeResult> Prober::sweep_subnets(net::Prefix parent,
                                                unsigned sub_length,
                                                std::uint64_t seed) {
-  SubnetTargets gen{parent, sub_length, seed};
   std::vector<ProbeResult> responsive;
-  net::Ipv6Address target;
-  while (gen.next(target)) {
-    ProbeResult r = probe_one(target);
-    if (r.responded) responsive.push_back(r);
-  }
+  // Responsive results never exceed the target count, but a sweep can span
+  // 2^32 subnets — cap the up-front reservation at one /48's worth.
+  responsive.reserve(static_cast<std::size_t>(
+      std::min<std::uint64_t>(SubnetTargets{parent, sub_length, seed}.size(),
+                              std::uint64_t{1} << 16)));
+  sweep_subnets(parent, sub_length, seed,
+                [&responsive](std::span<const ProbeResult> batch) {
+                  responsive.insert(responsive.end(), batch.begin(),
+                                    batch.end());
+                });
   return responsive;
 }
 

@@ -12,6 +12,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <span>
 #include <vector>
 
@@ -72,13 +73,26 @@ class Prober {
   /// Same, with an explicit hop limit (used by the traceroute engine).
   ProbeResult probe_one(net::Ipv6Address target, std::uint8_t hop_limit);
 
-  /// Probes every target in the span (already in the desired order) and
-  /// returns only the responsive results. `sent`/`received` counters
-  /// accumulate across calls.
-  std::vector<ProbeResult> sweep(std::span<const net::Ipv6Address> targets);
+  /// Receives batches of responsive results as a sweep streams them. The
+  /// span aliases the prober's internal batch buffer and is valid only for
+  /// the duration of the call — copy out anything kept.
+  using ResultSink = std::function<void(std::span<const ProbeResult>)>;
 
-  /// Probes one target per /`sub_length` of `parent` in zmap-permuted
-  /// order; returns responsive results.
+  /// Streaming sweep: probes every target in the span (already in the
+  /// desired order), emitting responsive results into `sink` in batches
+  /// instead of materializing a full result vector. `sent`/`received`
+  /// counters accumulate across calls.
+  void sweep(std::span<const net::Ipv6Address> targets,
+             const ResultSink& sink);
+
+  /// Streaming sweep over one target per /`sub_length` of `parent` in
+  /// zmap-permuted order.
+  void sweep_subnets(net::Prefix parent, unsigned sub_length,
+                     std::uint64_t seed, const ResultSink& sink);
+
+  /// Vector adapters over the streaming sweeps, for call sites that want
+  /// the (responsive-only) results materialized.
+  std::vector<ProbeResult> sweep(std::span<const net::Ipv6Address> targets);
   std::vector<ProbeResult> sweep_subnets(net::Prefix parent,
                                          unsigned sub_length,
                                          std::uint64_t seed);
@@ -89,6 +103,27 @@ class Prober {
   };
   [[nodiscard]] const Counters& counters() const noexcept { return counters_; }
   void reset_counters() noexcept { counters_ = {}; }
+
+  /// Folds another prober's counters into this one — how the engine
+  /// credits shard probers' traffic to the campaign prober, keeping the
+  /// "prober counters are the probe ledger" contract across serial and
+  /// sharded runs. Deliberately does not touch telemetry counters: shard
+  /// registries are merged separately (telemetry::Registry::
+  /// merge_counters_from), so events are never double-counted.
+  void accumulate_counters(const Counters& delta) noexcept {
+    counters_.sent += delta.sent;
+    counters_.received += delta.received;
+  }
+
+  /// Routes this prober's traffic through caller-owned network state (see
+  /// sim::NetContext) on the Internet's const, thread-safe path. nullptr
+  /// (the default) uses the Internet's built-in mutable state.
+  void set_net_context(sim::NetContext* ctx) noexcept { net_ctx_ = ctx; }
+
+  /// Starts the wire-mode echo sequence stream at `start` (the engine
+  /// derives a distinct stream per shard from mix64(seed, shard_index)).
+  /// Affects only the bytes on the wire, never the result fields.
+  void seed_sequence(std::uint16_t start) noexcept { sequence_ = start; }
 
   /// Mirrors every probe into the registry's `probe.sent` / `probe.received`
   /// / `probe.wire_drops` counters. Counter pointers are cached here so the
@@ -108,11 +143,22 @@ class Prober {
   }
 
  private:
+  /// Probes `target`, appends any responsive result to `batch_`, and
+  /// flushes the batch into `sink` once it reaches kBatchSize.
+  void probe_into_batch(net::Ipv6Address target, const ResultSink& sink);
+
+  /// Responsive results per sink invocation. Large enough to amortize the
+  /// std::function call, small enough to stay cache-resident.
+  static constexpr std::size_t kBatchSize = 256;
+
   sim::Internet* internet_;
   sim::VirtualClock* clock_;
   ProberOptions options_;
   Counters counters_;
   std::uint16_t sequence_ = 0;
+  sim::NetContext* net_ctx_ = nullptr;
+  std::vector<ProbeResult> batch_;     // streaming-sweep scratch
+  wire::Packet request_scratch_;       // wire-mode per-probe scratch
   telemetry::Registry* telemetry_ = nullptr;
   telemetry::Counter* tm_sent_ = nullptr;
   telemetry::Counter* tm_received_ = nullptr;

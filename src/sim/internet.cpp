@@ -27,6 +27,21 @@ std::optional<ProbeReply> Internet::probe(net::Ipv6Address target,
   return reply;
 }
 
+std::optional<ProbeReply> Internet::probe(net::Ipv6Address target,
+                                          std::uint8_t hop_limit, TimePoint t,
+                                          NetContext& ctx) const {
+  ++ctx.stats.probes_received;
+  const auto provider_index = route(target);
+  if (!provider_index) {
+    ++ctx.stats.unrouted;
+    return std::nullopt;
+  }
+  auto reply = providers_[*provider_index]->handle_probe(target, hop_limit, t,
+                                                         ctx.response);
+  if (reply) ++ctx.stats.responses_sent;
+  return reply;
+}
+
 std::optional<wire::Packet> Internet::deliver(
     std::span<const std::uint8_t> packet_bytes, TimePoint t) {
   const auto parsed = wire::parse_packet(packet_bytes);
@@ -37,6 +52,28 @@ std::optional<wire::Packet> Internet::deliver(
 
   const auto reply =
       probe(parsed->ip.destination, parsed->ip.hop_limit, t);
+  if (!reply) return std::nullopt;
+
+  if (reply->type == wire::Icmpv6Type::kEchoReply) {
+    return wire::build_echo_reply(reply->source, parsed->ip.source,
+                                  parsed->icmp.identifier,
+                                  parsed->icmp.sequence);
+  }
+  return wire::build_error(reply->source, parsed->ip.source, reply->type,
+                           reply->code, packet_bytes);
+}
+
+std::optional<wire::Packet> Internet::deliver(
+    std::span<const std::uint8_t> packet_bytes, TimePoint t,
+    NetContext& ctx) const {
+  const auto parsed = wire::parse_packet(packet_bytes);
+  if (!parsed || parsed->icmp.type != wire::Icmpv6Type::kEchoRequest) {
+    ++ctx.stats.malformed_dropped;
+    return std::nullopt;
+  }
+
+  const auto reply =
+      probe(parsed->ip.destination, parsed->ip.hop_limit, t, ctx);
   if (!reply) return std::nullopt;
 
   if (reply->type == wire::Icmpv6Type::kEchoReply) {

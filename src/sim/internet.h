@@ -23,6 +23,8 @@
 
 namespace scent::sim {
 
+struct NetContext;
+
 class Internet {
  public:
   Internet() = default;
@@ -52,22 +54,49 @@ class Internet {
   [[nodiscard]] const routing::BgpTable& bgp() const noexcept { return bgp_; }
 
   /// Logical fast path: probe a target with a hop limit at virtual time t.
+  /// Uses the Internet's built-in stats and per-provider response contexts
+  /// (single-threaded callers).
   [[nodiscard]] std::optional<ProbeReply> probe(net::Ipv6Address target,
                                                 std::uint8_t hop_limit,
                                                 TimePoint t);
+
+  /// Same, against caller-owned mutable state. Const and thread safe:
+  /// concurrent callers with disjoint contexts touch only the (read-only)
+  /// topology. Stats accumulate in `ctx`; fold them back with
+  /// absorb_stats() when the parallel region ends.
+  [[nodiscard]] std::optional<ProbeReply> probe(net::Ipv6Address target,
+                                                std::uint8_t hop_limit,
+                                                TimePoint t,
+                                                NetContext& ctx) const;
 
   /// Full wire path: parse, checksum-verify, route, respond. Malformed
   /// packets are dropped (and counted).
   [[nodiscard]] std::optional<wire::Packet> deliver(
       std::span<const std::uint8_t> packet_bytes, TimePoint t);
 
+  /// Wire path against caller-owned state (see the probe overload).
+  [[nodiscard]] std::optional<wire::Packet> deliver(
+      std::span<const std::uint8_t> packet_bytes, TimePoint t,
+      NetContext& ctx) const;
+
   struct Stats {
     std::uint64_t probes_received = 0;
     std::uint64_t malformed_dropped = 0;
     std::uint64_t unrouted = 0;
     std::uint64_t responses_sent = 0;
+
+    void merge(const Stats& other) noexcept {
+      probes_received += other.probes_received;
+      malformed_dropped += other.malformed_dropped;
+      unrouted += other.unrouted;
+      responses_sent += other.responses_sent;
+    }
   };
   [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
+
+  /// Folds context-accumulated stats into the global ledger, keeping
+  /// stats() a whole-Internet total across serial and sharded callers.
+  void absorb_stats(const Stats& delta) noexcept { stats_.merge(delta); }
 
  private:
   // unique_ptr: Provider carries mutable rate-limit state and is
@@ -76,6 +105,14 @@ class Internet {
   routing::BgpTable bgp_;
   routing::PrefixTrie<std::size_t> forwarding_;
   Stats stats_;
+};
+
+/// One execution scope's worth of mutable network state: response-policy
+/// buckets plus delivery stats. The engine owns one per shard; everything
+/// the probe path reads through `const Internet&` is then shared-safe.
+struct NetContext {
+  ResponseContext response;
+  Internet::Stats stats;
 };
 
 }  // namespace scent::sim

@@ -6,7 +6,8 @@ namespace scent::sim {
 
 std::optional<ProbeReply> Provider::handle_probe(net::Ipv6Address target,
                                                  std::uint8_t hop_limit,
-                                                 TimePoint t) {
+                                                 TimePoint t,
+                                                 ResponseContext& ctx) const {
   if (probe_lost(target, t)) return std::nullopt;
 
   // Traceroute-style probes expire at a core router before reaching the
@@ -51,8 +52,7 @@ std::optional<ProbeReply> Provider::handle_probe(net::Ipv6Address target,
   // Hop limit exhausted exactly at the CPE: Time Exceeded regardless of the
   // device's unreachable flavor.
   if (hop_limit == cpe_distance()) {
-    if (!take_error_token(
-            (static_cast<std::uint64_t>(pool_index) << 32) | device.id, t)) {
+    if (!take_error_token(ctx, bucket_key_for(pool_index, device.id), t)) {
       return std::nullopt;
     }
     return ProbeReply{wan, wire::Icmpv6Type::kTimeExceeded,
@@ -60,8 +60,7 @@ std::optional<ProbeReply> Provider::handle_probe(net::Ipv6Address target,
                           wire::TimeExceededCode::kHopLimitExceeded)};
   }
 
-  if (!take_error_token(
-          (static_cast<std::uint64_t>(pool_index) << 32) | device.id, t)) {
+  if (!take_error_token(ctx, bucket_key_for(pool_index, device.id), t)) {
     return std::nullopt;
   }
 
@@ -88,8 +87,9 @@ std::optional<ProbeReply> Provider::handle_probe(net::Ipv6Address target,
   return std::nullopt;
 }
 
-bool Provider::take_error_token(std::uint64_t bucket_key, TimePoint t) {
-  Bucket& bucket = buckets_[bucket_key];
+bool Provider::take_error_token(ResponseContext& ctx,
+                                std::uint64_t bucket_key, TimePoint t) const {
+  ResponseContext::Bucket& bucket = ctx.buckets[bucket_key];
   if (!bucket.initialized) {
     bucket.tokens = config_.rate_limit.burst;
     bucket.last = t;

@@ -31,6 +31,24 @@ struct RateLimit {
   double burst = 100.0;
 };
 
+/// Caller-owned mutable response-policy state: the per-CPE ICMPv6 error
+/// rate-limit buckets. Everything else a probe consults (topology, pools,
+/// rotation schedules, loss draws keyed on (target, t)) is const, so a
+/// probe's answer is a pure function of the world plus one of these. The
+/// engine gives every shard its own context — no cross-thread contention —
+/// and resets it at each sweep-unit boundary, making unit results
+/// independent of execution interleaving (the determinism contract).
+struct ResponseContext {
+  struct Bucket {
+    double tokens = 0;
+    TimePoint last = 0;
+    bool initialized = false;
+  };
+  std::unordered_map<std::uint64_t, Bucket> buckets;
+
+  void reset() noexcept { buckets.clear(); }
+};
+
 struct ProviderConfig {
   routing::Asn asn = 0;
   std::string name;
@@ -75,10 +93,19 @@ class Provider {
 
   /// Processes one probe. `hop_limit` is the probe's hop limit on entry to
   /// this provider's path (the vantage-to-provider segment is modeled as
-  /// zero hops; path_length core hops then lead to the CPE).
+  /// zero hops; path_length core hops then lead to the CPE). Uses the
+  /// provider's built-in response context (single-threaded callers).
   [[nodiscard]] std::optional<ProbeReply> handle_probe(net::Ipv6Address target,
                                                        std::uint8_t hop_limit,
-                                                       TimePoint t);
+                                                       TimePoint t) {
+    return handle_probe(target, hop_limit, t, default_context_);
+  }
+
+  /// Same, with caller-owned rate-limit state. Const and thread safe:
+  /// concurrent callers with disjoint contexts never contend.
+  [[nodiscard]] std::optional<ProbeReply> handle_probe(
+      net::Ipv6Address target, std::uint8_t hop_limit, TimePoint t,
+      ResponseContext& ctx) const;
 
   /// The synthetic address of core router `hop` (1-based), a statically
   /// numbered low-byte infrastructure address.
@@ -132,19 +159,25 @@ class Provider {
     return static_cast<double>(h >> 11) * 0x1.0p-53 < config_.loss_rate;
   }
 
-  /// Spends one token from the device's error-message bucket; returns false
-  /// if the device is currently rate limited.
-  [[nodiscard]] bool take_error_token(std::uint64_t bucket_key, TimePoint t);
+  /// Spends one token from the device's error-message bucket in `ctx`;
+  /// returns false if the device is currently rate limited.
+  [[nodiscard]] bool take_error_token(ResponseContext& ctx,
+                                      std::uint64_t bucket_key,
+                                      TimePoint t) const;
+
+  /// Bucket key for a device, salted with the provider identity so one
+  /// shared ResponseContext can serve several providers without (pool,
+  /// device) index collisions merging unrelated buckets.
+  [[nodiscard]] std::uint64_t bucket_key_for(std::size_t pool_index,
+                                             std::uint32_t device_id) const {
+    return mix64(
+        (static_cast<std::uint64_t>(config_.asn) << 32) ^ config_.seed,
+        (static_cast<std::uint64_t>(pool_index) << 32) | device_id);
+  }
 
   ProviderConfig config_;
   std::vector<RotationPool> pools_;
-
-  struct Bucket {
-    double tokens = 0;
-    TimePoint last = 0;
-    bool initialized = false;
-  };
-  std::unordered_map<std::uint64_t, Bucket> buckets_;
+  ResponseContext default_context_;
 };
 
 }  // namespace scent::sim

@@ -6,110 +6,76 @@
 //   1. The probe hot path (fast mode runs millions of probe_one calls per
 //      wall second) must pay at most a cached-pointer increment per event.
 //      Instruments therefore have stable addresses — callers look a metric
-//      up once by name and keep the pointer — and an update is a plain
-//      uint64 add. No locks.
-//   2. Single-threaded by default, matching the simulator. Compiling with
-//      -DSCENT_TELEMETRY_ATOMIC turns counter/gauge cells into relaxed
-//      atomics for multi-threaded probers; histograms and spans stay
-//      single-writer either way (they belong to stage drivers, not packet
-//      loops).
+//      up once by name and keep the pointer — and an update is one relaxed
+//      atomic add. No locks.
+//   2. Counter and gauge cells are relaxed atomics so the engine's shard
+//      workers may share one registry (every shard bumping probe.sent)
+//      without data races; histograms and spans stay single-writer (they
+//      belong to stage drivers, not packet loops). Instrument *creation*
+//      is not thread safe — create before the workers start, or give each
+//      shard its own registry and merge_counters_from() after the join.
 //   3. A registry pointer of nullptr disables everything: every
 //      instrumentation site null-checks, so un-instrumented library users
 //      pay one predictable branch.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <string>
 #include <string_view>
 #include <vector>
 
-#if defined(SCENT_TELEMETRY_ATOMIC)
-#include <atomic>
-#endif
-
 #include "sim/sim_time.h"
 
 namespace scent::telemetry {
 
 /// Monotonically increasing event count (probes sent, tracker hits, ...).
+/// Updates and reads are relaxed atomics: concurrent increments never lose
+/// counts, but readers racing with writers see a momentary snapshot.
 class Counter {
  public:
   void inc() noexcept { add(1); }
 
   void add(std::uint64_t delta) noexcept {
-#if defined(SCENT_TELEMETRY_ATOMIC)
     value_.fetch_add(delta, std::memory_order_relaxed);
-#else
-    value_ += delta;
-#endif
   }
 
   [[nodiscard]] std::uint64_t value() const noexcept {
-#if defined(SCENT_TELEMETRY_ATOMIC)
     return value_.load(std::memory_order_relaxed);
-#else
-    return value_;
-#endif
   }
 
-  void reset() noexcept {
-#if defined(SCENT_TELEMETRY_ATOMIC)
-    value_.store(0, std::memory_order_relaxed);
-#else
-    value_ = 0;
-#endif
-  }
+  void reset() noexcept { value_.store(0, std::memory_order_relaxed); }
 
  private:
-#if defined(SCENT_TELEMETRY_ATOMIC)
   std::atomic<std::uint64_t> value_{0};
-#else
-  std::uint64_t value_ = 0;
-#endif
 };
 
 /// Last-write-wins signed level (funnel stage sizes, config knobs).
 class Gauge {
  public:
   void set(std::int64_t v) noexcept {
-#if defined(SCENT_TELEMETRY_ATOMIC)
     value_.store(v, std::memory_order_relaxed);
-#else
-    value_ = v;
-#endif
   }
 
   void set_u64(std::uint64_t v) noexcept { set(static_cast<std::int64_t>(v)); }
 
   void add(std::int64_t delta) noexcept {
-#if defined(SCENT_TELEMETRY_ATOMIC)
     value_.fetch_add(delta, std::memory_order_relaxed);
-#else
-    value_ += delta;
-#endif
   }
 
   [[nodiscard]] std::int64_t value() const noexcept {
-#if defined(SCENT_TELEMETRY_ATOMIC)
     return value_.load(std::memory_order_relaxed);
-#else
-    return value_;
-#endif
   }
 
  private:
-#if defined(SCENT_TELEMETRY_ATOMIC)
   std::atomic<std::int64_t> value_{0};
-#else
-  std::int64_t value_ = 0;
-#endif
 };
 
 /// Fixed-bucket histogram over non-negative integer samples. Buckets are
 /// cumulative-style "value <= bound" with an implicit +inf overflow bucket.
-/// Single-writer even under SCENT_TELEMETRY_ATOMIC (histograms belong to
-/// stage drivers, not the packet loop).
+/// Single-writer, unlike counters and gauges (histograms belong to stage
+/// drivers, not the packet loop).
 class Histogram {
  public:
   Histogram() = default;
@@ -245,6 +211,19 @@ class Registry {
     stats.wall_ns += wall_ns;
     stats.virtual_us += virtual_us;
     open_paths_.pop_back();
+  }
+
+  /// Folds another registry's counters into this one (created on demand,
+  /// added by value). This is the engine's shard-merge primitive: each
+  /// worker accumulates into a shard-local registry, and the driver folds
+  /// them into the campaign registry after the join — so the hot path
+  /// never crosses shard cache lines. Gauges, histograms, and spans are
+  /// deliberately not merged: they are stage-driver instruments that only
+  /// the driver thread writes.
+  void merge_counters_from(const Registry& other) {
+    for (const auto& [name, other_counter] : other.counters_) {
+      counter(name).add(other_counter.value());
+    }
   }
 
   /// Drops every instrument and span record (clock binding is kept).

@@ -47,12 +47,38 @@ std::vector<std::uint8_t> echo_body(Icmpv6Type type, std::uint16_t identifier,
 Packet build_echo_request(net::Ipv6Address source, net::Ipv6Address destination,
                           std::uint16_t identifier, std::uint16_t sequence,
                           std::uint8_t hop_limit) {
+  Packet packet;
+  build_echo_request_into(packet, source, destination, identifier, sequence,
+                          hop_limit);
+  return packet;
+}
+
+void build_echo_request_into(Packet& out, net::Ipv6Address source,
+                             net::Ipv6Address destination,
+                             std::uint16_t identifier, std::uint16_t sequence,
+                             std::uint8_t hop_limit) {
+  constexpr std::uint16_t kEchoBodySize = 8;  // type, code, cksum, id, seq
+  out.clear();
+
   Ipv6Header ip;
   ip.source = source;
   ip.destination = destination;
   ip.hop_limit = hop_limit;
-  return assemble(ip, echo_body(Icmpv6Type::kEchoRequest, identifier,
-                                sequence));
+  ip.payload_length = kEchoBodySize;
+
+  BufferWriter w{out};
+  ip.serialize(w);
+  const std::size_t icmp_offset = out.size();
+  w.u8(static_cast<std::uint8_t>(Icmpv6Type::kEchoRequest));
+  w.u8(0);   // code
+  w.u16(0);  // checksum placeholder
+  w.u16(identifier);
+  w.u16(sequence);
+
+  const std::uint16_t cksum = icmpv6_checksum(
+      source, destination,
+      std::span<const std::uint8_t>{out}.subspan(icmp_offset));
+  w.patch_u16(icmp_offset + 2, cksum);
 }
 
 Packet build_echo_reply(net::Ipv6Address source, net::Ipv6Address destination,

@@ -89,6 +89,15 @@ using Packet = std::vector<std::uint8_t>;
                                         std::uint16_t sequence,
                                         std::uint8_t hop_limit = 64);
 
+/// Serializes an Echo Request into `out` (cleared first, capacity kept).
+/// The allocation-free path for wire-mode sweeps: the prober reuses one
+/// scratch Packet for millions of probes instead of allocating two vectors
+/// per probe.
+void build_echo_request_into(Packet& out, net::Ipv6Address source,
+                             net::Ipv6Address destination,
+                             std::uint16_t identifier, std::uint16_t sequence,
+                             std::uint8_t hop_limit = 64);
+
 /// Builds an Echo Reply mirroring a request.
 [[nodiscard]] Packet build_echo_reply(net::Ipv6Address source,
                                       net::Ipv6Address destination,

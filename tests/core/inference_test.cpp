@@ -215,7 +215,8 @@ probe::ProbeResult responsive(net::Ipv6Address target,
 }
 
 TEST(Density, UnresponsivePrefix) {
-  const auto d = classify_density(pfx("2001:db8::/48"), 256, {});
+  const auto d = classify_density(pfx("2001:db8::/48"), 256,
+                                  std::vector<probe::ProbeResult>{});
   EXPECT_EQ(d.klass, DensityClass::kUnresponsive);
   EXPECT_EQ(d.density(), 0.0);
 }

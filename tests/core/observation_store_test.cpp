@@ -1,0 +1,153 @@
+// ObservationStore's incremental indexing: add() maintains the per-MAC
+// index and uniqueness sets as it goes, so interleaved add/query sequences
+// (every funnel stage alternates them) see consistent answers without a
+// rebuild, and append() replays another store's insertion order so a merged
+// store is indistinguishable from one built serially.
+#include "core/observation.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "netbase/eui64.h"
+#include "netbase/ipv6_address.h"
+#include "netbase/mac_address.h"
+#include "sim/rng.h"
+
+namespace scent::core {
+namespace {
+
+/// A pseudorandom observation stream with deliberate duplicates: a few
+/// dozen distinct devices, some EUI-64, some privacy-addressed.
+std::vector<Observation> make_stream(std::uint64_t seed, std::size_t count) {
+  sim::Rng rng{seed};
+  std::vector<Observation> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::uint64_t network =
+        0x20010db800000000ULL | (rng.below(24) << 8);
+    net::Ipv6Address response;
+    if (rng.chance(0.7)) {
+      // EUI-64 IID from a small MAC population (forces repeats).
+      const net::MacAddress mac{0x3810d5000000ULL | rng.below(16)};
+      response = net::Ipv6Address{network, net::mac_to_eui64(mac)};
+    } else {
+      response = net::Ipv6Address{network, rng.next() | 0x0400000000000000ULL};
+    }
+    out.push_back(Observation{
+        net::Ipv6Address{network, i}, response,
+        wire::Icmpv6Type::kEchoReply, 0,
+        static_cast<sim::TimePoint>(i) * 100});
+  }
+  return out;
+}
+
+/// Ground truth computed from scratch over a prefix of the stream.
+struct Expected {
+  std::unordered_set<net::Ipv6Address, net::Ipv6AddressHash> responses;
+  std::unordered_set<net::Ipv6Address, net::Ipv6AddressHash> eui_responses;
+  std::unordered_map<net::MacAddress, std::vector<std::size_t>,
+                     net::MacAddressHash>
+      by_mac;
+};
+
+Expected recompute(const std::vector<Observation>& stream, std::size_t n) {
+  Expected e;
+  for (std::size_t i = 0; i < n; ++i) {
+    e.responses.insert(stream[i].response);
+    if (const auto mac = net::embedded_mac(stream[i].response)) {
+      e.eui_responses.insert(stream[i].response);
+      e.by_mac[*mac].push_back(i);
+    }
+  }
+  return e;
+}
+
+TEST(ObservationStore, InterleavedAddAndQueryMatchesFromScratchRebuild) {
+  const auto stream = make_stream(0x0B5, 600);
+  ObservationStore store;
+  for (std::size_t i = 0; i < stream.size(); ++i) {
+    store.add(stream[i]);
+    // Query after *every* add — the pattern that used to trigger a full
+    // per-query rebuild. Check against ground truth at coarse intervals
+    // (every add for the first 50, then every 97th) to keep the test fast.
+    if (i < 50 || i % 97 == 0 || i + 1 == stream.size()) {
+      const Expected e = recompute(stream, i + 1);
+      ASSERT_EQ(store.size(), i + 1);
+      ASSERT_EQ(store.unique_responses(), e.responses.size()) << "at " << i;
+      ASSERT_EQ(store.unique_eui64_responses(), e.eui_responses.size());
+      ASSERT_EQ(store.unique_eui64_iids(), e.by_mac.size());
+      ASSERT_EQ(store.by_mac().size(), e.by_mac.size());
+      for (const auto& [mac, indices] : e.by_mac) {
+        const auto it = store.by_mac().find(mac);
+        ASSERT_NE(it, store.by_mac().end());
+        ASSERT_EQ(it->second, indices) << "at " << i;
+      }
+    }
+  }
+}
+
+TEST(ObservationStore, AppendEqualsSeriallyConcatenatedAdds) {
+  const auto stream = make_stream(0xA99, 400);
+
+  // Serial reference: one store fed the whole stream.
+  ObservationStore serial;
+  for (const auto& obs : stream) serial.add(obs);
+
+  // Sharded: three stores fed disjoint slices, merged in order.
+  ObservationStore a;
+  ObservationStore b;
+  ObservationStore c;
+  for (std::size_t i = 0; i < 150; ++i) a.add(stream[i]);
+  for (std::size_t i = 150; i < 260; ++i) b.add(stream[i]);
+  for (std::size_t i = 260; i < stream.size(); ++i) c.add(stream[i]);
+
+  ObservationStore merged;
+  merged.append(a);
+  merged.append(b);
+  merged.append(c);
+
+  ASSERT_EQ(merged.size(), serial.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(merged.all()[i].target, serial.all()[i].target);
+    EXPECT_EQ(merged.all()[i].response, serial.all()[i].response);
+    EXPECT_EQ(merged.all()[i].time, serial.all()[i].time);
+  }
+  EXPECT_EQ(merged.unique_responses(), serial.unique_responses());
+  EXPECT_EQ(merged.unique_eui64_responses(), serial.unique_eui64_responses());
+  EXPECT_EQ(merged.unique_eui64_iids(), serial.unique_eui64_iids());
+
+  // by_mac indices must point into the *merged* store, in insertion order.
+  ASSERT_EQ(merged.by_mac().size(), serial.by_mac().size());
+  for (const auto& [mac, indices] : serial.by_mac()) {
+    const auto it = merged.by_mac().find(mac);
+    ASSERT_NE(it, merged.by_mac().end());
+    EXPECT_EQ(it->second, indices);
+  }
+
+  // networks_of agrees too (first-seen order of distinct /64s).
+  for (const auto& [mac, indices] : serial.by_mac()) {
+    EXPECT_EQ(merged.networks_of(mac), serial.networks_of(mac));
+  }
+}
+
+TEST(ObservationStore, AppendEmptyAndOntoEmpty) {
+  const auto stream = make_stream(0x3E, 10);
+  ObservationStore filled;
+  for (const auto& obs : stream) filled.add(obs);
+
+  ObservationStore empty;
+  ObservationStore merged;
+  merged.append(empty);
+  EXPECT_TRUE(merged.empty());
+  merged.append(filled);
+  EXPECT_EQ(merged.size(), filled.size());
+  merged.append(empty);
+  EXPECT_EQ(merged.size(), filled.size());
+}
+
+}  // namespace
+}  // namespace scent::core
