@@ -1,14 +1,17 @@
 #!/usr/bin/env bash
 # check.sh - tier-1 verification plus sanitizer passes.
 #
-#   scripts/check.sh            # plain build + ctest, then ASan/UBSan and TSan passes
+#   scripts/check.sh            # plain build + ctest, bench guards, then ASan/UBSan and TSan passes
 #   scripts/check.sh --fast     # plain build + ctest only
 #
-# The plain pass is the repo's tier-1 gate (ROADMAP.md). The ASan/UBSan pass
-# rebuilds everything with -fsanitize=address,undefined into build-sanitize/
-# and reruns the test suite under it. The TSan pass rebuilds into build-tsan/
-# with -fsanitize=thread and runs the engine's sharded-executor tests (the
-# only multi-threaded code in the tree) under ThreadSanitizer.
+# The plain pass is the repo's tier-1 gate (ROADMAP.md). The bench-guard leg
+# runs bench_micro's enforced perf floors (telemetry overhead, sweep scaling,
+# ingest throughput, bytes per observation) and refreshes the machine-readable
+# BENCH_micro.json snapshot. The ASan/UBSan pass rebuilds everything with
+# -fsanitize=address,undefined into build-sanitize/ and reruns the test suite
+# under it. The TSan pass rebuilds into build-tsan/ with -fsanitize=thread and
+# runs the engine's sharded-executor tests (the only multi-threaded code in
+# the tree) under ThreadSanitizer.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -20,9 +23,15 @@ cmake --build build -j"$jobs"
 (cd build && ctest --output-on-failure -j"$jobs")
 
 if [[ "${1:-}" == "--fast" ]]; then
-  echo "== skipping sanitizer pass (--fast) =="
+  echo "== skipping bench guards and sanitizer pass (--fast) =="
   exit 0
 fi
+
+echo "== bench guards: perf floors + BENCH_micro.json (bench_micro) =="
+# Exits nonzero if any guard floor is missed; the filter skips the
+# registered microbenchmarks (the guards measure everything the JSON needs).
+SCENT_BENCH_JSON=BENCH_micro.json \
+  ./build/bench/bench_micro --benchmark_filter='^$'
 
 echo "== sanitizer: ASan+UBSan build + ctest (build-sanitize/) =="
 cmake -B build-sanitize -S . -DSCENT_SANITIZE=address,undefined >/dev/null

@@ -1,0 +1,139 @@
+// arena.h - chunked arena for per-key index lists.
+//
+// The by-MAC index of the observation corpus maps ~10^5..10^8 MACs to lists
+// of observation indices. One std::vector per MAC means one heap block (plus
+// malloc header) per key and a pointer chase per visit; the arena instead
+// packs every list into a single shared vector of fixed 32-byte chunks
+// (half a cache line), unrolled-linked-list style. A list is addressed by a
+// tiny POD `List` handle that the owning FlatMap stores inline, so growing
+// the map never touches the element storage.
+//
+// Indices are 32-bit: the corpus indexes observations with < 2^32-1
+// elements per store (the sharded engine splits far earlier than that).
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace scent::container {
+
+class IndexArena {
+ public:
+  static constexpr std::uint32_t kNil = 0xffffffffu;
+
+  /// POD handle for one list; value-copyable, owned by the caller (e.g. as
+  /// a FlatMap mapped value). Only meaningful with the arena it was grown
+  /// in.
+  struct List {
+    std::uint32_t head = kNil;
+    std::uint32_t tail = kNil;
+    std::uint32_t size = 0;
+  };
+
+  void push_back(List& list, std::uint32_t value) {
+    if (list.head == kNil) {
+      const std::uint32_t chunk = allocate_chunk();
+      list.head = chunk;
+      list.tail = chunk;
+    } else if (chunks_[list.tail].count == kChunkItems) {
+      const std::uint32_t chunk = allocate_chunk();
+      chunks_[list.tail].next = chunk;  // allocate first: it may reallocate
+      list.tail = chunk;
+    }
+    Chunk& tail = chunks_[list.tail];
+    tail.items[tail.count++] = value;
+    ++list.size;
+  }
+
+  class const_iterator {
+   public:
+    const_iterator(const IndexArena* arena, std::uint32_t chunk) noexcept
+        : arena_(arena), chunk_(chunk) {}
+
+    std::uint32_t operator*() const noexcept {
+      return arena_->chunks_[chunk_].items[at_];
+    }
+
+    const_iterator& operator++() noexcept {
+      const Chunk& chunk = arena_->chunks_[chunk_];
+      if (++at_ == chunk.count) {
+        chunk_ = chunk.next;
+        at_ = 0;
+      }
+      return *this;
+    }
+
+    bool operator==(const const_iterator& other) const noexcept {
+      return chunk_ == other.chunk_ && at_ == other.at_;
+    }
+    bool operator!=(const const_iterator& other) const noexcept {
+      return !(*this == other);
+    }
+
+   private:
+    const IndexArena* arena_;
+    std::uint32_t chunk_;
+    std::uint32_t at_ = 0;
+  };
+
+  /// Range view over one list, in push order.
+  class Range {
+   public:
+    Range(const IndexArena* arena, List list) noexcept
+        : arena_(arena), list_(list) {}
+
+    [[nodiscard]] const_iterator begin() const noexcept {
+      return const_iterator{arena_, list_.head};
+    }
+    [[nodiscard]] const_iterator end() const noexcept {
+      return const_iterator{arena_, kNil};
+    }
+    [[nodiscard]] std::size_t size() const noexcept { return list_.size; }
+    [[nodiscard]] bool empty() const noexcept { return list_.size == 0; }
+
+   private:
+    const IndexArena* arena_;
+    List list_;
+  };
+
+  [[nodiscard]] Range range(const List& list) const noexcept {
+    return Range{this, list};
+  }
+
+  /// Drops every list (handles held by callers become dangling) but keeps
+  /// the chunk storage for reuse.
+  void clear() noexcept { chunks_.clear(); }
+
+  /// Total chunks allocated across all lists.
+  [[nodiscard]] std::size_t chunk_count() const noexcept {
+    return chunks_.size();
+  }
+
+  void reserve_chunks(std::size_t n) { chunks_.reserve(n); }
+
+  [[nodiscard]] std::size_t memory_footprint() const noexcept {
+    return chunks_.capacity() * sizeof(Chunk);
+  }
+
+ private:
+  static constexpr std::uint32_t kChunkItems = 6;
+
+  // 32 bytes exactly: 6 payload indices + link + fill count.
+  struct Chunk {
+    std::array<std::uint32_t, kChunkItems> items;
+    std::uint32_t next = kNil;
+    std::uint32_t count = 0;
+  };
+  static_assert(sizeof(Chunk) == 32);
+
+  std::uint32_t allocate_chunk() {
+    chunks_.emplace_back();
+    return static_cast<std::uint32_t>(chunks_.size() - 1);
+  }
+
+  std::vector<Chunk> chunks_;
+};
+
+}  // namespace scent::container

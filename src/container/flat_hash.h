@@ -1,0 +1,360 @@
+// flat_hash.h - cache-friendly, insertion-ordered hash containers.
+//
+// The probe→ingest data plane keys tens of millions of observations by
+// response address, embedded MAC, /48 prefix and rate-limit bucket; at that
+// scale node-based std::unordered_map/set (one allocation plus a pointer
+// chase per element) dominate both ingest time and memory. FlatMap/FlatSet
+// replace them with open addressing over two flat arrays:
+//
+//   * a dense slot vector holding the elements in insertion order, and
+//   * a power-of-two probe table split into a control-byte array (one 8-bit
+//     hash tag per bucket, 0 = empty) and a parallel 32-bit slot-index
+//     array, walked with triangular-step (quadratic) probing.
+//
+// The split layout costs 5 bytes per bucket instead of a packed 8-byte
+// word, and misses resolve inside the dense control array (64 buckets per
+// cache line) without ever touching the index half. Lookups touch one
+// control cache line and (on a tag match) one slot; inserts append to the
+// dense vector — no per-element allocation, no tombstones. Iteration walks
+// the dense vector in insertion order, which is
+// deterministic by construction: downstream inference that iterates a map
+// inherits the engine's bit-identical determinism contract instead of
+// relying on unordered_map iteration accidents (DESIGN.md §5d/§5e).
+//
+// The workloads these containers serve are append-heavy; erase() is
+// provided for completeness (and for the differential test suite) but is
+// O(n) — it compacts the dense vector and rebuilds the probe table, keeping
+// the structure tombstone-free and the iteration order exactly first-insert.
+#pragma once
+
+#include <algorithm>
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace scent::container {
+
+/// splitmix64 finalizer: a full-avalanche bijection on 64-bit values.
+[[nodiscard]] constexpr std::uint64_t avalanche64(std::uint64_t x) noexcept {
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ULL;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return x;
+}
+
+/// Default hash. std::hash is the identity for integers in common standard
+/// libraries, which open addressing cannot tolerate (sequential keys would
+/// form one giant probe cluster), so integral and enum keys get the
+/// splitmix64 finalizer; everything else uses std::hash. Custom functors
+/// (Ipv6AddressHash, MacAddressHash, ...) must distribute over all 64 bits —
+/// the probe table masks the low bits and tags with the high bits.
+template <typename K, typename Enable = void>
+struct DefaultHash {
+  [[nodiscard]] std::size_t operator()(const K& key) const {
+    return std::hash<K>{}(key);
+  }
+};
+
+template <typename K>
+struct DefaultHash<K,
+                   std::enable_if_t<std::is_integral_v<K> || std::is_enum_v<K>>> {
+  [[nodiscard]] std::size_t operator()(const K& key) const noexcept {
+    return static_cast<std::size_t>(
+        avalanche64(static_cast<std::uint64_t>(key)));
+  }
+};
+
+namespace detail {
+
+/// Shared open-addressing core for FlatMap/FlatSet. `Slot` is the dense
+/// element type, `KeyOf` projects a slot to its key.
+template <typename Slot, typename Key, typename KeyOf, typename Hash>
+class FlatTable {
+ public:
+  FlatTable() = default;
+
+  [[nodiscard]] std::size_t size() const noexcept { return slots_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return slots_.empty(); }
+
+  [[nodiscard]] Slot* slots_data() noexcept { return slots_.data(); }
+  [[nodiscard]] const Slot* slots_data() const noexcept {
+    return slots_.data();
+  }
+
+  /// Index of the slot holding `key`, or npos.
+  [[nodiscard]] std::size_t find_index(const Key& key) const noexcept {
+    if (slots_.empty()) return npos;
+    const std::uint64_t h = hash_of(key);
+    const std::uint8_t tag = tag_of(h);
+    std::size_t pos = static_cast<std::size_t>(h) & mask_;
+    std::size_t step = 0;
+    for (;;) {
+      const std::uint8_t ctrl = tags_[pos];
+      if (ctrl == kEmpty) return npos;
+      if (ctrl == tag && KeyOf{}(slots_[index_[pos]]) == key) {
+        return index_[pos];
+      }
+      pos = (pos + ++step) & mask_;
+    }
+  }
+
+  /// Finds the slot for `key`, appending a fresh one built by `make()` when
+  /// absent. Returns {slot index, inserted}. `make` is only invoked on
+  /// insertion.
+  template <typename Make>
+  std::pair<std::size_t, bool> find_or_insert(const Key& key, Make&& make) {
+    if (slots_.size() + 1 > grow_threshold()) grow();
+    const std::uint64_t h = hash_of(key);
+    const std::uint8_t tag = tag_of(h);
+    std::size_t pos = static_cast<std::size_t>(h) & mask_;
+    std::size_t step = 0;
+    for (;;) {
+      const std::uint8_t ctrl = tags_[pos];
+      if (ctrl == kEmpty) {
+        const std::size_t index = slots_.size();
+        assert(index < kMaxElements && "FlatTable: 2^32-1 element limit");
+        slots_.push_back(make());
+        tags_[pos] = tag;
+        index_[pos] = static_cast<std::uint32_t>(index);
+        return {index, true};
+      }
+      if (ctrl == tag && KeyOf{}(slots_[index_[pos]]) == key) {
+        return {index_[pos], false};
+      }
+      pos = (pos + ++step) & mask_;
+    }
+  }
+
+  /// Removes `key` if present. O(n): compacts the dense vector (preserving
+  /// the insertion order of the survivors) and rebuilds the probe table —
+  /// tombstone-free by construction. Returns true if an element was erased.
+  bool erase_key(const Key& key) {
+    const std::size_t index = find_index(key);
+    if (index == npos) return false;
+    slots_.erase(slots_.begin() + static_cast<std::ptrdiff_t>(index));
+    rebuild();
+    return true;
+  }
+
+  /// Drops all elements but keeps both arrays' capacity, so a reused table
+  /// (per-sweep-unit rate-limit state, per-shard scratch) re-fills without
+  /// reallocating.
+  void clear() noexcept {
+    slots_.clear();
+    std::fill(tags_.begin(), tags_.end(), kEmpty);
+  }
+
+  void reserve(std::size_t n) {
+    slots_.reserve(n);
+    if (n > grow_threshold()) {
+      std::size_t buckets = tags_.empty() ? kMinBuckets : tags_.size();
+      while (n > buckets - buckets / 4) buckets *= 2;
+      resize_table(buckets);
+      rebuild_into_current();
+    }
+  }
+
+  /// Heap bytes held (dense slots + probe table), for the bytes-per-element
+  /// accounting the bench guard enforces.
+  [[nodiscard]] std::size_t memory_footprint() const noexcept {
+    return slots_.capacity() * sizeof(Slot) +
+           tags_.capacity() * sizeof(std::uint8_t) +
+           index_.capacity() * sizeof(std::uint32_t);
+  }
+
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+
+ private:
+  static constexpr std::uint8_t kEmpty = 0;  // control byte of a free bucket
+  static constexpr std::size_t kMinBuckets = 16;
+  static constexpr std::size_t kMaxElements = 0xffffffffULL;
+
+  [[nodiscard]] std::uint64_t hash_of(const Key& key) const {
+    return static_cast<std::uint64_t>(hash_(key));
+  }
+
+  /// 8-bit tag from the hash's top bits (the bucket index uses the low
+  /// bits, so tag and position are nearly independent), remapped off 0,
+  /// which marks empty buckets.
+  [[nodiscard]] static std::uint8_t tag_of(std::uint64_t h) noexcept {
+    const auto tag = static_cast<std::uint8_t>(h >> 56);
+    return tag == kEmpty ? std::uint8_t{1} : tag;
+  }
+
+  /// Max load factor 3/4.
+  [[nodiscard]] std::size_t grow_threshold() const noexcept {
+    return tags_.size() - tags_.size() / 4;
+  }
+
+  void resize_table(std::size_t buckets) {
+    tags_.assign(buckets, kEmpty);
+    index_.resize(buckets);
+    mask_ = buckets - 1;
+  }
+
+  void grow() {
+    resize_table(tags_.empty() ? kMinBuckets : tags_.size() * 2);
+    rebuild_into_current();
+  }
+
+  void rebuild() {
+    if (tags_.empty()) return;
+    std::fill(tags_.begin(), tags_.end(), kEmpty);
+    rebuild_into_current();
+  }
+
+  /// Re-seats every dense slot into the (already sized and cleared) table.
+  void rebuild_into_current() noexcept {
+    for (std::size_t i = 0; i < slots_.size(); ++i) {
+      const std::uint64_t h = hash_of(KeyOf{}(slots_[i]));
+      std::size_t pos = static_cast<std::size_t>(h) & mask_;
+      std::size_t step = 0;
+      while (tags_[pos] != kEmpty) pos = (pos + ++step) & mask_;
+      tags_[pos] = tag_of(h);
+      index_[pos] = static_cast<std::uint32_t>(i);
+    }
+  }
+
+  std::vector<Slot> slots_;           // insertion order, dense
+  std::vector<std::uint8_t> tags_;    // per-bucket control byte, 0 = empty
+  std::vector<std::uint32_t> index_;  // per-bucket dense-slot index
+  std::size_t mask_ = 0;
+  [[no_unique_address]] Hash hash_{};
+};
+
+}  // namespace detail
+
+/// Insertion-ordered open-addressing map. Iterators are raw pointers into
+/// the dense slot vector (valid until the next mutating call); iteration
+/// yields pair-like entries in first-insertion order.
+template <typename K, typename V, typename Hash = DefaultHash<K>>
+class FlatMap {
+ public:
+  /// Pair-like so `for (const auto& [key, value] : map)` and `it->second`
+  /// read exactly as they do with std::unordered_map.
+  struct Entry {
+    K first;
+    V second;
+  };
+
+  using iterator = Entry*;
+  using const_iterator = const Entry*;
+
+  [[nodiscard]] std::size_t size() const noexcept { return table_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return table_.empty(); }
+
+  [[nodiscard]] iterator begin() noexcept { return table_.slots_data(); }
+  [[nodiscard]] iterator end() noexcept {
+    return table_.slots_data() + table_.size();
+  }
+  [[nodiscard]] const_iterator begin() const noexcept {
+    return table_.slots_data();
+  }
+  [[nodiscard]] const_iterator end() const noexcept {
+    return table_.slots_data() + table_.size();
+  }
+
+  V& operator[](const K& key) {
+    return try_emplace(key).first->second;
+  }
+
+  /// Inserts {key, V{args...}} unless present; the mapped value is only
+  /// constructed on insertion. Returns {entry, inserted}.
+  template <typename... Args>
+  std::pair<iterator, bool> try_emplace(const K& key, Args&&... args) {
+    const auto [index, inserted] = table_.find_or_insert(key, [&] {
+      return Entry{key, V{std::forward<Args>(args)...}};
+    });
+    return {table_.slots_data() + index, inserted};
+  }
+
+  [[nodiscard]] iterator find(const K& key) noexcept {
+    const std::size_t index = table_.find_index(key);
+    return index == Table::npos ? end() : table_.slots_data() + index;
+  }
+  [[nodiscard]] const_iterator find(const K& key) const noexcept {
+    const std::size_t index = table_.find_index(key);
+    return index == Table::npos ? end() : table_.slots_data() + index;
+  }
+
+  [[nodiscard]] bool contains(const K& key) const noexcept {
+    return table_.find_index(key) != Table::npos;
+  }
+
+  /// O(n); see FlatTable::erase_key.
+  bool erase(const K& key) { return table_.erase_key(key); }
+
+  void clear() noexcept { table_.clear(); }
+  void reserve(std::size_t n) { table_.reserve(n); }
+
+  [[nodiscard]] std::size_t memory_footprint() const noexcept {
+    return table_.memory_footprint();
+  }
+
+ private:
+  struct KeyOf {
+    const K& operator()(const Entry& e) const noexcept { return e.first; }
+  };
+  using Table = detail::FlatTable<Entry, K, KeyOf, Hash>;
+  Table table_;
+};
+
+/// Insertion-ordered open-addressing set. Iteration yields keys in
+/// first-insertion order; iterators are raw const pointers into the dense
+/// key vector (valid until the next mutating call).
+template <typename K, typename Hash = DefaultHash<K>>
+class FlatSet {
+ public:
+  using iterator = const K*;
+  using const_iterator = const K*;
+
+  [[nodiscard]] std::size_t size() const noexcept { return table_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return table_.empty(); }
+
+  [[nodiscard]] const_iterator begin() const noexcept {
+    return table_.slots_data();
+  }
+  [[nodiscard]] const_iterator end() const noexcept {
+    return table_.slots_data() + table_.size();
+  }
+
+  std::pair<const_iterator, bool> insert(const K& key) {
+    const auto [index, inserted] =
+        table_.find_or_insert(key, [&] { return key; });
+    return {table_.slots_data() + index, inserted};
+  }
+
+  [[nodiscard]] const_iterator find(const K& key) const noexcept {
+    const std::size_t index = table_.find_index(key);
+    return index == Table::npos ? end() : table_.slots_data() + index;
+  }
+
+  [[nodiscard]] bool contains(const K& key) const noexcept {
+    return table_.find_index(key) != Table::npos;
+  }
+
+  /// O(n); see FlatTable::erase_key.
+  bool erase(const K& key) { return table_.erase_key(key); }
+
+  void clear() noexcept { table_.clear(); }
+  void reserve(std::size_t n) { table_.reserve(n); }
+
+  [[nodiscard]] std::size_t memory_footprint() const noexcept {
+    return table_.memory_footprint();
+  }
+
+ private:
+  struct KeyOf {
+    const K& operator()(const K& k) const noexcept { return k; }
+  };
+  using Table = detail::FlatTable<K, K, KeyOf, Hash>;
+  Table table_;
+};
+
+}  // namespace scent::container

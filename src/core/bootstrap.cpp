@@ -2,9 +2,8 @@
 
 #include <algorithm>
 #include <map>
-#include <unordered_map>
-#include <unordered_set>
 
+#include "container/flat_hash.h"
 #include "core/sweep_ingest.h"
 #include "engine/sweep.h"
 #include "netbase/eui64.h"
@@ -100,7 +99,7 @@ BootstrapResult run_bootstrap(sim::Internet& internet,
   // EUI last hop per probed /48; /48s sharing a last-hop EUI with another
   // /48 are discarded (not a per-customer /48, per the paper's "unique
   // responsive EUI-64 last hop" filter).
-  std::unordered_map<net::MacAddress, std::vector<net::Prefix>,
+  container::FlatMap<net::MacAddress, std::vector<net::Prefix>,
                      net::MacAddressHash>
       seed_by_mac;
   if (options.seed_with_traceroute) {
@@ -140,10 +139,10 @@ BootstrapResult run_bootstrap(sim::Internet& internet,
     }
     const std::size_t stage_begin = result.observations.size();
     sweep(units);
-    const auto& all = result.observations.all();
-    for (std::size_t i = stage_begin; i < all.size(); ++i) {
-      if (const auto mac = net::embedded_mac(all[i].response)) {
-        seed_by_mac[*mac].push_back(net::Prefix{all[i].target, 48});
+    const ObservationStore& store = result.observations;
+    for (std::size_t i = stage_begin; i < store.size(); ++i) {
+      if (const auto mac = net::embedded_mac(store.response(i))) {
+        seed_by_mac[*mac].push_back(net::Prefix{store.target(i), 48});
       }
     }
   }
@@ -166,7 +165,7 @@ BootstrapResult run_bootstrap(sim::Internet& internet,
   telemetry::Span expand_span{options.registry, "expand"};
 
   // ---- Stage 1 (§4.1): exhaustive /48 expansion of the seed /32s.
-  std::unordered_map<net::MacAddress, std::vector<net::Prefix>,
+  container::FlatMap<net::MacAddress, std::vector<net::Prefix>,
                      net::MacAddressHash>
       expand_by_mac;
   {
@@ -179,10 +178,10 @@ BootstrapResult run_bootstrap(sim::Internet& internet,
     }
     const std::size_t stage_begin = result.observations.size();
     sweep(units);
-    const auto& all = result.observations.all();
-    for (std::size_t i = stage_begin; i < all.size(); ++i) {
-      if (const auto mac = net::embedded_mac(all[i].response)) {
-        expand_by_mac[*mac].push_back(net::Prefix{all[i].target, 48});
+    const ObservationStore& store = result.observations;
+    for (std::size_t i = stage_begin; i < store.size(); ++i) {
+      if (const auto mac = net::embedded_mac(store.response(i))) {
+        expand_by_mac[*mac].push_back(net::Prefix{store.target(i), 48});
       }
     }
   }
@@ -205,12 +204,11 @@ BootstrapResult run_bootstrap(sim::Internet& internet,
       units.push_back({p48, 56, sim::mix64(options.seed, 0xDE45)});
     }
     const SweepIngest ingest = sweep(units);
-    const auto& all = result.observations.all();
     for (std::size_t u = 0; u < units.size(); ++u) {
       const net::Prefix p48 = result.expanded_48s[u];
       const UnitIngest& unit = ingest.units[u];
-      const std::span<const Observation> responsive{
-          all.data() + unit.obs_begin, unit.obs_end - unit.obs_begin};
+      const ObservationStore::View responsive =
+          result.observations.view(unit.obs_begin, unit.obs_end);
       const DensityResult density = classify_density(
           p48, unit.sent, responsive, options.density_low_threshold);
       result.densities.push_back(density);
@@ -240,9 +238,9 @@ BootstrapResult run_bootstrap(sim::Internet& internet,
     }
     const std::size_t stage_begin = result.observations.size();
     sweep(units);
-    const auto& all = result.observations.all();
-    for (std::size_t i = stage_begin; i < all.size(); ++i) {
-      snap.record(all[i].target, all[i].response);
+    const ObservationStore& store = result.observations;
+    for (std::size_t i = stage_begin; i < store.size(); ++i) {
+      snap.record(store.target(i), store.response(i));
     }
   };
 

@@ -1,7 +1,6 @@
 #include "core/campaign.h"
 
-#include <unordered_set>
-
+#include "container/flat_hash.h"
 #include "core/sweep_ingest.h"
 #include "engine/sweep.h"
 #include "sim/rng.h"
@@ -42,7 +41,7 @@ CampaignResult run_campaign(sim::Internet& internet, sim::VirtualClock& clock,
 
     DaySummary summary;
     summary.day = abs_day;
-    std::unordered_set<net::MacAddress, net::MacAddressHash> day_macs;
+    container::FlatSet<net::MacAddress, net::MacAddressHash> day_macs;
 
     day_units.clear();
     day_units.reserve(targets.size());
@@ -75,9 +74,9 @@ CampaignResult run_campaign(sim::Internet& internet, sim::VirtualClock& clock,
 
     {
       telemetry::Span ingest_span{options.registry, "ingest"};
-      const auto& all = result.observations.all();
-      for (std::size_t i = day_obs_begin; i < all.size(); ++i) {
-        if (const auto mac = net::embedded_mac(all[i].response)) {
+      const ObservationStore& store = result.observations;
+      for (std::size_t i = day_obs_begin; i < store.size(); ++i) {
+        if (const auto mac = net::embedded_mac(store.response(i))) {
           day_macs.insert(*mac);
         }
       }
@@ -92,11 +91,14 @@ CampaignResult run_campaign(sim::Internet& internet, sim::VirtualClock& clock,
       // Run Algorithm 1 on the full-granularity day and freeze the per-AS
       // allocation sizes used by subsequent days (and by trackers).
       telemetry::Span infer_span{options.registry, "alloc_infer"};
-      for (const auto& obs : result.observations.all()) {
-        const auto attribution = internet.bgp().lookup(obs.response);
-        if (!attribution) continue;
-        per_as_alloc[attribution->origin_asn].observe(obs.target,
-                                                      obs.response);
+      const ObservationStore& store = result.observations;
+      routing::AttributionCache attributions;
+      for (std::size_t i = 0; i < store.size(); ++i) {
+        const auto* ad = internet.bgp().attribute(store.response(i),
+                                                  attributions);
+        if (ad == nullptr) continue;
+        per_as_alloc[ad->origin_asn].observe(store.target(i),
+                                             store.response(i));
       }
       for (const auto& [asn, inference] : per_as_alloc) {
         if (const auto median = inference.median_length()) {

@@ -9,11 +9,9 @@
 #pragma once
 
 #include <cstdint>
-#include <span>
-#include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
+#include "container/flat_hash.h"
 #include "core/observation.h"
 #include "netbase/eui64.h"
 #include "netbase/prefix.h"
@@ -51,7 +49,7 @@ struct DensityResult {
   DensityResult result;
   result.prefix = prefix;
   result.probes_sent = probes_sent;
-  std::unordered_set<net::Ipv6Address, net::Ipv6AddressHash> eui;
+  container::FlatSet<net::Ipv6Address, net::Ipv6AddressHash> eui;
   for (const auto& r : responsive) {
     if (!r.responded) continue;
     ++result.responses;
@@ -70,18 +68,20 @@ struct DensityResult {
 
 /// Same classification over an ingested ObservationStore slice (the
 /// engine's streaming path stores responsive results directly, so the
-/// funnel classifies from store ranges instead of result vectors).
+/// funnel classifies from store views instead of result vectors). Reads
+/// only the response column.
 [[nodiscard]] inline DensityResult classify_density(
     net::Prefix prefix, std::uint64_t probes_sent,
-    std::span<const Observation> responsive,
+    ObservationStore::View responsive,
     std::uint64_t low_threshold = 2) {
   DensityResult result;
   result.prefix = prefix;
   result.probes_sent = probes_sent;
   result.responses = responsive.size();
-  std::unordered_set<net::Ipv6Address, net::Ipv6AddressHash> eui;
-  for (const auto& obs : responsive) {
-    if (net::is_eui64(obs.response)) eui.insert(obs.response);
+  container::FlatSet<net::Ipv6Address, net::Ipv6AddressHash> eui;
+  for (std::size_t i = 0; i < responsive.size(); ++i) {
+    const net::Ipv6Address response = responsive.response(i);
+    if (net::is_eui64(response)) eui.insert(response);
   }
   result.unique_eui64 = eui.size();
   if (result.responses == 0) {

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "container/flat_hash.h"
+
 namespace scent::core {
 
 std::vector<AsHomogeneity> analyze_homogeneity(const ObservationStore& store,
@@ -13,23 +15,24 @@ std::vector<AsHomogeneity> analyze_homogeneity(const ObservationStore& store,
   // are per-AS unique.
   struct AsAccumulator {
     std::string country;
-    std::unordered_map<std::string, std::unordered_set<net::MacAddress,
-                                                       net::MacAddressHash>>
+    container::FlatMap<std::string,
+                       container::FlatSet<net::MacAddress, net::MacAddressHash>>
         vendor_macs;
-    std::unordered_set<net::MacAddress, net::MacAddressHash> all_macs;
+    container::FlatSet<net::MacAddress, net::MacAddressHash> all_macs;
   };
-  std::unordered_map<routing::Asn, AsAccumulator> per_as;
+  container::FlatMap<routing::Asn, AsAccumulator> per_as;
+  routing::AttributionCache attributions;
 
-  for (const auto& [mac, indices] : store.by_mac()) {
+  for (const auto& [mac, index_list] : store.by_mac()) {
     // Attribute each observation of this MAC; the same MAC may map to
     // multiple ASes.
-    std::unordered_set<routing::Asn> seen_as;
-    for (const std::size_t i : indices) {
-      const auto attribution = bgp.lookup(store.all()[i].response);
-      if (!attribution) continue;
-      if (!seen_as.insert(attribution->origin_asn).second) continue;
-      AsAccumulator& acc = per_as[attribution->origin_asn];
-      acc.country = attribution->country;
+    container::FlatSet<routing::Asn> seen_as;
+    for (const std::uint32_t i : store.indices(index_list)) {
+      const auto* ad = bgp.attribute(store.response(i), attributions);
+      if (ad == nullptr) continue;
+      if (!seen_as.insert(ad->origin_asn).second) continue;
+      AsAccumulator& acc = per_as[ad->origin_asn];
+      acc.country = ad->country;
       const auto vendor = registry.vendor(mac);
       acc.vendor_macs[vendor ? std::string{*vendor} : "(unknown)"].insert(mac);
       acc.all_macs.insert(mac);

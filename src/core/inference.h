@@ -19,9 +19,9 @@
 #include <algorithm>
 #include <cstdint>
 #include <optional>
-#include <unordered_map>
 #include <vector>
 
+#include "container/flat_hash.h"
 #include "core/observation.h"
 #include "netbase/mac_address.h"
 #include "netbase/uint128.h"
@@ -60,7 +60,9 @@ class AllocationSizeInference {
   void observe(net::Ipv6Address target, net::Ipv6Address response);
 
   void observe_all(const ObservationStore& store) {
-    for (const auto& obs : store.all()) observe(obs.target, obs.response);
+    for (std::size_t i = 0; i < store.size(); ++i) {
+      observe(store.target(i), store.response(i));
+    }
   }
 
   /// Inferred allocation prefix length for one device.
@@ -84,7 +86,7 @@ class AllocationSizeInference {
     std::uint64_t lo = 0;
     std::uint64_t hi = 0;
   };
-  std::unordered_map<net::MacAddress, Span, net::MacAddressHash> spans_;
+  container::FlatMap<net::MacAddress, Span, net::MacAddressHash> spans_;
 };
 
 /// Accumulates per-EUI response spans and infers rotation pool sizes
@@ -95,7 +97,7 @@ class RotationPoolInference {
   void observe(net::Ipv6Address response);
 
   void observe_all(const ObservationStore& store) {
-    for (const auto& obs : store.all()) observe(obs.response);
+    for (std::size_t i = 0; i < store.size(); ++i) observe(store.response(i));
   }
 
   /// Inferred rotation pool prefix length for one device: the span of /64s
@@ -124,7 +126,7 @@ class RotationPoolInference {
     std::uint64_t lo = 0;
     std::uint64_t hi = 0;
   };
-  std::unordered_map<net::MacAddress, Span, net::MacAddressHash> spans_;
+  container::FlatMap<net::MacAddress, Span, net::MacAddressHash> spans_;
 };
 
 }  // namespace scent::core

@@ -11,32 +11,40 @@ bool is_default_mac(net::MacAddress mac) noexcept {
   return mac.bits() == 0 || mac.bits() == 0xffffffffffffULL;
 }
 
+DailyAsPresence presence_of_cached(net::MacAddress mac,
+                                   const ObservationStore& store,
+                                   const routing::BgpTable& bgp,
+                                   routing::AttributionCache& attributions) {
+  DailyAsPresence presence;
+  const auto it = store.by_mac().find(mac);
+  if (it == store.by_mac().end()) return presence;
+  for (const std::uint32_t i : store.indices(it->second)) {
+    const auto* ad = bgp.attribute(store.response(i), attributions);
+    if (ad == nullptr) continue;
+    presence.days[sim::day_of(store.time(i))].insert(ad->origin_asn);
+  }
+  return presence;
+}
+
 }  // namespace
 
 DailyAsPresence presence_of(net::MacAddress mac, const ObservationStore& store,
                             const routing::BgpTable& bgp) {
-  DailyAsPresence presence;
-  const auto it = store.by_mac().find(mac);
-  if (it == store.by_mac().end()) return presence;
-  for (const std::size_t i : it->second) {
-    const Observation& obs = store.all()[i];
-    const auto attribution = bgp.lookup(obs.response);
-    if (!attribution) continue;
-    presence.days[sim::day_of(obs.time)].insert(attribution->origin_asn);
-  }
-  return presence;
+  routing::AttributionCache attributions;
+  return presence_of_cached(mac, store, bgp, attributions);
 }
 
 std::vector<MultiAsIid> find_multi_as_iids(const ObservationStore& store,
                                            const routing::BgpTable& bgp,
                                            const PathologyOptions& options) {
   std::vector<MultiAsIid> out;
-  for (const auto& [mac, indices] : store.by_mac()) {
+  routing::AttributionCache attributions;
+  for (const auto& [mac, index_list] : store.by_mac()) {
     // Cheap prefilter: distinct ASes across all observations.
     std::set<routing::Asn> asns;
-    for (const std::size_t i : indices) {
-      const auto attribution = bgp.lookup(store.all()[i].response);
-      if (attribution) asns.insert(attribution->origin_asn);
+    for (const std::uint32_t i : store.indices(index_list)) {
+      const auto* ad = bgp.attribute(store.response(i), attributions);
+      if (ad != nullptr) asns.insert(ad->origin_asn);
     }
     if (asns.size() < 2) continue;
 
@@ -44,7 +52,8 @@ std::vector<MultiAsIid> find_multi_as_iids(const ObservationStore& store,
     entry.mac = mac;
     entry.asns.assign(asns.begin(), asns.end());
 
-    const DailyAsPresence presence = presence_of(mac, store, bgp);
+    const DailyAsPresence presence =
+        presence_of_cached(mac, store, bgp, attributions);
     for (const auto& [day, day_asns] : presence.days) {
       if (day_asns.size() >= 2) ++entry.concurrent_days;
     }

@@ -12,16 +12,17 @@ std::vector<RotationVerdict> detect_rotation(const Snapshot& first,
     std::uint64_t eui_targets = 0;
     std::uint64_t changed = 0;
   };
-  std::unordered_map<net::Prefix, Counts, net::PrefixHash> per_48;
+  // Accumulate on the pre-masked upper-64 /48 bits — one mask per target
+  // instead of constructing (and hashing) a Prefix value per lookup. The
+  // Prefix is materialized only when verdicts are emitted.
+  container::FlatMap<std::uint64_t, Counts> per_48;
 
-  const auto prefix48 = [](net::Ipv6Address a) {
-    return net::Prefix{a, 48};
-  };
+  constexpr std::uint64_t kMask48 = 0xffffffffffff0000ULL;
 
   // Targets responsive in the first snapshot: changed if missing from or
   // different in the second.
   for (const auto& [target, response] : first.map()) {
-    Counts& c = per_48[prefix48(target)];
+    Counts& c = per_48[target.network() & kMask48];
     ++c.eui_targets;
     const auto it = second.map().find(target);
     if (it == second.map().end() || it->second != response) ++c.changed;
@@ -29,16 +30,16 @@ std::vector<RotationVerdict> detect_rotation(const Snapshot& first,
   // Targets that appeared only in the second snapshot are also churn.
   for (const auto& [target, response] : second.map()) {
     if (first.map().contains(target)) continue;
-    Counts& c = per_48[prefix48(target)];
+    Counts& c = per_48[target.network() & kMask48];
     ++c.eui_targets;
     ++c.changed;
   }
 
   std::vector<RotationVerdict> verdicts;
   verdicts.reserve(per_48.size());
-  for (const auto& [prefix, counts] : per_48) {
+  for (const auto& [net48, counts] : per_48) {
     RotationVerdict v;
-    v.prefix = prefix;
+    v.prefix = net::Prefix{net::Ipv6Address{net48, 0}, 48};
     v.eui_targets = counts.eui_targets;
     v.changed = counts.changed;
     v.rotating = counts.changed > churn_threshold;

@@ -11,9 +11,9 @@
 #pragma once
 
 #include <cstdint>
-#include <unordered_map>
 #include <vector>
 
+#include "container/flat_hash.h"
 #include "netbase/eui64.h"
 #include "netbase/ipv6_address.h"
 #include "netbase/prefix.h"
@@ -23,9 +23,13 @@
 namespace scent::core {
 
 /// A snapshot: target -> EUI-64 response address (non-EUI and silent
-/// targets are simply absent).
+/// targets are simply absent). Flat-map backed: iteration is in target
+/// first-recording order, i.e. probe order — deterministic.
 class Snapshot {
  public:
+  using Map = container::FlatMap<net::Ipv6Address, net::Ipv6Address,
+                                 net::Ipv6AddressHash>;
+
   void record(net::Ipv6Address target, net::Ipv6Address response) {
     if (net::is_eui64(response)) map_[target] = response;
   }
@@ -36,15 +40,10 @@ class Snapshot {
     }
   }
 
-  [[nodiscard]] const std::unordered_map<net::Ipv6Address, net::Ipv6Address,
-                                         net::Ipv6AddressHash>&
-  map() const noexcept {
-    return map_;
-  }
+  [[nodiscard]] const Map& map() const noexcept { return map_; }
 
  private:
-  std::unordered_map<net::Ipv6Address, net::Ipv6Address, net::Ipv6AddressHash>
-      map_;
+  Map map_;
 };
 
 struct RotationVerdict {

@@ -12,9 +12,9 @@
 #include <optional>
 #include <string>
 #include <string_view>
-#include <unordered_map>
 #include <vector>
 
+#include "container/flat_hash.h"
 #include "netbase/mac_address.h"
 
 namespace scent::oui {
@@ -57,7 +57,7 @@ class Registry {
   [[nodiscard]] std::size_t size() const noexcept { return vendors_.size(); }
 
  private:
-  std::unordered_map<net::Oui, std::string, net::OuiHash> vendors_;
+  container::FlatMap<net::Oui, std::string, net::OuiHash> vendors_;
 };
 
 /// The embedded registry of CPE-relevant OUI assignments used throughout the

@@ -6,6 +6,13 @@
 // populated from the simulated world's advertisements; the query interface
 // (address -> {prefix, ASN, country}) is identical to what a Routeviews
 // RIB-derived table provides.
+//
+// Advertisements live in one dense vector; the trie maps prefixes to
+// indices into it. Attribution-heavy scans (homogeneity, pathology, the
+// campaign's per-AS inference) use attribute() with a caller-owned
+// AttributionCache: addresses in the same /64 share one cached trie walk,
+// and the result is a pointer into the vector — no string copies per
+// lookup.
 #pragma once
 
 #include <cstdint>
@@ -13,6 +20,7 @@
 #include <string>
 #include <vector>
 
+#include "container/flat_hash.h"
 #include "netbase/prefix.h"
 #include "routing/prefix_trie.h"
 
@@ -38,6 +46,23 @@ struct Attribution {
   std::string as_name;
 };
 
+/// Caller-owned memo for BgpTable::attribute(), keyed on the address's /64
+/// network (BGP announcements are never more specific than /64 here, so
+/// every address in a /64 shares one attribution). Same ownership model as
+/// sim::ResponseContext: one per thread/scan, no shared mutable state in
+/// the table itself. Entries go stale if the table is announced into after
+/// caching — clear() when the table changes.
+class AttributionCache {
+ public:
+  void clear() noexcept { by_network_.clear(); }
+  [[nodiscard]] std::size_t size() const noexcept { return by_network_.size(); }
+
+ private:
+  friend class BgpTable;
+  static constexpr std::int32_t kNoMatch = -1;
+  container::FlatMap<std::uint64_t, std::int32_t> by_network_;
+};
+
 /// Longest-prefix-match table of BGP advertisements.
 class BgpTable {
  public:
@@ -45,32 +70,67 @@ class BgpTable {
   /// ones for the addresses they cover, exactly as in BGP best-path lookup.
   void announce(Advertisement ad) {
     const net::Prefix p = ad.prefix;
-    trie_.insert(p, std::move(ad));
+    if (const std::uint32_t* existing = trie_.find(p)) {
+      ads_[*existing] = std::move(ad);
+      return;
+    }
+    const auto index = static_cast<std::uint32_t>(ads_.size());
+    ads_.push_back(std::move(ad));
+    trie_.insert(p, index);
+    if (p.length() > max_announced_length_) max_announced_length_ = p.length();
   }
 
-  /// Attributes an address to its most specific covering advertisement.
+  /// Attributes an address to its most specific covering advertisement,
+  /// memoizing per /64 in the caller's cache. Returns a pointer into this
+  /// table (stable across lookups, invalidated by announce()), or nullptr
+  /// for unattributed space.
+  [[nodiscard]] const Advertisement* attribute(net::Ipv6Address addr,
+                                               AttributionCache& cache) const {
+    if (max_announced_length_ > 64) {
+      // A /64 cache key cannot represent more-specific routes; fall back to
+      // the uncached walk. Not hit by the simulated worlds (whose
+      // announcements are /32-ish) but keeps the API correct for any input.
+      const auto match = trie_.longest_match(addr);
+      return match ? &ads_[*match->value] : nullptr;
+    }
+    const auto [entry, fresh] =
+        cache.by_network_.try_emplace(addr.network(), AttributionCache::kNoMatch);
+    if (fresh) {
+      if (const auto match = trie_.longest_match(addr)) {
+        entry->second = static_cast<std::int32_t>(*match->value);
+      }
+    }
+    return entry->second == AttributionCache::kNoMatch
+               ? nullptr
+               : &ads_[static_cast<std::size_t>(entry->second)];
+  }
+
+  /// Attributes an address, copying the result. Convenience form for cold
+  /// paths and tests; hot scans use attribute().
   [[nodiscard]] std::optional<Attribution> lookup(
       net::Ipv6Address addr) const {
     const auto match = trie_.longest_match(addr);
     if (!match) return std::nullopt;
-    const Advertisement& ad = *match->value;
+    const Advertisement& ad = ads_[*match->value];
     return Attribution{ad.prefix, ad.origin_asn, ad.country, ad.as_name};
   }
 
   /// All advertisements, in prefix order.
   [[nodiscard]] std::vector<Advertisement> dump() const {
     std::vector<Advertisement> out;
-    out.reserve(trie_.size());
-    trie_.for_each([&out](const net::Prefix&, const Advertisement& ad) {
-      out.push_back(ad);
+    out.reserve(ads_.size());
+    trie_.for_each([&out, this](const net::Prefix&, const std::uint32_t& i) {
+      out.push_back(ads_[i]);
     });
     return out;
   }
 
-  [[nodiscard]] std::size_t size() const noexcept { return trie_.size(); }
+  [[nodiscard]] std::size_t size() const noexcept { return ads_.size(); }
 
  private:
-  PrefixTrie<Advertisement> trie_;
+  std::vector<Advertisement> ads_;
+  PrefixTrie<std::uint32_t> trie_;  // prefix -> index into ads_
+  unsigned max_announced_length_ = 0;
 };
 
 }  // namespace scent::routing

@@ -11,9 +11,9 @@
 
 #include <cstdint>
 #include <optional>
-#include <unordered_map>
 #include <vector>
 
+#include "container/flat_hash.h"
 #include "netbase/ipv6_address.h"
 #include "netbase/prefix.h"
 #include "sim/device.h"
@@ -48,7 +48,7 @@ class RotationPool {
   std::size_t add_device(const CpeDevice& device) {
     const std::size_t index = devices_.size();
     devices_.push_back(device);
-    initial_slot_index_.emplace(device.initial_slot % num_slots(), index);
+    initial_slot_index_.try_emplace(device.initial_slot % num_slots(), index);
     return index;
   }
 
@@ -153,7 +153,9 @@ class RotationPool {
   PoolConfig config_;
   RotationSchedule schedule_;
   std::vector<CpeDevice> devices_;
-  std::unordered_map<std::uint64_t, std::size_t> initial_slot_index_;
+  // Probed once per response synthesis; flat so the lookup is one
+  // probe-table line plus one dense slot, no node chase.
+  container::FlatMap<std::uint64_t, std::size_t> initial_slot_index_;
 };
 
 }  // namespace scent::sim

@@ -13,9 +13,9 @@
 #include <cstdint>
 #include <optional>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
+#include "container/flat_hash.h"
 #include "netbase/ipv6_address.h"
 #include "netbase/prefix.h"
 #include "routing/bgp_table.h"
@@ -44,8 +44,10 @@ struct ResponseContext {
     TimePoint last = 0;
     bool initialized = false;
   };
-  std::unordered_map<std::uint64_t, Bucket> buckets;
+  container::FlatMap<std::uint64_t, Bucket> buckets;
 
+  /// Drops all buckets but keeps their storage, so the per-sweep-unit reset
+  /// the engine performs does not re-pay allocation on every unit.
   void reset() noexcept { buckets.clear(); }
 };
 

@@ -1,0 +1,232 @@
+// Differential/property suite for the flat containers: every operation
+// sequence must agree with the std::unordered_map/set reference, and
+// iteration must be exactly first-insertion order (the invariant the
+// engine's determinism contract leans on). Sequences deliberately cross
+// rehash boundaries and include the O(n) erase path.
+#include "container/flat_hash.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "netbase/ipv6_address.h"
+#include "sim/rng.h"
+
+namespace scent::container {
+namespace {
+
+/// Live keys in first-insertion order, recomputed after erasures.
+template <typename Map>
+void expect_iteration_matches(const Map& map,
+                              const std::vector<std::uint64_t>& order) {
+  std::size_t at = 0;
+  for (const auto& [key, value] : map) {
+    ASSERT_LT(at, order.size());
+    EXPECT_EQ(key, order[at]) << "iteration position " << at;
+    ++at;
+  }
+  EXPECT_EQ(at, order.size());
+}
+
+TEST(FlatMap, RandomizedDifferentialAgainstStdUnorderedMap) {
+  for (const std::uint64_t seed : {0x1ULL, 0x2ULL, 0xFEEDULL}) {
+    sim::Rng rng{seed};
+    FlatMap<std::uint64_t, std::uint64_t> flat;
+    std::unordered_map<std::uint64_t, std::uint64_t> ref;
+    std::vector<std::uint64_t> order;  // live keys, first-insertion order
+
+    for (std::size_t step = 0; step < 3000; ++step) {
+      // Dense key space so inserts repeatedly hit existing keys and erased
+      // keys get re-inserted (exercising the post-rebuild probe paths).
+      const std::uint64_t key = rng.below(512);
+      const std::uint64_t op = rng.below(10);
+      if (op < 5) {
+        const std::uint64_t value = rng.next();
+        const bool existed = ref.contains(key);
+        flat[key] = value;
+        ref[key] = value;
+        if (!existed) order.push_back(key);
+      } else if (op < 7) {
+        const auto it = flat.find(key);
+        const auto rit = ref.find(key);
+        ASSERT_EQ(it != flat.end(), rit != ref.end()) << "key " << key;
+        if (rit != ref.end()) {
+          ASSERT_EQ(it->second, rit->second);
+        }
+        ASSERT_EQ(flat.contains(key), ref.contains(key));
+      } else if (op == 7) {
+        ASSERT_EQ(flat.erase(key), ref.erase(key) == 1) << "key " << key;
+        order.erase(std::remove(order.begin(), order.end(), key),
+                    order.end());
+      } else {
+        const auto [entry, inserted] = flat.try_emplace(key, step);
+        const auto [rit, rinserted] = ref.try_emplace(key, step);
+        ASSERT_EQ(inserted, rinserted);
+        ASSERT_EQ(entry->second, rit->second);
+        if (inserted) order.push_back(key);
+      }
+      ASSERT_EQ(flat.size(), ref.size());
+      if (step % 97 == 0) {
+        expect_iteration_matches(flat, order);
+        for (const auto& [key2, value2] : ref) {
+          const auto it = flat.find(key2);
+          ASSERT_NE(it, flat.end());
+          ASSERT_EQ(it->second, value2);
+        }
+      }
+    }
+    expect_iteration_matches(flat, order);
+  }
+}
+
+TEST(FlatSet, RandomizedDifferentialAgainstStdUnorderedSet) {
+  for (const std::uint64_t seed : {0x7ULL, 0xC0FFEEULL}) {
+    sim::Rng rng{seed};
+    FlatSet<std::uint64_t> flat;
+    std::unordered_set<std::uint64_t> ref;
+    std::vector<std::uint64_t> order;
+
+    for (std::size_t step = 0; step < 3000; ++step) {
+      const std::uint64_t key = rng.below(400);
+      const std::uint64_t op = rng.below(10);
+      if (op < 6) {
+        const auto [it, inserted] = flat.insert(key);
+        ASSERT_EQ(inserted, ref.insert(key).second);
+        ASSERT_EQ(*it, key);
+        if (inserted) order.push_back(key);
+      } else if (op < 8) {
+        ASSERT_EQ(flat.contains(key), ref.contains(key));
+        ASSERT_EQ(flat.find(key) != flat.end(), ref.contains(key));
+      } else {
+        ASSERT_EQ(flat.erase(key), ref.erase(key) == 1);
+        order.erase(std::remove(order.begin(), order.end(), key),
+                    order.end());
+      }
+      ASSERT_EQ(flat.size(), ref.size());
+      if (step % 101 == 0) {
+        std::size_t at = 0;
+        for (const std::uint64_t k : flat) {
+          ASSERT_LT(at, order.size());
+          ASSERT_EQ(k, order[at]);
+          ++at;
+        }
+        ASSERT_EQ(at, order.size());
+      }
+    }
+  }
+}
+
+TEST(FlatMap, SequentialInsertAcrossRehashBoundaries) {
+  // Power-of-two growth: every boundary between 16 and 8192 buckets is
+  // crossed; values must survive each rebuild.
+  FlatMap<std::uint64_t, std::uint64_t> map;
+  for (std::uint64_t i = 0; i < 6000; ++i) {
+    map[i] = i * 3;
+    // Probe around the sizes where the table grows (load factor 3/4 of a
+    // power of two) — immediately before and after.
+    if ((i & (i + 1)) == 0 || i % 191 == 0) {
+      for (std::uint64_t k = 0; k <= i; k += 7) {
+        const auto it = map.find(k);
+        ASSERT_NE(it, map.end()) << "key " << k << " after " << i;
+        ASSERT_EQ(it->second, k * 3);
+      }
+      ASSERT_FALSE(map.contains(i + 1));
+    }
+  }
+  ASSERT_EQ(map.size(), 6000u);
+  // Iteration is exactly insertion order.
+  std::uint64_t want = 0;
+  for (const auto& [key, value] : map) {
+    ASSERT_EQ(key, want);
+    ASSERT_EQ(value, want * 3);
+    ++want;
+  }
+}
+
+TEST(FlatMap, InsertionOrderSurvivesEraseAndReinsert) {
+  FlatMap<std::uint64_t, int> map;
+  for (std::uint64_t i = 0; i < 10; ++i) map[i] = 1;
+  EXPECT_TRUE(map.erase(3));
+  EXPECT_TRUE(map.erase(7));
+  EXPECT_FALSE(map.erase(3));
+  map[3] = 2;  // re-inserted keys go to the back
+  const std::vector<std::uint64_t> want{0, 1, 2, 4, 5, 6, 8, 9, 3};
+  expect_iteration_matches(map, want);
+}
+
+TEST(FlatMap, ClearKeepsCapacityAndReserveHolds) {
+  FlatMap<std::uint64_t, std::uint64_t> map;
+  map.reserve(1000);
+  const std::size_t reserved = map.memory_footprint();
+  for (std::uint64_t i = 0; i < 1000; ++i) map[i] = i;
+  EXPECT_EQ(map.memory_footprint(), reserved) << "reserve() must pre-size";
+  map.clear();
+  EXPECT_EQ(map.size(), 0u);
+  EXPECT_FALSE(map.contains(5));
+  EXPECT_EQ(map.memory_footprint(), reserved) << "clear() keeps storage";
+  for (std::uint64_t i = 0; i < 1000; ++i) map[i] = i + 1;
+  EXPECT_EQ(map.size(), 1000u);
+  EXPECT_EQ(map.find(999)->second, 1000u);
+}
+
+TEST(FlatMap, NonTrivialKeyAndValueTypes) {
+  // std::string keys (heap-owning, std::hash) and vector values that must
+  // survive slot-vector growth via move.
+  FlatMap<std::string, std::vector<int>> map;
+  for (int i = 0; i < 300; ++i) {
+    map["key-" + std::to_string(i)].push_back(i);
+    map["key-" + std::to_string(i / 2)].push_back(-i);
+  }
+  ASSERT_EQ(map.size(), 300u);
+  const auto it = map.find("key-10");
+  ASSERT_NE(it, map.end());
+  ASSERT_GE(it->second.size(), 1u);
+  EXPECT_EQ(it->second.front(), 10);
+  EXPECT_EQ(map.find("key-300"), map.end());
+}
+
+TEST(FlatSet, Ipv6AddressKeysWithCustomHash) {
+  FlatSet<net::Ipv6Address, net::Ipv6AddressHash> set;
+  std::unordered_set<net::Ipv6Address, net::Ipv6AddressHash> ref;
+  sim::Rng rng{0xAB};
+  for (int i = 0; i < 2000; ++i) {
+    const net::Ipv6Address a{rng.below(64) << 32, rng.below(256)};
+    ASSERT_EQ(set.insert(a).second, ref.insert(a).second);
+  }
+  ASSERT_EQ(set.size(), ref.size());
+  for (const auto& a : ref) ASSERT_TRUE(set.contains(a));
+}
+
+TEST(FlatMap, TryEmplaceConstructsOnlyOnInsertion) {
+  FlatMap<std::uint64_t, std::vector<int>> map;
+  const auto [first, inserted] = map.try_emplace(1, std::vector<int>{1, 2});
+  ASSERT_TRUE(inserted);
+  ASSERT_EQ(first->second.size(), 2u);
+  const auto [second, again] = map.try_emplace(1, std::vector<int>{9, 9, 9});
+  EXPECT_FALSE(again);
+  EXPECT_EQ(second->second.size(), 2u) << "existing value must be untouched";
+}
+
+TEST(DefaultHash, IntegralKeysAvalanche) {
+  // Sequential integers must not map to sequential hashes (identity
+  // hashing would cluster the probe table catastrophically).
+  DefaultHash<std::uint64_t> hash;
+  std::unordered_set<std::size_t> low_bits;
+  for (std::uint64_t i = 0; i < 1024; ++i) {
+    low_bits.insert(hash(i) & 0x3ff);
+  }
+  // With good mixing, 1024 keys into 1024 low-bit buckets land on well
+  // over half the distinct values (identity would give exactly 1024 but
+  // f(i)=c would give 1; sequential-with-stride pathologies give few).
+  EXPECT_GT(low_bits.size(), 500u);
+  EXPECT_NE(hash(1), 1u);
+  EXPECT_NE(hash(2), hash(1) + 1);
+}
+
+}  // namespace
+}  // namespace scent::container

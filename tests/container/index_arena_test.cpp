@@ -1,0 +1,79 @@
+// IndexArena: many interleaved lists in one chunk pool must replay each
+// list's push order exactly, like the per-vector reference.
+#include "container/arena.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/rng.h"
+
+namespace scent::container {
+namespace {
+
+TEST(IndexArena, SingleListPushAndIterate) {
+  IndexArena arena;
+  IndexArena::List list;
+  EXPECT_TRUE(arena.range(list).empty());
+
+  // Cross several chunk boundaries (6 items per chunk).
+  for (std::uint32_t i = 0; i < 100; ++i) arena.push_back(list, i * 11);
+  EXPECT_EQ(arena.range(list).size(), 100u);
+
+  std::uint32_t want = 0;
+  for (const std::uint32_t v : arena.range(list)) {
+    EXPECT_EQ(v, want * 11);
+    ++want;
+  }
+  EXPECT_EQ(want, 100u);
+}
+
+TEST(IndexArena, InterleavedListsStayIndependent) {
+  IndexArena arena;
+  constexpr std::size_t kLists = 37;
+  std::vector<IndexArena::List> lists(kLists);
+  std::vector<std::vector<std::uint32_t>> ref(kLists);
+
+  sim::Rng rng{0x42};
+  for (std::uint32_t step = 0; step < 5000; ++step) {
+    const auto which = static_cast<std::size_t>(rng.below(kLists));
+    arena.push_back(lists[which], step);
+    ref[which].push_back(step);
+  }
+
+  for (std::size_t i = 0; i < kLists; ++i) {
+    ASSERT_EQ(arena.range(lists[i]).size(), ref[i].size());
+    std::size_t at = 0;
+    for (const std::uint32_t v : arena.range(lists[i])) {
+      ASSERT_EQ(v, ref[i][at]) << "list " << i << " position " << at;
+      ++at;
+    }
+    ASSERT_EQ(at, ref[i].size());
+  }
+
+  // Chunks are 32B; the pool must be within one chunk per list of optimal.
+  const std::size_t optimal_chunks = (5000 + 5) / 6;
+  EXPECT_LE(arena.chunk_count(), optimal_chunks + kLists);
+  EXPECT_EQ(arena.memory_footprint() % 32, 0u);
+}
+
+TEST(IndexArena, ExactChunkBoundarySizes) {
+  // Lists of size 5, 6, 7, 12, 13: the off-by-one cases around the 6-item
+  // chunk capacity.
+  IndexArena arena;
+  for (const std::uint32_t n : {5u, 6u, 7u, 12u, 13u}) {
+    IndexArena::List list;
+    for (std::uint32_t i = 0; i < n; ++i) arena.push_back(list, 1000 + i);
+    EXPECT_EQ(arena.range(list).size(), n);
+    std::uint32_t count = 0;
+    for (const std::uint32_t v : arena.range(list)) {
+      EXPECT_EQ(v, 1000 + count);
+      ++count;
+    }
+    EXPECT_EQ(count, n);
+  }
+}
+
+}  // namespace
+}  // namespace scent::container

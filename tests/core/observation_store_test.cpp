@@ -84,7 +84,7 @@ TEST(ObservationStore, InterleavedAddAndQueryMatchesFromScratchRebuild) {
       for (const auto& [mac, indices] : e.by_mac) {
         const auto it = store.by_mac().find(mac);
         ASSERT_NE(it, store.by_mac().end());
-        ASSERT_EQ(it->second, indices) << "at " << i;
+        ASSERT_EQ(store.indices_of(mac), indices) << "at " << i;
       }
     }
   }
@@ -123,14 +123,78 @@ TEST(ObservationStore, AppendEqualsSeriallyConcatenatedAdds) {
   // by_mac indices must point into the *merged* store, in insertion order.
   ASSERT_EQ(merged.by_mac().size(), serial.by_mac().size());
   for (const auto& [mac, indices] : serial.by_mac()) {
-    const auto it = merged.by_mac().find(mac);
-    ASSERT_NE(it, merged.by_mac().end());
-    EXPECT_EQ(it->second, indices);
+    EXPECT_EQ(merged.indices_of(mac), serial.indices_of(mac));
   }
 
   // networks_of agrees too (first-seen order of distinct /64s).
   for (const auto& [mac, indices] : serial.by_mac()) {
     EXPECT_EQ(merged.networks_of(mac), serial.networks_of(mac));
+  }
+}
+
+TEST(ObservationStore, ColumnsViewAndRowsAgree) {
+  const auto stream = make_stream(0x1D, 200);
+  ObservationStore store;
+  for (const auto& obs : stream) store.add(obs);
+
+  ASSERT_EQ(store.size(), stream.size());
+  const auto view = store.all();
+  ASSERT_EQ(view.size(), stream.size());
+  std::size_t seen = 0;
+  for (const auto& obs : view) {
+    EXPECT_EQ(obs.target, stream[seen].target);
+    ++seen;
+  }
+  EXPECT_EQ(seen, stream.size());
+  for (std::size_t i = 0; i < stream.size(); ++i) {
+    // Column accessors, row reassembly, and view indexing all agree.
+    EXPECT_EQ(store.target(i), stream[i].target);
+    EXPECT_EQ(store.response(i), stream[i].response);
+    EXPECT_EQ(store.type(i), stream[i].type);
+    EXPECT_EQ(store.code(i), stream[i].code);
+    EXPECT_EQ(store.time(i), stream[i].time);
+    EXPECT_EQ(view[i].response, stream[i].response);
+    EXPECT_EQ(store.at(i).time, stream[i].time);
+  }
+
+  // A sub-view addresses absolute rows [first, last).
+  const auto slice = store.view(50, 120);
+  ASSERT_EQ(slice.size(), 70u);
+  for (std::size_t i = 0; i < slice.size(); ++i) {
+    EXPECT_EQ(slice.response(i), stream[50 + i].response);
+    EXPECT_EQ(slice[i].target, stream[50 + i].target);
+  }
+
+  // The corpus accounts for its heap: at minimum the four columns.
+  EXPECT_GE(store.memory_footprint(),
+            store.size() * (2 * sizeof(net::Ipv6Address) +
+                            sizeof(std::uint16_t) + sizeof(sim::TimePoint)));
+}
+
+TEST(ObservationStore, RepeatedResponsesClassifiedOncePerAddress) {
+  // The same EUI-64 response observed many times: by-MAC indices keep one
+  // entry per observation while the uniqueness counters stay at one.
+  const net::MacAddress mac{0x3810d5000042ULL};
+  const net::Ipv6Address eui_response{0x20010db800000000ULL,
+                                      net::mac_to_eui64(mac)};
+  const net::Ipv6Address privacy_response{0x20010db800000000ULL,
+                                          0x0400cafe12345678ULL};
+  ObservationStore store;
+  for (std::size_t i = 0; i < 10; ++i) {
+    store.add(Observation{net::Ipv6Address{0x20010db8ULL, i}, eui_response,
+                          wire::Icmpv6Type::kEchoReply, 0,
+                          static_cast<sim::TimePoint>(i)});
+    store.add(Observation{net::Ipv6Address{0x20010db8ULL, 100 + i},
+                          privacy_response, wire::Icmpv6Type::kEchoReply, 0,
+                          static_cast<sim::TimePoint>(i)});
+  }
+  EXPECT_EQ(store.unique_responses(), 2u);
+  EXPECT_EQ(store.unique_eui64_responses(), 1u);
+  EXPECT_EQ(store.unique_eui64_iids(), 1u);
+  const auto indices = store.indices_of(mac);
+  ASSERT_EQ(indices.size(), 10u);
+  for (std::size_t i = 0; i < indices.size(); ++i) {
+    EXPECT_EQ(indices[i], 2 * i);  // every even row is the EUI response
   }
 }
 
