@@ -13,7 +13,10 @@
 //   * sweep scaling: 8 shards beat serial by >= 3x (on >= 8-core hosts);
 //   * ingest: the columnar ObservationStore ingests >= 2x faster and holds
 //     >= 30% fewer live heap bytes per observation than the node-based
-//     layout it replaced (replicated here as the measured baseline).
+//     layout it replaced (replicated here as the measured baseline);
+//   * corpus: binary snapshot save and load sustain >= 1M rows/s, and
+//     incremental rotation differencing beats the full-column path >= 1.2x
+//     over a 20-day snapshot chain with identical verdicts.
 // All guard numbers are written to $SCENT_BENCH_JSON (default
 // BENCH_micro.json) so the perf trajectory is tracked across PRs.
 //
@@ -38,7 +41,9 @@
 
 #include "container/flat_hash.h"
 #include "core/observation.h"
+#include "core/rotation_detector.h"
 #include "core/sweep_ingest.h"
+#include "corpus/snapshot.h"
 #include "engine/sweep.h"
 #include "netbase/eui64.h"
 #include "netbase/ipv6_address.h"
@@ -161,6 +166,16 @@ struct BenchReport {
   double flat_insert_mops = 0, std_insert_mops = 0;
   double flat_find_mops = 0, std_find_mops = 0;
   double flat_iterate_mops = 0, std_iterate_mops = 0;
+
+  std::size_t snapshot_rows = 0;
+  std::size_t snapshot_file_bytes = 0;
+  double snapshot_save_mrps = 0;  // million rows/sec, append+write
+  double snapshot_load_mrps = 0;  // million rows/sec, open+read_store
+  unsigned diff_days = 0;
+  double diff_full_ms = 0;
+  double diff_incremental_ms = 0;
+  double diff_speedup = 0;
+  bool corpus_ok = false;
 };
 
 // ---------------------------------------------------------------------------
@@ -618,6 +633,186 @@ bool check_ingest_guard(BenchReport& report) {
 }
 
 // ---------------------------------------------------------------------------
+// Corpus guards: binary snapshot save/load throughput, and incremental
+// rotation differencing vs. the full-column path over a multi-day on-disk
+// corpus (the §5f checkpoint chain shape).
+
+std::string bench_tmp_path(const std::string& name) {
+  const char* dir = std::getenv("TMPDIR");
+  return std::string{dir != nullptr && *dir != '\0' ? dir : "/tmp"} + "/" +
+         name;
+}
+
+/// One campaign day: `targets` distinct targets probed `repeat` times each,
+/// all EUI-64 responsive, with the fleet's /64s shifted per day (prefix
+/// rotation). Repeats make the deduplicated EUI-pair section much smaller
+/// than the row columns — the asymmetry incremental differencing exploits.
+core::ObservationStore make_day_store(std::uint64_t day, std::size_t targets,
+                                      std::size_t repeat) {
+  core::ObservationStore store;
+  for (std::size_t r = 0; r < repeat; ++r) {
+    for (std::size_t i = 0; i < targets; ++i) {
+      core::Observation obs;
+      obs.target = net::Ipv6Address{0x20010db800000000ULL | (i << 16), 1};
+      const std::uint64_t slot = (i * 131 + day * 977) & 0x3fff;
+      obs.response =
+          net::Ipv6Address{0x200116b800000000ULL | (slot << 8),
+                           net::mac_to_eui64(net::MacAddress{
+                               0x3810d5000000ULL + i})};
+      obs.type = wire::Icmpv6Type::kEchoReply;
+      obs.code = 0;
+      obs.time = static_cast<sim::TimePoint>(day * 86400000000ULL +
+                                             r * targets + i);
+      store.add(obs);
+    }
+  }
+  return store;
+}
+
+/// The pre-corpus way to diff yesterday against today: read the full row
+/// columns back, rebuild the in-memory Snapshot, then detect_rotation.
+std::vector<core::RotationVerdict> full_diff_from_disk(
+    const std::string& path, const core::Snapshot& second, bool& ok) {
+  corpus::SnapshotReader reader;
+  std::vector<net::Ipv6Address> targets;
+  std::vector<net::Ipv6Address> responses;
+  ok = reader.open(path) && reader.read_targets(targets) &&
+       reader.read_responses(responses) && ok;
+  core::Snapshot prior;
+  for (std::size_t i = 0; i < targets.size(); ++i) {
+    prior.record(targets[i], responses[i]);
+  }
+  return core::detect_rotation(prior, second);
+}
+
+/// Enforces this PR's corpus floors: snapshot save and load both sustain
+/// >= 1M rows/s on a 1M-row day, and incremental differencing beats the
+/// full-column path by >= 1.2x across a 20-day chain while producing
+/// identical verdicts.
+bool check_corpus_guards(BenchReport& report) {
+  bool io_ok = true;
+
+  // --- save/load throughput, 1M-row day ---
+  constexpr std::size_t kRows = 1 << 20;
+  const auto stream = make_ingest_stream(0xC0, kRows);
+  core::ObservationStore store;
+  for (const auto& obs : stream) store.add(obs);
+  const std::string snap_path = bench_tmp_path("scent_bench_snapshot.snap");
+
+  double save_rate = 0;
+  double load_rate = 0;
+  std::size_t file_bytes = 0;
+  for (int trial = 0; trial < 3; ++trial) {  // interleaved best-of-3
+    auto start = std::chrono::steady_clock::now();
+    corpus::SnapshotWriter writer;
+    writer.append(store);
+    io_ok = writer.write(snap_path) && io_ok;
+    save_rate = std::max(save_rate, kRows / seconds_since(start));
+    file_bytes = writer.encoded_size();
+
+    start = std::chrono::steady_clock::now();
+    corpus::SnapshotReader reader;
+    io_ok = reader.open(snap_path) && io_ok;
+    auto loaded = reader.read_store();
+    io_ok = loaded.has_value() && loaded->size() == kRows && io_ok;
+    benchmark::DoNotOptimize(loaded);
+    load_rate = std::max(load_rate, kRows / seconds_since(start));
+  }
+  std::remove(snap_path.c_str());
+  report.snapshot_rows = kRows;
+  report.snapshot_file_bytes = file_bytes;
+  report.snapshot_save_mrps = save_rate / 1e6;
+  report.snapshot_load_mrps = load_rate / 1e6;
+
+  // --- incremental vs full differencing over a 20-day chain ---
+  constexpr unsigned kPriorDays = 20;
+  constexpr std::size_t kTargets = 1 << 14;
+  constexpr std::size_t kRepeat = 4;
+  std::vector<std::string> day_paths;
+  for (unsigned day = 0; day < kPriorDays; ++day) {
+    const auto day_store = make_day_store(day, kTargets, kRepeat);
+    corpus::SnapshotWriter writer;
+    writer.append(day_store);
+    day_paths.push_back(
+        bench_tmp_path("scent_bench_day_" + std::to_string(day) + ".snap"));
+    io_ok = writer.write(day_paths.back()) && io_ok;
+  }
+  const auto today = make_day_store(kPriorDays, kTargets, kRepeat);
+  core::Snapshot second;
+  for (std::size_t i = 0; i < today.size(); ++i) {
+    second.record(today.target(i), today.response(i));
+  }
+
+  bool verdicts_match = true;
+  double full_s = 1e30;
+  double incremental_s = 1e30;
+  for (int trial = 0; trial < 3; ++trial) {  // interleaved best-of-3 sums
+    auto start = std::chrono::steady_clock::now();
+    std::size_t full_verdicts = 0;
+    for (const auto& path : day_paths) {
+      const auto verdicts = full_diff_from_disk(path, second, io_ok);
+      full_verdicts += verdicts.size();
+      benchmark::DoNotOptimize(verdicts);
+    }
+    full_s = std::min(full_s, seconds_since(start));
+
+    start = std::chrono::steady_clock::now();
+    std::size_t incremental_verdicts = 0;
+    for (const auto& path : day_paths) {
+      corpus::SnapshotReader reader;
+      io_ok = reader.open(path) && io_ok;
+      const auto verdicts = core::detect_rotation_incremental(reader, second);
+      io_ok = verdicts.has_value() && io_ok;
+      if (verdicts) incremental_verdicts += verdicts->size();
+      benchmark::DoNotOptimize(verdicts);
+    }
+    incremental_s = std::min(incremental_s, seconds_since(start));
+    verdicts_match = verdicts_match && full_verdicts == incremental_verdicts;
+  }
+  // Field-by-field equality spot check on one day (counts checked above).
+  {
+    bool ok = true;
+    const auto full = full_diff_from_disk(day_paths[0], second, ok);
+    corpus::SnapshotReader reader;
+    ok = reader.open(day_paths[0]) && ok;
+    const auto incremental =
+        core::detect_rotation_incremental(reader, second);
+    verdicts_match = verdicts_match && ok && incremental.has_value() &&
+                     incremental->size() == full.size();
+    for (std::size_t i = 0; verdicts_match && i < full.size(); ++i) {
+      verdicts_match = (*incremental)[i].prefix == full[i].prefix &&
+                       (*incremental)[i].changed == full[i].changed &&
+                       (*incremental)[i].rotating == full[i].rotating;
+    }
+  }
+  for (const auto& path : day_paths) std::remove(path.c_str());
+
+  const double speedup = full_s / incremental_s;
+  report.diff_days = kPriorDays;
+  report.diff_full_ms = full_s * 1e3;
+  report.diff_incremental_ms = incremental_s * 1e3;
+  report.diff_speedup = speedup;
+
+  const bool save_ok = save_rate >= 1e6;
+  const bool load_ok = load_rate >= 1e6;
+  const bool diff_ok = speedup >= 1.2 && verdicts_match;
+  std::printf(
+      "corpus guard (%zu rows, %zu-byte file): save %.1fM rows/s, load "
+      "%.1fM rows/s (floors 1M) %s\n",
+      kRows, file_bytes, save_rate / 1e6, load_rate / 1e6,
+      save_ok && load_ok ? "OK" : "FAILED");
+  std::printf(
+      "incremental diff guard (%u days x %zu rows): full %.1fms vs "
+      "incremental %.1fms = %.2fx (floor 1.2x, verdicts %s) %s\n",
+      kPriorDays, kTargets * kRepeat, full_s * 1e3, incremental_s * 1e3,
+      speedup, verdicts_match ? "equal" : "DIVERGED",
+      diff_ok ? "OK" : "FAILED");
+  if (!io_ok) std::printf("corpus guard: snapshot I/O FAILED\n");
+  report.corpus_ok = io_ok && save_ok && load_ok && diff_ok;
+  return report.corpus_ok;
+}
+
+// ---------------------------------------------------------------------------
 // Telemetry and sweep-scaling guards (pre-existing budgets).
 
 /// Measures fast-path probe throughput (probes/sec) over a fixed batch,
@@ -783,6 +978,20 @@ void write_report_json(const BenchReport& r, bool guards_ok) {
                r.columnar_bytes_per_obs, r.legacy_bytes_per_obs,
                r.bytes_reduction_pct);
   std::fprintf(f,
+               "  \"corpus\": {\n"
+               "    \"snapshot_rows\": %zu,\n"
+               "    \"snapshot_file_bytes\": %zu,\n"
+               "    \"save_mrows_per_s\": %.2f,\n"
+               "    \"load_mrows_per_s\": %.2f,\n"
+               "    \"diff_days\": %u,\n"
+               "    \"diff_full_ms\": %.2f,\n"
+               "    \"diff_incremental_ms\": %.2f,\n"
+               "    \"diff_speedup\": %.2f\n"
+               "  },\n",
+               r.snapshot_rows, r.snapshot_file_bytes, r.snapshot_save_mrps,
+               r.snapshot_load_mrps, r.diff_days, r.diff_full_ms,
+               r.diff_incremental_ms, r.diff_speedup);
+  std::fprintf(f,
                "  \"sweep_scaling\": {\n"
                "    \"probes\": %zu,\n"
                "    \"serial_mops\": %.3f,\n"
@@ -811,11 +1020,14 @@ void write_report_json(const BenchReport& r, bool guards_ok) {
                "    \"telemetry_ok\": %s,\n"
                "    \"sweep_scaling_ok\": %s,\n"
                "    \"ingest_ok\": %s,\n"
+               "    \"corpus_ok\": %s,\n"
                "    \"all_ok\": %s\n"
                "  }\n}\n",
                r.telemetry_ok ? "true" : "false",
                r.sweep_ok ? "true" : "false",
-               r.ingest_ok ? "true" : "false", guards_ok ? "true" : "false");
+               r.ingest_ok ? "true" : "false",
+               r.corpus_ok ? "true" : "false",
+               guards_ok ? "true" : "false");
   std::fclose(f);
   std::printf("bench report written to %s\n", path);
 }
@@ -828,8 +1040,9 @@ int main(int argc, char** argv) {
   const bool telemetry_ok = check_telemetry_overhead(report);
   const bool scaling_ok = check_sweep_scaling(report);
   const bool ingest_ok = check_ingest_guard(report);
+  const bool corpus_ok = check_corpus_guards(report);
   measure_container_stats(report);
-  const bool guards_ok = telemetry_ok && scaling_ok && ingest_ok;
+  const bool guards_ok = telemetry_ok && scaling_ok && ingest_ok && corpus_ok;
   write_report_json(report, guards_ok);
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;

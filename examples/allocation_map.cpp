@@ -13,6 +13,8 @@
 #include "probe/prober.h"
 #include "sim/scenario.h"
 
+#include "example_util.h"
+
 namespace {
 
 using namespace scent;
@@ -47,8 +49,10 @@ void map_one(probe::Prober& prober, const sim::Internet& internet,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace scent;
+  // Shared flags accepted for CLI uniformity; the map renders to stdout.
+  (void)examples::Cli::parse(argc, argv);
   sim::PaperWorldOptions options;
   options.tail_as_count = 0;
   options.inject_pathologies = false;

@@ -6,12 +6,12 @@
 // table an attacker would use to pick targets.
 
 #include <cstdio>
-#include <cstdlib>
-#include <cstring>
 #include <iostream>
 
 #include "core/bootstrap.h"
+#include "core/io.h"
 #include "core/report.h"
+#include "corpus/snapshot.h"
 #include "probe/prober.h"
 #include "probe/traceroute.h"
 #include "probe/target_generator.h"
@@ -20,18 +20,15 @@
 #include "telemetry/journal.h"
 #include "telemetry/metrics.h"
 
+#include "example_util.h"
+
 int main(int argc, char** argv) {
   using namespace scent;
 
-  // --threads=N shards every funnel sweep across N workers (0 = hardware
-  // concurrency). The result is bit-identical at any value — the engine's
-  // determinism contract — so this only changes wall-clock time.
-  unsigned threads = 1;
-  for (int i = 1; i < argc; ++i) {
-    if (std::strncmp(argv[i], "--threads=", 10) == 0) {
-      threads = static_cast<unsigned>(std::strtoul(argv[i] + 10, nullptr, 10));
-    }
-  }
+  // --threads=N shards every funnel sweep (bit-identical at any value);
+  // --out-dir=DIR is where the journal and corpus artifacts land.
+  const examples::Cli cli = examples::Cli::parse(argc, argv);
+  const unsigned threads = cli.threads;
 
   // A small world: one rotating and one static provider (plus everything
   // the paper's pipeline needs: BGP view, ICMPv6 semantics, EUI-64 CPE).
@@ -51,7 +48,7 @@ int main(int argc, char** argv) {
   registry.set_clock(&clock);
   prober.attach_telemetry(registry);
   telemetry::Journal journal;
-  journal.open("discover_rotation_journal.jsonl");
+  journal.open(cli.path("discover_rotation_journal.jsonl"));
   journal.set_clock(&clock);
 
   // --- Step 0 (flavor): a single yarrp-style traceroute shows why the CPE
@@ -106,10 +103,27 @@ int main(int argc, char** argv) {
   }
   table.print(std::cout);
 
+  // Persist the funnel's outputs: the rotating /48 target list as text
+  // (greppable) and the bootstrap corpus as a binary snapshot (the default
+  // persistence format — checksummed, 42 B/row).
+  const std::string prefixes_path = cli.path("rotating_48s.txt");
+  if (core::save_prefixes(prefixes_path, funnel.rotating_48s,
+                          "rotating /48s discovered by the funnel")) {
+    std::printf("\n  rotating /48s: %s\n", prefixes_path.c_str());
+  }
+  corpus::SnapshotWriter snapshot;
+  snapshot.append(funnel.observations);
+  const std::string snapshot_path = cli.path("bootstrap.snap");
+  if (snapshot.write(snapshot_path)) {
+    std::printf("  corpus snapshot: %s (%llu rows)\n", snapshot_path.c_str(),
+                static_cast<unsigned long long>(snapshot.rows()));
+  }
+
   std::printf("\n");
   telemetry::print_summary(stdout, registry);
   if (journal.close()) {
-    std::printf("  journal: discover_rotation_journal.jsonl (%zu events)\n",
+    std::printf("  journal: %s (%zu events)\n",
+                cli.path("discover_rotation_journal.jsonl").c_str(),
                 journal.events_written());
   }
 

@@ -1,0 +1,48 @@
+// example_util.h - CLI plumbing shared by every example.
+//
+// Two flags, parsed identically everywhere:
+//   --threads=N    worker shards for engine-backed sweeps (0 = hardware
+//                  concurrency); bit-identical results at any value.
+//   --out-dir=DIR  where journals, snapshots and other artifacts land
+//                  (created if needed; default "." — never a hardcoded
+//                  file name in the repo root).
+#pragma once
+
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <string>
+
+namespace scent::examples {
+
+struct Cli {
+  unsigned threads = 1;
+  std::string out_dir = ".";
+
+  /// Parses the shared flags; unrecognized arguments are left for the
+  /// example's own parsing.
+  static Cli parse(int argc, char** argv) {
+    Cli cli;
+    for (int i = 1; i < argc; ++i) {
+      if (std::strncmp(argv[i], "--threads=", 10) == 0) {
+        cli.threads =
+            static_cast<unsigned>(std::strtoul(argv[i] + 10, nullptr, 10));
+      } else if (std::strncmp(argv[i], "--out-dir=", 10) == 0) {
+        cli.out_dir = argv[i] + 10;
+      }
+    }
+    if (cli.out_dir.empty()) cli.out_dir = ".";
+    if (cli.out_dir != ".") {
+      std::error_code ec;
+      std::filesystem::create_directories(cli.out_dir, ec);
+    }
+    return cli;
+  }
+
+  /// Routes an artifact file name through the output directory.
+  [[nodiscard]] std::string path(const std::string& file) const {
+    return out_dir + "/" + file;
+  }
+};
+
+}  // namespace scent::examples

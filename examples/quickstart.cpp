@@ -15,8 +15,14 @@
 #include "probe/target_generator.h"
 #include "sim/scenario.h"
 
-int main() {
+#include "example_util.h"
+
+int main(int argc, char** argv) {
   using namespace scent;
+
+  // Accepts the shared --threads/--out-dir flags like every example; the
+  // quickstart itself is stdout-only, so neither changes what it prints.
+  (void)examples::Cli::parse(argc, argv);
 
   // --- 1. EUI-64 is reversible: address -> MAC -> manufacturer.
   const auto addr = *net::Ipv6Address::parse("2001:16b8:2:300:3a10:d5ff:feaa:bbcc");

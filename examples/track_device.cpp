@@ -14,10 +14,16 @@
 #include "probe/prober.h"
 #include "sim/scenario.h"
 #include "telemetry/export.h"
+#include "telemetry/journal.h"
 #include "telemetry/metrics.h"
 
-int main() {
+#include "example_util.h"
+
+int main(int argc, char** argv) {
   using namespace scent;
+
+  // --out-dir=DIR routes the per-attempt tracker journal.
+  const examples::Cli cli = examples::Cli::parse(argc, argv);
 
   sim::PaperWorld world = sim::make_tiny_world(0xCA5E, 64);
   sim::VirtualClock clock{sim::hours(12)};
@@ -29,6 +35,9 @@ int main() {
   telemetry::Registry registry;
   registry.set_clock(&clock);
   prober.attach_telemetry(registry);
+  telemetry::Journal journal;
+  journal.open(cli.path("track_device_journal.jsonl"));
+  journal.set_clock(&clock);
 
   const auto& provider = world.internet.provider(world.versatel);
   const auto& pool = provider.pools()[0];
@@ -79,6 +88,7 @@ int main() {
   config.allocation_length = alloc_len;
   config.seed = 0x7AC;
   config.registry = &registry;
+  config.journal = &journal;
   core::Tracker tracker{prober, config};
 
   std::printf("day  probes  method      victim address\n");
@@ -107,5 +117,10 @@ int main() {
 
   std::printf("\n");
   telemetry::print_summary(stdout, registry);
+  if (journal.close()) {
+    std::printf("  journal: %s (%zu events)\n",
+                cli.path("track_device_journal.jsonl").c_str(),
+                journal.events_written());
+  }
   return 0;
 }

@@ -9,13 +9,19 @@
 #include <iostream>
 
 #include "core/homogeneity.h"
+#include "core/io.h"
 #include "core/report.h"
 #include "oui/oui_registry.h"
 #include "probe/prober.h"
 #include "sim/scenario.h"
 
-int main() {
+#include "example_util.h"
+
+int main(int argc, char** argv) {
   using namespace scent;
+
+  // --out-dir=DIR routes the census corpus export.
+  const examples::Cli cli = examples::Cli::parse(argc, argv);
 
   sim::PaperWorldOptions options;
   options.tail_as_count = 6;
@@ -57,5 +63,13 @@ int main() {
               "firmware fleet-wide — a monoculture a vendor-specific exploit "
               "can sweep.\n",
               census.size());
+
+  // Export the census corpus as CSV — the text debug/export path (binary
+  // snapshots are the default persistence format; see corpus/snapshot.h).
+  const std::string csv_path = cli.path("vendor_census_observations.csv");
+  if (core::save_observations(csv_path, store)) {
+    std::printf("corpus export: %s (%zu observations)\n", csv_path.c_str(),
+                store.size());
+  }
   return census.empty() ? 1 : 0;
 }

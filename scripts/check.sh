@@ -6,8 +6,12 @@
 #
 # The plain pass is the repo's tier-1 gate (ROADMAP.md). The bench-guard leg
 # runs bench_micro's enforced perf floors (telemetry overhead, sweep scaling,
-# ingest throughput, bytes per observation) and refreshes the machine-readable
-# BENCH_micro.json snapshot. The ASan/UBSan pass rebuilds everything with
+# ingest throughput, bytes per observation, snapshot save/load, incremental
+# differencing) and refreshes the machine-readable BENCH_micro.json snapshot.
+# The checkpoint/resume leg kills a checkpointed campaign mid-flight and
+# asserts the resumed run's digest and on-disk snapshot chain are
+# byte-identical to an uninterrupted run, at 1 and 4 threads (§5f).
+# The ASan/UBSan pass rebuilds everything with
 # -fsanitize=address,undefined into build-sanitize/ and reruns the test suite
 # under it. The TSan pass rebuilds into build-tsan/ with -fsanitize=thread and
 # runs the engine's sharded-executor tests (the only multi-threaded code in
@@ -32,6 +36,40 @@ echo "== bench guards: perf floors + BENCH_micro.json (bench_micro) =="
 # registered microbenchmarks (the guards measure everything the JSON needs).
 SCENT_BENCH_JSON=BENCH_micro.json \
   ./build/bench/bench_micro --benchmark_filter='^$'
+
+echo "== checkpoint/resume: kill-and-resume byte-identical corpus =="
+resume_tmp=$(mktemp -d)
+trap 'rm -rf "$resume_tmp"' EXIT
+for t in 1 4; do
+  rm -rf "$resume_tmp/killed" "$resume_tmp/whole"
+  mkdir -p "$resume_tmp/killed" "$resume_tmp/whole"
+  # The killed run _Exit(42)s right after day 2's checkpoint is durable;
+  # anything else (including a clean exit) is a harness failure.
+  set +e
+  ./build/examples/checkpoint_campaign --days=6 --threads="$t" \
+    --kill-after-day=2 --out-dir="$resume_tmp/killed" >/dev/null
+  status=$?
+  set -e
+  if [[ "$status" -ne 42 ]]; then
+    echo "checkpoint_campaign: expected kill-hook exit 42, got $status" >&2
+    exit 1
+  fi
+  resumed=$(./build/examples/checkpoint_campaign --days=6 --threads="$t" \
+    --digest-only --out-dir="$resume_tmp/killed")
+  whole=$(./build/examples/checkpoint_campaign --days=6 --threads="$t" \
+    --digest-only --out-dir="$resume_tmp/whole")
+  if [[ "$resumed" != "$whole" ]]; then
+    echo "resume digest mismatch at $t threads: $resumed != $whole" >&2
+    exit 1
+  fi
+  for f in "$resume_tmp"/whole/day_*.snap "$resume_tmp/whole/manifest.txt"; do
+    if ! cmp -s "$f" "$resume_tmp/killed/$(basename "$f")"; then
+      echo "chain file differs at $t threads: $(basename "$f")" >&2
+      exit 1
+    fi
+  done
+  echo "  threads $t: digest $resumed, 6-day chain byte-identical OK"
+done
 
 echo "== sanitizer: ASan+UBSan build + ctest (build-sanitize/) =="
 cmake -B build-sanitize -S . -DSCENT_SANITIZE=address,undefined >/dev/null

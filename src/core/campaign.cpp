@@ -1,12 +1,91 @@
 #include "core/campaign.h"
 
+#include <algorithm>
+
 #include "container/flat_hash.h"
 #include "core/sweep_ingest.h"
+#include "corpus/checkpoint.h"
+#include "corpus/snapshot.h"
 #include "engine/sweep.h"
 #include "sim/rng.h"
 #include "telemetry/span.h"
 
 namespace scent::core {
+namespace {
+
+/// Order-sensitive digest of the target list. A checkpoint resumed against
+/// different targets (or the same targets in a different order) would not
+/// replay the same campaign, so the manifest pins this.
+std::uint64_t targets_digest(const std::vector<net::Prefix>& targets) {
+  std::uint64_t digest = 0x5C37D16E57ULL;
+  for (const auto& prefix : targets) {
+    digest = sim::mix64(digest, prefix.base().network(), prefix.base().iid());
+    digest = sim::mix64(digest, prefix.length());
+  }
+  return digest;
+}
+
+/// Result of replaying a persisted checkpoint chain into a fresh result.
+struct ResumeState {
+  unsigned completed_days = 0;     ///< Days restored (start the loop here).
+  std::int64_t first_day = 0;      ///< Absolute day index of campaign day 0.
+  sim::TimePoint clock_cursor = 0; ///< Clock after the last restored day.
+  std::uint64_t probes = 0;        ///< Restored probe/response totals —
+  std::uint64_t responses = 0;     ///< the prober's counters died with the
+                                   ///< interrupted process.
+};
+
+/// Replays a prior checkpoint into `result`. Returns nullopt — with
+/// `result` reset — if the manifest is incompatible with `options` or any
+/// snapshot in the chain fails to load; the caller then starts over.
+std::optional<ResumeState> replay_checkpoint(
+    const corpus::CampaignCheckpoint& prior, const CampaignOptions& options,
+    std::uint64_t digest, CampaignResult& result) {
+  const bool compatible =
+      prior.seed == options.seed &&
+      prior.scan_time_of_day == options.scan_time_of_day &&
+      prior.allocation_granularity_after_day0 ==
+          options.allocation_granularity_after_day0 &&
+      prior.targets_digest == digest;
+  if (!compatible) return std::nullopt;
+
+  // Replay at most options.days — resuming with a shorter horizon than the
+  // stored chain just truncates it; a longer one extends the campaign.
+  const auto replay = static_cast<unsigned>(
+      std::min<std::size_t>(prior.days.size(), options.days));
+
+  ResumeState state;
+  state.first_day = prior.first_day;
+  for (unsigned day = 0; day < replay; ++day) {
+    const corpus::CheckpointDay& record = prior.days[day];
+    corpus::SnapshotReader reader;
+    const std::size_t before = result.observations.size();
+    if (!reader.open(options.checkpoint_dir + "/" + record.snapshot_file) ||
+        reader.rows() != record.rows ||
+        !reader.read_into(result.observations)) {
+      result = CampaignResult{};
+      return std::nullopt;
+    }
+    if (result.observations.size() - before != record.rows) {
+      result = CampaignResult{};
+      return std::nullopt;
+    }
+    result.daily.push_back(DaySummary{record.day, record.probes,
+                                      record.responses,
+                                      record.unique_eui64_iids});
+    state.probes += record.probes;
+    state.responses += record.responses;
+    state.clock_cursor = record.clock_us;
+    ++state.completed_days;
+  }
+  if (state.completed_days > 0) {
+    result.allocation_length_by_as = prior.allocation_length_by_as;
+  }
+  result.resumed_days = state.completed_days;
+  return state;
+}
+
+}  // namespace
 
 CampaignResult run_campaign(sim::Internet& internet, sim::VirtualClock& clock,
                             probe::Prober& prober,
@@ -17,7 +96,52 @@ CampaignResult run_campaign(sim::Internet& internet, sim::VirtualClock& clock,
   const std::uint64_t base_received = prober.counters().received;
   telemetry::Span campaign_span{options.registry, "campaign"};
 
-  const std::int64_t first_day = sim::day_of(clock.now());
+  const bool checkpointing = !options.checkpoint_dir.empty();
+  const std::uint64_t digest = targets_digest(targets);
+
+  // Resume phase: replay any compatible checkpoint chain, then position
+  // the clock where the interrupted run left it so the remaining days see
+  // the exact virtual times an uninterrupted run would have.
+  std::int64_t first_day = sim::day_of(clock.now());
+  unsigned start_day = 0;
+  std::uint64_t restored_probes = 0;
+  std::uint64_t restored_responses = 0;
+  corpus::CampaignCheckpoint manifest;
+  if (checkpointing) {
+    if (const auto prior = corpus::load_checkpoint(options.checkpoint_dir)) {
+      if (const auto resumed =
+              replay_checkpoint(*prior, options, digest, result)) {
+        start_day = resumed->completed_days;
+        first_day = resumed->first_day;
+        restored_probes = resumed->probes;
+        restored_responses = resumed->responses;
+        if (start_day > 0) {
+          clock.advance_to(resumed->clock_cursor);
+          manifest.days.assign(prior->days.begin(),
+                               prior->days.begin() + start_day);
+          manifest.allocation_length_by_as = prior->allocation_length_by_as;
+        }
+        if (options.journal != nullptr && start_day > 0) {
+          options.journal->event(
+              "campaign_resumed",
+              {{"restored_days", std::uint64_t{start_day}},
+               {"rows", std::uint64_t{result.observations.size()}},
+               {"probes", restored_probes}});
+        }
+      } else if (options.journal != nullptr) {
+        // Incompatible parameters or a broken snapshot chain: not this
+        // campaign's checkpoint. Start over; day writes below replace it.
+        options.journal->event("checkpoint_discarded",
+                               {{"dir", options.checkpoint_dir}});
+      }
+    }
+    manifest.seed = options.seed;
+    manifest.first_day = first_day;
+    manifest.scan_time_of_day = options.scan_time_of_day;
+    manifest.allocation_granularity_after_day0 =
+        options.allocation_granularity_after_day0;
+    manifest.targets_digest = digest;
+  }
 
   // Day 0: full per-/64 sweep; feeds Algorithm 1 per AS.
   std::map<routing::Asn, AllocationSizeInference> per_as_alloc;
@@ -27,8 +151,9 @@ CampaignResult run_campaign(sim::Internet& internet, sim::VirtualClock& clock,
   sweep_options.seed = options.seed;
   sweep_options.merge_registry = prober.telemetry();
 
+  std::uint64_t snapshot_bytes = 0;
   std::vector<engine::SweepUnit> day_units;
-  for (unsigned day = 0; day < options.days; ++day) {
+  for (unsigned day = start_day; day < options.days; ++day) {
     const std::int64_t abs_day = first_day + day;
     clock.advance_to(abs_day * sim::kDay + options.scan_time_of_day);
     telemetry::Span day_span{options.registry, "day"};
@@ -63,12 +188,14 @@ CampaignResult run_campaign(sim::Internet& internet, sim::VirtualClock& clock,
            sim::mix64(options.seed, p48.base().network(), granularity)});
     }
 
+    corpus::SnapshotWriter day_snapshot;
     const std::size_t day_obs_begin = result.observations.size();
     {
       telemetry::Span sweep_span{options.registry, "sweep"};
-      const SweepIngest ingest =
-          sweep_into_store(internet, clock, day_units, prober.options(),
-                           sweep_options, result.observations);
+      const SweepIngest ingest = sweep_into_store(
+          internet, clock, day_units, prober.options(), sweep_options,
+          result.observations,
+          checkpointing && result.checkpoint_ok ? &day_snapshot : nullptr);
       prober.accumulate_counters(ingest.counters);
     }
 
@@ -114,10 +241,53 @@ CampaignResult run_campaign(sim::Internet& internet, sim::VirtualClock& clock,
                               {"responses", summary.responses},
                               {"unique_iids", summary.unique_eui64_iids}});
     }
+
+    // Commit phase: persist the day's snapshot, then the manifest that
+    // references it. Ordering matters — a crash between the two leaves a
+    // manifest that simply does not know about the newest snapshot yet.
+    if (checkpointing && result.checkpoint_ok) {
+      corpus::CheckpointDay record;
+      record.day = abs_day;
+      record.probes = summary.probes;
+      record.responses = summary.responses;
+      record.unique_eui64_iids = summary.unique_eui64_iids;
+      record.rows = day_snapshot.rows();
+      record.clock_us = clock.now();
+      record.snapshot_file = corpus::snapshot_file_name(day);
+      manifest.allocation_length_by_as = result.allocation_length_by_as;
+
+      const std::string snap_path =
+          options.checkpoint_dir + "/" + record.snapshot_file;
+      bool saved = day_snapshot.write(snap_path);
+      if (saved) {
+        snapshot_bytes += day_snapshot.encoded_size();
+        manifest.days.push_back(std::move(record));
+        saved = corpus::save_checkpoint(options.checkpoint_dir, manifest);
+      }
+      if (saved) {
+        if (options.journal != nullptr) {
+          options.journal->event("checkpoint_saved",
+                                 {{"day", summary.day},
+                                  {"file", manifest.days.back().snapshot_file},
+                                  {"rows", manifest.days.back().rows}});
+        }
+      } else {
+        // The campaign result in memory stays valid; the chain on disk is
+        // no longer extendable, so stop paying for snapshot writes.
+        result.checkpoint_ok = false;
+        if (options.journal != nullptr) {
+          options.journal->event("checkpoint_write_failed",
+                                 {{"day", summary.day}});
+        }
+      }
+    }
+
+    if (options.on_day_complete) options.on_day_complete(summary);
   }
 
-  result.probes_sent = prober.counters().sent - base_sent;
-  result.responses = prober.counters().received - base_received;
+  result.probes_sent = restored_probes + prober.counters().sent - base_sent;
+  result.responses =
+      restored_responses + prober.counters().received - base_received;
   campaign_span.stop();
 
   if (options.registry != nullptr) {
@@ -129,6 +299,13 @@ CampaignResult run_campaign(sim::Internet& internet, sim::VirtualClock& clock,
         .set_u64(result.observations.unique_eui64_responses());
     reg.gauge("campaign.unique_iids")
         .set_u64(result.observations.unique_eui64_iids());
+    if (checkpointing) {
+      reg.gauge("corpus.checkpoint_days").set_u64(manifest.days.size());
+      reg.gauge("corpus.restored_days").set_u64(start_day);
+      reg.gauge("corpus.snapshot_rows")
+          .set_u64(result.observations.size());
+      reg.gauge("corpus.snapshot_bytes").set_u64(snapshot_bytes);
+    }
   }
   return result;
 }

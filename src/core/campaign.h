@@ -11,7 +11,9 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <map>
+#include <string>
 #include <vector>
 
 #include "core/inference.h"
@@ -25,6 +27,8 @@
 #include "telemetry/metrics.h"
 
 namespace scent::core {
+
+struct DaySummary;
 
 struct CampaignOptions {
   unsigned days = 44;  ///< Paper: 44 days, late July - early September.
@@ -41,12 +45,29 @@ struct CampaignOptions {
   /// determinism contract — so this is purely a wall-clock knob.
   unsigned threads = 1;
 
+  /// When non-empty, the campaign checkpoints after every day: the day's
+  /// observations land in `<dir>/day_NNNN.snap` and a manifest records the
+  /// chain plus the clock cursor and frozen day-0 allocation inference. A
+  /// rerun pointed at the same directory (with the same seed, schedule and
+  /// targets — validated via the manifest) replays the completed days from
+  /// the snapshots and continues from day N, producing a corpus and result
+  /// bit-identical to an uninterrupted run at any thread count — the §5d
+  /// determinism contract extended across process boundaries (§5f). An
+  /// incompatible or corrupt checkpoint is discarded (journaled as such)
+  /// and the campaign starts over.
+  std::string checkpoint_dir;
+
   /// Optional telemetry sinks. With a registry, every day runs under
   /// nested spans ("campaign/day/sweep", ".../ingest", ".../alloc_infer")
   /// and campaign totals land in `campaign.*` gauges; with a journal, one
   /// "day_funnel" record is emitted per campaign day.
   telemetry::Registry* registry = nullptr;
   telemetry::Journal* journal = nullptr;
+
+  /// Invoked after each day is fully committed (summary recorded and, when
+  /// checkpointing, its snapshot + manifest durably written). Drives the
+  /// kill-and-resume harness; also usable for progress reporting.
+  std::function<void(const DaySummary&)> on_day_complete;
 };
 
 /// Per-day funnel record. Probe/response counts are read back from the
@@ -67,6 +88,12 @@ struct CampaignResult {
 
   /// Per-AS inferred allocation length from the day-0 full sweep.
   std::map<routing::Asn, unsigned> allocation_length_by_as;
+
+  /// Days replayed from a checkpoint instead of being swept live.
+  unsigned resumed_days = 0;
+  /// False if a checkpoint write failed mid-campaign (the in-memory result
+  /// is still valid; the on-disk chain is not resumable past that day).
+  bool checkpoint_ok = true;
 };
 
 /// Runs the campaign against `targets` (typically the bootstrap's rotating

@@ -1,11 +1,18 @@
-// io.h - persistence for measurement artifacts.
+// io.h - text persistence for measurement artifacts.
 //
 // Campaigns are expensive; their outputs are plain data. This module
-// serializes the two artifacts worth keeping — prefix target lists (e.g.
-// the funnel's rotating /48s) and observation corpora — as line-oriented
-// text that diffs, greps, and survives versioning. Parsers are tolerant:
-// blank lines and '#' comments are skipped, malformed lines are counted
-// and reported, never fatal (real measurement data is messy).
+// serializes prefix target lists (e.g. the funnel's rotating /48s) and
+// observation corpora as line-oriented text that diffs, greps, and
+// survives versioning. Parsers are tolerant: blank lines and '#' comments
+// are skipped, malformed lines are counted and reported, never fatal
+// (real measurement data is messy).
+//
+// The observation CSV is the *debug/export* path: the default persistence
+// format for corpora is the binary columnar snapshot in corpus/snapshot.h
+// (checksummed, 42 B/row, lazily readable per column), which campaigns
+// write automatically when checkpointing. The two are interchangeable —
+// a round-trip equivalence test keeps them from drifting — but the CSV
+// exists for eyeballs and external tools, not for the data plane.
 #pragma once
 
 #include <cstdint>

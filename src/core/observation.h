@@ -19,6 +19,7 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "container/arena.h"
@@ -73,6 +74,15 @@ class ObservationStore {
     for (const auto& r : results) add(r);
   }
 
+  /// Raw-row append for deserializers (corpus snapshots): same path as
+  /// add(), with type and code already packed into the stored 16-bit lane.
+  /// Replayed rows rebuild the indexes with the original insertion history,
+  /// so a loaded store is indistinguishable from the one that was saved.
+  void add_packed(net::Ipv6Address target, net::Ipv6Address response,
+                  std::uint16_t type_code, sim::TimePoint time) {
+    add_row(target, response, type_code, time);
+  }
+
   /// Appends another store's observations in their insertion order — the
   /// engine's shard-merge primitive. Replaying through add_row (rather than
   /// splicing the other store's indexes) keeps this store's index insertion
@@ -111,6 +121,29 @@ class ObservationStore {
   [[nodiscard]] sim::TimePoint time(std::size_t i) const noexcept {
     return times_[i];
   }
+  /// The stored (type << 8) | code lane, unsplit — serialization reads and
+  /// writes this directly instead of unpacking and repacking per row.
+  [[nodiscard]] std::uint16_t type_code(std::size_t i) const noexcept {
+    return type_code_[i];
+  }
+
+  // Whole columns as contiguous spans — the serialization hooks. A
+  // snapshot section is one of these, encoded verbatim.
+  [[nodiscard]] std::span<const net::Ipv6Address> target_column()
+      const noexcept {
+    return targets_;
+  }
+  [[nodiscard]] std::span<const net::Ipv6Address> response_column()
+      const noexcept {
+    return responses_;
+  }
+  [[nodiscard]] std::span<const std::uint16_t> type_code_column()
+      const noexcept {
+    return type_code_;
+  }
+  [[nodiscard]] std::span<const sim::TimePoint> time_column() const noexcept {
+    return times_;
+  }
 
   /// Row i reassembled as a value.
   [[nodiscard]] Observation at(std::size_t i) const noexcept {
@@ -141,6 +174,9 @@ class ObservationStore {
     }
     [[nodiscard]] sim::TimePoint time(std::size_t i) const noexcept {
       return store_->time(first_ + i);
+    }
+    [[nodiscard]] std::uint16_t type_code(std::size_t i) const noexcept {
+      return store_->type_code(first_ + i);
     }
 
     class iterator {

@@ -11,6 +11,7 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <vector>
 
 #include "container/flat_hash.h"
@@ -19,6 +20,10 @@
 #include "netbase/prefix.h"
 #include "probe/prober.h"
 #include "telemetry/metrics.h"
+
+namespace scent::corpus {
+class SnapshotReader;
+}  // namespace scent::corpus
 
 namespace scent::core {
 
@@ -62,5 +67,19 @@ struct RotationVerdict {
     const Snapshot& first, const Snapshot& second,
     std::uint64_t churn_threshold = 0,
     telemetry::Registry* registry = nullptr);
+
+/// Incremental variant for longitudinal campaigns: diffs today's snapshot
+/// against the *persisted* prior day, streaming the prior snapshot's
+/// deduplicated EUI-pair section (already in Snapshot-map form, recorded at
+/// write time) instead of holding two full stores in memory. Verdicts are
+/// identical to detect_rotation(prior-day Snapshot, second) — the on-disk
+/// pair section has exactly the in-memory Snapshot's semantics. Returns
+/// nullopt if the reader fails (unopened file or corrupt section); telemetry
+/// is untouched in that case.
+[[nodiscard]] std::optional<std::vector<RotationVerdict>>
+detect_rotation_incremental(corpus::SnapshotReader& prior,
+                            const Snapshot& second,
+                            std::uint64_t churn_threshold = 0,
+                            telemetry::Registry* registry = nullptr);
 
 }  // namespace scent::core

@@ -1,5 +1,7 @@
 #include "core/sweep_ingest.h"
 
+#include "corpus/snapshot.h"
+
 namespace scent::core {
 namespace {
 
@@ -46,7 +48,8 @@ SweepIngest sweep_into_store(sim::Internet& internet, sim::VirtualClock& clock,
                              std::span<const engine::SweepUnit> units,
                              const probe::ProberOptions& prober_options,
                              const engine::SweepOptions& options,
-                             ObservationStore& store) {
+                             ObservationStore& store,
+                             corpus::SnapshotWriter* snapshot) {
   std::vector<StoreShardSink> sinks(
       engine::resolve_threads(options.threads));
   const auto report = engine::run_sharded_sweep(
@@ -63,6 +66,7 @@ SweepIngest sweep_into_store(sim::Internet& internet, sim::VirtualClock& clock,
   for (const auto& sink : sinks) {
     const std::size_t base = store.size();
     store.append(sink.store());
+    if (snapshot != nullptr) snapshot->append(sink.store());
     for (const auto& range : sink.ranges()) {
       UnitIngest& unit = ingest.units[range.unit];
       unit.sent = report.units[range.unit].sent;

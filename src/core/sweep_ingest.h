@@ -21,6 +21,10 @@
 #include "sim/internet.h"
 #include "sim/sim_time.h"
 
+namespace scent::corpus {
+class SnapshotWriter;
+}  // namespace scent::corpus
+
 namespace scent::core {
 
 /// One sweep unit's ledger after ingest.
@@ -42,10 +46,15 @@ struct SweepIngest {
 /// Runs `units` through the sharded executor and appends every responsive
 /// result to `store` in serial order. The caller's clock ends at the
 /// schedule end; Internet stats absorb all shard traffic.
+///
+/// With a `snapshot` writer, each shard's slice is also streamed into the
+/// writer at merge time (shard order == serial order), so a checkpointing
+/// campaign persists the day without a second pass over the merged store.
 SweepIngest sweep_into_store(sim::Internet& internet, sim::VirtualClock& clock,
                              std::span<const engine::SweepUnit> units,
                              const probe::ProberOptions& prober_options,
                              const engine::SweepOptions& options,
-                             ObservationStore& store);
+                             ObservationStore& store,
+                             corpus::SnapshotWriter* snapshot = nullptr);
 
 }  // namespace scent::core

@@ -1,5 +1,6 @@
 #include "core/tracker.h"
 
+#include "corpus/snapshot.h"
 #include "netbase/eui64.h"
 #include "probe/target_generator.h"
 #include "sim/rng.h"
@@ -91,6 +92,36 @@ TrackAttempt Tracker::locate(std::int64_t day) {
     }
   }
   return finish(std::move(attempt));
+}
+
+std::vector<Sighting> sightings_from_snapshots(
+    const std::vector<std::string>& snapshot_paths, net::MacAddress mac,
+    std::size_t* failed_files) {
+  std::vector<Sighting> sightings;
+  std::size_t failed = 0;
+  std::vector<net::Ipv6Address> responses;
+  std::vector<sim::TimePoint> times;
+  for (const std::string& path : snapshot_paths) {
+    corpus::SnapshotReader reader;
+    if (!reader.open(path) || !reader.read_responses(responses) ||
+        !reader.read_times(times)) {
+      ++failed;
+      continue;
+    }
+    for (std::size_t i = 0; i < responses.size(); ++i) {
+      const auto embedded = net::embedded_mac(responses[i]);
+      if (!embedded || *embedded != mac) continue;
+      const Sighting sighting{sim::day_of(times[i]), responses[i].network()};
+      if (!sightings.empty() &&
+          sightings.back().day == sighting.day &&
+          sightings.back().network == sighting.network) {
+        continue;
+      }
+      sightings.push_back(sighting);
+    }
+  }
+  if (failed_files != nullptr) *failed_files = failed;
+  return sightings;
 }
 
 bool Tracker::update_prediction(double min_support) {

@@ -1,0 +1,74 @@
+// checkpoint.h - the campaign checkpoint manifest.
+//
+// A checkpointed campaign persists one snapshot file per completed day plus
+// this manifest, which carries everything run_campaign needs to continue
+// from day N bit-identically to an uninterrupted run (DESIGN.md §5f): the
+// seed and schedule parameters (validated on resume — a mismatched resume
+// is a different campaign, not a continuation), the virtual-clock cursor
+// after each day, the per-day funnel counters, the frozen per-AS allocation
+// inference from day 0, and the snapshot chain itself.
+//
+// The manifest is line-oriented text in the io.cpp idiom: '#' comments and
+// blank lines are skipped, unknown keys are ignored (forward compat), and a
+// trailing "end <day-count>" marker makes truncation detectable. Writes go
+// through a temp file + rename so a crash mid-save never clobbers the last
+// good manifest.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "routing/bgp_table.h"
+#include "sim/sim_time.h"
+
+namespace scent::corpus {
+
+inline constexpr std::uint32_t kCheckpointFormatVersion = 1;
+
+/// One completed campaign day: its funnel counters, the clock position
+/// after its sweep, and the snapshot file holding its observations.
+struct CheckpointDay {
+  std::int64_t day = 0;  ///< Absolute day index (sim::day_of).
+  std::uint64_t probes = 0;
+  std::uint64_t responses = 0;
+  std::uint64_t unique_eui64_iids = 0;
+  std::uint64_t rows = 0;       ///< Snapshot row count (chain validation).
+  sim::TimePoint clock_us = 0;  ///< Virtual clock after the day's sweep.
+  std::string snapshot_file;    ///< File name, relative to the checkpoint dir.
+};
+
+struct CampaignCheckpoint {
+  std::uint32_t version = kCheckpointFormatVersion;
+  std::uint64_t seed = 0;
+  std::int64_t first_day = 0;  ///< Absolute day index of campaign day 0.
+  sim::Duration scan_time_of_day = 0;
+  bool allocation_granularity_after_day0 = true;
+  /// Digest of the target prefix list; a resume against different targets
+  /// is rejected (it would not be the same campaign).
+  std::uint64_t targets_digest = 0;
+  /// Frozen day-0 Algorithm 1 result, so resumed days > 0 probe at the
+  /// same granularity without re-running the inference.
+  std::map<routing::Asn, unsigned> allocation_length_by_as;
+  std::vector<CheckpointDay> days;
+};
+
+/// "day_0007.snap" — the chain's snapshot naming scheme.
+[[nodiscard]] std::string snapshot_file_name(std::size_t day_ordinal);
+
+/// The manifest's path inside a checkpoint directory.
+[[nodiscard]] std::string manifest_path(const std::string& dir);
+
+/// Atomically replaces the manifest in `dir` (temp file + rename). False
+/// on any I/O failure, including failures surfacing at close.
+[[nodiscard]] bool save_checkpoint(const std::string& dir,
+                                   const CampaignCheckpoint& checkpoint);
+
+/// Loads and validates the manifest; nullopt if missing, unparseable,
+/// version-mismatched, or truncated (no "end" marker / count mismatch).
+[[nodiscard]] std::optional<CampaignCheckpoint> load_checkpoint(
+    const std::string& dir);
+
+}  // namespace scent::corpus

@@ -1,0 +1,486 @@
+#include "corpus/snapshot.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "corpus/crc32c.h"
+#include "netbase/eui64.h"
+
+namespace scent::corpus {
+namespace {
+
+constexpr char kMagic[8] = {'S', 'C', 'N', 'T', 'S', 'N', 'A', 'P'};
+constexpr std::uint32_t kSectionCount = 5;
+/// Fixed header (24) + section table (24 per section) + header CRC (4).
+constexpr std::uint64_t kHeaderSize = 24 + kSectionCount * 24 + 4;
+/// Chunk size for streamed encode/decode. A multiple of every element
+/// width (16, 2, 8, 32), so elements never straddle chunk boundaries.
+constexpr std::size_t kChunkBytes = std::size_t{1} << 18;
+
+/// RAII stdio handle (same discipline as core/io.cpp: no iostreams on data
+/// paths, close() reports buffered-write failures).
+struct File {
+  std::FILE* handle = nullptr;
+  explicit File(const std::string& path, const char* mode)
+      : handle(std::fopen(path.c_str(), mode)) {}
+  ~File() {
+    if (handle != nullptr) std::fclose(handle);
+  }
+  File(const File&) = delete;
+  File& operator=(const File&) = delete;
+  explicit operator bool() const noexcept { return handle != nullptr; }
+
+  bool close() {
+    if (handle == nullptr) return false;
+    const bool stream_clean = std::ferror(handle) == 0;
+    const bool close_clean = std::fclose(handle) == 0;
+    handle = nullptr;
+    return stream_clean && close_clean;
+  }
+};
+
+void store_u16(unsigned char* p, std::uint16_t v) noexcept {
+  p[0] = static_cast<unsigned char>(v & 0xff);
+  p[1] = static_cast<unsigned char>(v >> 8);
+}
+
+void store_u32(unsigned char* p, std::uint32_t v) noexcept {
+  for (int i = 0; i < 4; ++i) {
+    p[i] = static_cast<unsigned char>((v >> (8 * i)) & 0xff);
+  }
+}
+
+void store_u64(unsigned char* p, std::uint64_t v) noexcept {
+  for (int i = 0; i < 8; ++i) {
+    p[i] = static_cast<unsigned char>((v >> (8 * i)) & 0xff);
+  }
+}
+
+[[nodiscard]] std::uint16_t load_u16(const unsigned char* p) noexcept {
+  return static_cast<std::uint16_t>(p[0] |
+                                    (static_cast<std::uint16_t>(p[1]) << 8));
+}
+
+[[nodiscard]] std::uint32_t load_u32(const unsigned char* p) noexcept {
+  std::uint32_t v = 0;
+  for (int i = 3; i >= 0; --i) v = (v << 8) | p[i];
+  return v;
+}
+
+[[nodiscard]] std::uint64_t load_u64(const unsigned char* p) noexcept {
+  std::uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) v = (v << 8) | p[i];
+  return v;
+}
+
+void store_address(unsigned char* p, net::Ipv6Address a) noexcept {
+  store_u64(p, a.network());
+  store_u64(p + 8, a.iid());
+}
+
+[[nodiscard]] net::Ipv6Address load_address(const unsigned char* p) noexcept {
+  return net::Ipv6Address{load_u64(p), load_u64(p + 8)};
+}
+
+[[nodiscard]] constexpr std::uint64_t element_width(std::uint32_t id) noexcept {
+  switch (id) {
+    case 1:
+    case 2:
+      return 16;  // address columns
+    case 3:
+      return 2;  // packed type+code
+    case 4:
+      return 8;  // times
+    case 5:
+      return 32;  // eui pairs
+    default:
+      return 0;
+  }
+}
+
+/// Accumulates encoded bytes and hands out full chunks.
+template <typename Emit>
+class ChunkBuffer {
+ public:
+  explicit ChunkBuffer(Emit& emit) : emit_(emit) { buf_.resize(kChunkBytes); }
+
+  /// Returns a pointer to `n` writable bytes, flushing first if needed.
+  [[nodiscard]] unsigned char* grab(std::size_t n) {
+    if (used_ + n > buf_.size()) flush();
+    unsigned char* p = buf_.data() + used_;
+    used_ += n;
+    return p;
+  }
+
+  void flush() {
+    if (used_ > 0) {
+      emit_(buf_.data(), used_);
+      used_ = 0;
+    }
+  }
+
+ private:
+  Emit& emit_;
+  std::vector<unsigned char> buf_;
+  std::size_t used_ = 0;
+};
+
+}  // namespace
+
+const char* to_string(SnapshotError error) noexcept {
+  switch (error) {
+    case SnapshotError::kNone:
+      return "none";
+    case SnapshotError::kOpenFailed:
+      return "open failed";
+    case SnapshotError::kBadMagic:
+      return "bad magic";
+    case SnapshotError::kBadVersion:
+      return "unsupported format version";
+    case SnapshotError::kTruncated:
+      return "truncated file";
+    case SnapshotError::kBadLayout:
+      return "bad section layout";
+    case SnapshotError::kCorruptSection:
+      return "section CRC mismatch";
+    case SnapshotError::kReadFailed:
+      return "read failed";
+  }
+  return "unknown";
+}
+
+void SnapshotWriter::append(net::Ipv6Address target, net::Ipv6Address response,
+                            std::uint16_t type_code, sim::TimePoint time) {
+  targets_.push_back(target);
+  responses_.push_back(response);
+  type_codes_.push_back(type_code);
+  times_.push_back(time);
+  if (net::is_eui64(response)) eui_pairs_[target] = response;
+}
+
+void SnapshotWriter::append(const core::ObservationStore& store) {
+  const auto targets = store.target_column();
+  const auto responses = store.response_column();
+  const auto type_codes = store.type_code_column();
+  const auto times = store.time_column();
+  targets_.insert(targets_.end(), targets.begin(), targets.end());
+  responses_.insert(responses_.end(), responses.begin(), responses.end());
+  type_codes_.insert(type_codes_.end(), type_codes.begin(), type_codes.end());
+  times_.insert(times_.end(), times.begin(), times.end());
+  for (std::size_t i = 0; i < responses.size(); ++i) {
+    if (net::is_eui64(responses[i])) eui_pairs_[targets[i]] = responses[i];
+  }
+}
+
+void SnapshotWriter::append(const core::ObservationStore::View& view) {
+  for (std::size_t i = 0; i < view.size(); ++i) {
+    append(view.target(i), view.response(i), view.type_code(i), view.time(i));
+  }
+}
+
+void SnapshotWriter::clear() {
+  targets_.clear();
+  responses_.clear();
+  type_codes_.clear();
+  times_.clear();
+  eui_pairs_.clear();
+}
+
+template <typename Emit>
+void SnapshotWriter::emit_section(std::uint32_t id, Emit&& emit) const {
+  ChunkBuffer<Emit> out{emit};
+  switch (id) {
+    case 1:
+      for (const auto a : targets_) store_address(out.grab(16), a);
+      break;
+    case 2:
+      for (const auto a : responses_) store_address(out.grab(16), a);
+      break;
+    case 3:
+      for (const auto tc : type_codes_) store_u16(out.grab(2), tc);
+      break;
+    case 4:
+      for (const auto t : times_) {
+        store_u64(out.grab(8), static_cast<std::uint64_t>(t));
+      }
+      break;
+    case 5:
+      for (const auto& [target, response] : eui_pairs_) {
+        unsigned char* p = out.grab(32);
+        store_address(p, target);
+        store_address(p + 16, response);
+      }
+      break;
+    default:
+      break;
+  }
+  out.flush();
+}
+
+std::uint64_t SnapshotWriter::encoded_size() const noexcept {
+  const std::uint64_t n = rows();
+  return kHeaderSize + n * (16 + 16 + 2 + 8) + eui_pairs_.size() * 32;
+}
+
+bool SnapshotWriter::write(const std::string& path) const {
+  File file{path, "wb"};
+  if (!file) return false;
+
+  const std::uint64_t n = rows();
+  const std::uint64_t sizes[kSectionCount] = {n * 16, n * 16, n * 2, n * 8,
+                                              eui_pairs_.size() * 32};
+
+  // First pass: section CRCs from the in-memory columns (encode is cheap;
+  // this keeps the write itself strictly sequential — no seek-back).
+  std::uint32_t crcs[kSectionCount];
+  for (std::uint32_t id = 1; id <= kSectionCount; ++id) {
+    Crc32c crc;
+    emit_section(id, [&crc](const unsigned char* p, std::size_t len) {
+      crc.update(p, len);
+    });
+    crcs[id - 1] = crc.value();
+  }
+
+  std::vector<unsigned char> header(kHeaderSize);
+  std::memcpy(header.data(), kMagic, sizeof kMagic);
+  store_u32(header.data() + 8, kSnapshotFormatVersion);
+  store_u64(header.data() + 12, n);
+  store_u32(header.data() + 20, kSectionCount);
+  std::uint64_t offset = kHeaderSize;
+  for (std::uint32_t id = 1; id <= kSectionCount; ++id) {
+    unsigned char* entry = header.data() + 24 + (id - 1) * 24;
+    store_u32(entry, id);
+    store_u64(entry + 4, offset);
+    store_u64(entry + 12, sizes[id - 1]);
+    store_u32(entry + 20, crcs[id - 1]);
+    offset += sizes[id - 1];
+  }
+  store_u32(header.data() + kHeaderSize - 4,
+            crc32c(header.data(), kHeaderSize - 4));
+
+  bool ok =
+      std::fwrite(header.data(), 1, header.size(), file.handle) ==
+      header.size();
+  for (std::uint32_t id = 1; id <= kSectionCount; ++id) {
+    emit_section(id, [&](const unsigned char* p, std::size_t len) {
+      ok = std::fwrite(p, 1, len, file.handle) == len && ok;
+    });
+  }
+  return file.close() && ok;
+}
+
+SnapshotReader::~SnapshotReader() { close(); }
+
+void SnapshotReader::close() {
+  if (file_ != nullptr) {
+    std::fclose(file_);
+    file_ = nullptr;
+  }
+}
+
+bool SnapshotReader::fail(SnapshotError error) noexcept {
+  error_ = error;
+  close();
+  return false;
+}
+
+const SnapshotReader::Section* SnapshotReader::section(
+    std::uint32_t id) const noexcept {
+  if (id > kMaxSectionId || !sections_[id].present) return nullptr;
+  return &sections_[id];
+}
+
+std::uint64_t SnapshotReader::eui_pair_count() const noexcept {
+  const Section* s = section(5);
+  return s == nullptr ? 0 : s->size / 32;
+}
+
+bool SnapshotReader::open(const std::string& path) {
+  close();
+  error_ = SnapshotError::kNone;
+  rows_ = 0;
+  sections_ = {};
+
+  file_ = std::fopen(path.c_str(), "rb");
+  if (file_ == nullptr) return fail(SnapshotError::kOpenFailed);
+
+  if (std::fseek(file_, 0, SEEK_END) != 0) {
+    return fail(SnapshotError::kReadFailed);
+  }
+  const long file_size = std::ftell(file_);
+  if (file_size < 0 || std::fseek(file_, 0, SEEK_SET) != 0) {
+    return fail(SnapshotError::kReadFailed);
+  }
+  const auto size = static_cast<std::uint64_t>(file_size);
+
+  unsigned char fixed[24];
+  if (std::fread(fixed, 1, sizeof fixed, file_) != sizeof fixed) {
+    return fail(SnapshotError::kTruncated);
+  }
+  if (std::memcmp(fixed, kMagic, sizeof kMagic) != 0) {
+    return fail(SnapshotError::kBadMagic);
+  }
+  if (load_u32(fixed + 8) != kSnapshotFormatVersion) {
+    return fail(SnapshotError::kBadVersion);
+  }
+  rows_ = load_u64(fixed + 12);
+  const std::uint32_t section_count = load_u32(fixed + 20);
+  // Sanity bound on the table size; a v1 writer emits exactly 5 sections,
+  // but unknown extra sections are tolerated (see header comment).
+  if (section_count < kSectionCount || section_count > 64) {
+    return fail(SnapshotError::kBadLayout);
+  }
+
+  std::vector<unsigned char> table(std::size_t{section_count} * 24);
+  if (std::fread(table.data(), 1, table.size(), file_) != table.size()) {
+    return fail(SnapshotError::kTruncated);
+  }
+  unsigned char stored_crc[4];
+  if (std::fread(stored_crc, 1, sizeof stored_crc, file_) !=
+      sizeof stored_crc) {
+    return fail(SnapshotError::kTruncated);
+  }
+  Crc32c header_crc;
+  header_crc.update(fixed, sizeof fixed);
+  header_crc.update(table.data(), table.size());
+  if (header_crc.value() != load_u32(stored_crc)) {
+    return fail(SnapshotError::kCorruptSection);
+  }
+
+  const std::uint64_t header_end = 24 + table.size() + 4;
+  for (std::uint32_t i = 0; i < section_count; ++i) {
+    const unsigned char* entry = table.data() + std::size_t{i} * 24;
+    const std::uint32_t id = load_u32(entry);
+    Section s;
+    s.offset = load_u64(entry + 4);
+    s.size = load_u64(entry + 12);
+    s.crc = load_u32(entry + 20);
+    s.present = true;
+    if (s.offset < header_end || s.offset > size || s.size > size - s.offset) {
+      return fail(SnapshotError::kTruncated);
+    }
+    if (id == 0 || id > kMaxSectionId) continue;  // unknown section: ignore
+    if (sections_[id].present) return fail(SnapshotError::kBadLayout);
+    sections_[id] = s;
+  }
+
+  // All v1 sections are required, and the column sections must be exactly
+  // rows * width (the eui_pairs section is derived, so only pair-aligned).
+  if (rows_ > ~std::uint64_t{0} / 16) return fail(SnapshotError::kBadLayout);
+  for (std::uint32_t id = 1; id <= kMaxSectionId; ++id) {
+    const Section* s = section(id);
+    if (s == nullptr) return fail(SnapshotError::kBadLayout);
+    if (id == 5) {
+      if (s->size % 32 != 0) return fail(SnapshotError::kBadLayout);
+    } else if (s->size != rows_ * element_width(id)) {
+      return fail(SnapshotError::kBadLayout);
+    }
+  }
+  return true;
+}
+
+template <typename Visit>
+bool SnapshotReader::read_section(std::uint32_t id, Visit&& visit) {
+  if (file_ == nullptr) return false;  // preserves the original error
+  const Section* s = section(id);
+  if (s == nullptr) return fail(SnapshotError::kBadLayout);
+  if (std::fseek(file_, static_cast<long>(s->offset), SEEK_SET) != 0) {
+    return fail(SnapshotError::kReadFailed);
+  }
+  std::vector<unsigned char> buf(
+      static_cast<std::size_t>(std::min<std::uint64_t>(kChunkBytes, s->size)));
+  Crc32c crc;
+  std::uint64_t remaining = s->size;
+  while (remaining > 0) {
+    const auto want =
+        static_cast<std::size_t>(std::min<std::uint64_t>(kChunkBytes,
+                                                         remaining));
+    if (std::fread(buf.data(), 1, want, file_) != want) {
+      return fail(SnapshotError::kReadFailed);
+    }
+    crc.update(buf.data(), want);
+    visit(buf.data(), want);
+    remaining -= want;
+  }
+  if (crc.value() != s->crc) return fail(SnapshotError::kCorruptSection);
+  return true;
+}
+
+bool SnapshotReader::read_targets(std::vector<net::Ipv6Address>& out) {
+  out.clear();
+  out.reserve(rows_);
+  const bool ok = read_section(1, [&out](const unsigned char* p,
+                                         std::size_t len) {
+    for (std::size_t i = 0; i < len; i += 16) out.push_back(load_address(p + i));
+  });
+  if (!ok) out.clear();
+  return ok;
+}
+
+bool SnapshotReader::read_responses(std::vector<net::Ipv6Address>& out) {
+  out.clear();
+  out.reserve(rows_);
+  const bool ok = read_section(2, [&out](const unsigned char* p,
+                                         std::size_t len) {
+    for (std::size_t i = 0; i < len; i += 16) out.push_back(load_address(p + i));
+  });
+  if (!ok) out.clear();
+  return ok;
+}
+
+bool SnapshotReader::read_type_codes(std::vector<std::uint16_t>& out) {
+  out.clear();
+  out.reserve(rows_);
+  const bool ok =
+      read_section(3, [&out](const unsigned char* p, std::size_t len) {
+        for (std::size_t i = 0; i < len; i += 2) out.push_back(load_u16(p + i));
+      });
+  if (!ok) out.clear();
+  return ok;
+}
+
+bool SnapshotReader::read_times(std::vector<sim::TimePoint>& out) {
+  out.clear();
+  out.reserve(rows_);
+  const bool ok =
+      read_section(4, [&out](const unsigned char* p, std::size_t len) {
+        for (std::size_t i = 0; i < len; i += 8) {
+          out.push_back(static_cast<sim::TimePoint>(load_u64(p + i)));
+        }
+      });
+  if (!ok) out.clear();
+  return ok;
+}
+
+bool SnapshotReader::for_each_eui_pair(
+    const std::function<void(net::Ipv6Address, net::Ipv6Address)>& fn) {
+  return read_section(5, [&fn](const unsigned char* p, std::size_t len) {
+    for (std::size_t i = 0; i < len; i += 32) {
+      fn(load_address(p + i), load_address(p + i + 16));
+    }
+  });
+}
+
+bool SnapshotReader::read_into(core::ObservationStore& store) {
+  std::vector<net::Ipv6Address> targets;
+  std::vector<net::Ipv6Address> responses;
+  std::vector<std::uint16_t> type_codes;
+  std::vector<sim::TimePoint> times;
+  if (!read_targets(targets) || !read_responses(responses) ||
+      !read_type_codes(type_codes) || !read_times(times)) {
+    return false;
+  }
+  store.reserve(store.size() + targets.size());
+  for (std::size_t i = 0; i < targets.size(); ++i) {
+    store.add_packed(targets[i], responses[i], type_codes[i], times[i]);
+  }
+  return true;
+}
+
+std::optional<core::ObservationStore> SnapshotReader::read_store() {
+  core::ObservationStore store;
+  if (!read_into(store)) return std::nullopt;
+  return store;
+}
+
+}  // namespace scent::corpus

@@ -1,0 +1,193 @@
+// snapshot.h - versioned binary columnar snapshots of an observation corpus.
+//
+// The campaign's durable unit of work is one day's observations. This module
+// persists an ObservationStore slice as a binary columnar file — the default
+// persistence format (the CSV in core/io.h remains as a debug/export path) —
+// and reads it back whole, column by column, or as a stream of deduplicated
+// EUI pairs for incremental rotation differencing.
+//
+// Format v1 (all integers little-endian):
+//
+//   offset  size  field
+//   0       8     magic "SCNTSNAP"
+//   8       4     format version (u32) = 1
+//   12      8     row count (u64)
+//   20      4     section count (u32) = 5
+//   24      24*n  section table: id (u32), offset (u64), size (u64),
+//                 crc32c (u32) per section
+//   ...     4     header CRC-32C over every preceding header byte
+//   ...           section payloads, at their recorded offsets
+//
+// Sections 1-4 are the store's columns verbatim (42 B/row, mirroring the
+// SoA layout in core/observation.h); section 5 is derived at write time:
+//
+//   id  section    element                                   width
+//   1   targets    address (network u64, iid u64)            16 B/row
+//   2   responses  address (network u64, iid u64)            16 B/row
+//   3   type_code  (icmp type << 8) | code (u16)              2 B/row
+//   4   times      send time, microseconds (i64)              8 B/row
+//   5   eui_pairs  <target, EUI-64 response> address pair    32 B/pair
+//
+// eui_pairs is deduplicated by target (last response wins) in target
+// first-sighting order — exactly the rotation detector's Snapshot recorded
+// over the rows — so an incremental diff streams it without rebuilding the
+// index from 42 B/row of raw observations.
+//
+// Versioning: the magic never changes; readers reject any other version
+// (there is no cross-version migration — snapshots are campaign artifacts,
+// regenerable from a re-run, not archival interchange). Any layout change
+// bumps the version. Unknown section ids are ignored on read, so a future
+// writer may append sections without a version bump as long as sections 1-5
+// keep their meaning.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <cstdio>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "container/flat_hash.h"
+#include "core/observation.h"
+#include "netbase/ipv6_address.h"
+#include "sim/sim_time.h"
+
+namespace scent::corpus {
+
+inline constexpr std::uint32_t kSnapshotFormatVersion = 1;
+
+/// Why an open or read failed. Never UB on corrupt input: every failure
+/// mode maps to one of these.
+enum class SnapshotError {
+  kNone,
+  kOpenFailed,      ///< fopen failed (missing file, permissions).
+  kBadMagic,        ///< Not a snapshot file.
+  kBadVersion,      ///< Unsupported format version.
+  kTruncated,       ///< Header or a section extends past end of file.
+  kBadLayout,       ///< Required section missing or size != rows * width.
+  kCorruptSection,  ///< A section (or the header) failed its CRC.
+  kReadFailed,      ///< I/O error mid-read.
+};
+
+[[nodiscard]] const char* to_string(SnapshotError error) noexcept;
+
+/// Accumulates observations and writes them as one snapshot file. Rows can
+/// arrive one at a time, as whole stores (column-copy fast path), or as
+/// store Views (the engine's per-shard slices).
+class SnapshotWriter {
+ public:
+  void append(net::Ipv6Address target, net::Ipv6Address response,
+              std::uint16_t type_code, sim::TimePoint time);
+
+  void append(const core::Observation& obs) {
+    append(obs.target, obs.response,
+           static_cast<std::uint16_t>(
+               (static_cast<std::uint16_t>(obs.type) << 8) | obs.code),
+           obs.time);
+  }
+
+  /// Column-wise append of a whole store — the shard-merge fast path.
+  void append(const core::ObservationStore& store);
+
+  /// Row-wise append of a store window (e.g. one sweep unit's slice).
+  void append(const core::ObservationStore::View& view);
+
+  [[nodiscard]] std::uint64_t rows() const noexcept {
+    return targets_.size();
+  }
+  [[nodiscard]] std::uint64_t eui_pair_count() const noexcept {
+    return eui_pairs_.size();
+  }
+
+  /// Exact size in bytes of the file write() will produce.
+  [[nodiscard]] std::uint64_t encoded_size() const noexcept;
+
+  /// Writes the snapshot. False on any I/O failure, including buffered
+  /// writes that only surface at flush/close time (disk full).
+  [[nodiscard]] bool write(const std::string& path) const;
+
+  void clear();
+
+ private:
+  template <typename Emit>
+  void emit_section(std::uint32_t id, Emit&& emit) const;
+
+  std::vector<net::Ipv6Address> targets_;
+  std::vector<net::Ipv6Address> responses_;
+  std::vector<std::uint16_t> type_codes_;
+  std::vector<sim::TimePoint> times_;
+  /// target -> latest EUI-64 response, target first-sighting order (the
+  /// rotation Snapshot semantics, precomputed).
+  container::FlatMap<net::Ipv6Address, net::Ipv6Address, net::Ipv6AddressHash>
+      eui_pairs_;
+};
+
+/// Opens a snapshot and serves columns lazily: each read_* call touches
+/// only that column's section, so consumers that need one column (the
+/// tracker reads responses + times, the incremental rotation diff streams
+/// only eui_pairs) never pay for the full 42 B/row.
+class SnapshotReader {
+ public:
+  SnapshotReader() = default;
+  ~SnapshotReader();
+  SnapshotReader(const SnapshotReader&) = delete;
+  SnapshotReader& operator=(const SnapshotReader&) = delete;
+
+  /// Validates magic, version, header CRC and section layout. On failure
+  /// returns false with error() set; the reader stays unusable.
+  [[nodiscard]] bool open(const std::string& path);
+  void close();
+
+  [[nodiscard]] bool is_open() const noexcept { return file_ != nullptr; }
+  [[nodiscard]] SnapshotError error() const noexcept { return error_; }
+  [[nodiscard]] std::uint64_t rows() const noexcept { return rows_; }
+  [[nodiscard]] std::uint64_t eui_pair_count() const noexcept;
+
+  // Lazy per-column reads. Each replaces `out`; false (with error() set)
+  // on CRC mismatch or I/O error.
+  [[nodiscard]] bool read_targets(std::vector<net::Ipv6Address>& out);
+  [[nodiscard]] bool read_responses(std::vector<net::Ipv6Address>& out);
+  [[nodiscard]] bool read_type_codes(std::vector<std::uint16_t>& out);
+  [[nodiscard]] bool read_times(std::vector<sim::TimePoint>& out);
+
+  /// Streams the deduplicated <target, EUI-64 response> pairs in stored
+  /// order without materializing them.
+  [[nodiscard]] bool for_each_eui_pair(
+      const std::function<void(net::Ipv6Address target,
+                               net::Ipv6Address response)>& fn);
+
+  /// Replays every row into `store` (appending, through the store's own
+  /// add path so its indexes rebuild with the original insertion history).
+  [[nodiscard]] bool read_into(core::ObservationStore& store);
+
+  /// The whole snapshot as a fresh store; nullopt on any failure.
+  [[nodiscard]] std::optional<core::ObservationStore> read_store();
+
+ private:
+  struct Section {
+    std::uint64_t offset = 0;
+    std::uint64_t size = 0;
+    std::uint32_t crc = 0;
+    bool present = false;
+  };
+
+  static constexpr std::uint32_t kMaxSectionId = 5;
+
+  [[nodiscard]] bool fail(SnapshotError error) noexcept;
+  [[nodiscard]] const Section* section(std::uint32_t id) const noexcept;
+
+  /// Reads one section in chunks (chunk size a multiple of every element
+  /// width, so elements never straddle chunks), verifying its CRC; the
+  /// visitor decodes each chunk.
+  template <typename Visit>
+  [[nodiscard]] bool read_section(std::uint32_t id, Visit&& visit);
+
+  std::FILE* file_ = nullptr;
+  SnapshotError error_ = SnapshotError::kNone;
+  std::uint64_t rows_ = 0;
+  std::array<Section, kMaxSectionId + 1> sections_{};
+};
+
+}  // namespace scent::corpus

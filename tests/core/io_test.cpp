@@ -6,6 +6,9 @@
 #include <cstdio>
 #include <string>
 
+#include "corpus/snapshot.h"
+#include "netbase/eui64.h"
+
 namespace scent::core {
 namespace {
 
@@ -122,6 +125,57 @@ TEST(ObservationIo, EmptyStoreRoundTrips) {
   const auto loaded = load_observations(file.path);
   ASSERT_TRUE(loaded.has_value());
   EXPECT_TRUE(loaded->empty());
+}
+
+TEST(ObservationIo, TextAndBinaryPersistenceAgree) {
+  // CSV is the debug/export path, the binary snapshot is the default
+  // persistence format (corpus/snapshot.h); this equivalence test keeps
+  // the two from drifting. Both serializations are exact for every column,
+  // so a store must survive either path unchanged.
+  TempFile csv{"equiv_csv"};
+  TempFile snap{"equiv_snap"};
+  ObservationStore store;
+  for (std::uint64_t i = 0; i < 200; ++i) {
+    Observation obs;
+    obs.target = net::Ipv6Address{0x20010db800000000ULL | (i << 16), i + 1};
+    obs.response =
+        i % 2 == 0
+            ? net::Ipv6Address{0x2003e20000000000ULL | (i << 8),
+                               net::mac_to_eui64(
+                                   net::MacAddress{0x3a10d5000000ULL + i})}
+            : net::Ipv6Address{0x2003e20000000000ULL | (i << 8), 0xabcd + i};
+    obs.type = i % 2 == 0 ? wire::Icmpv6Type::kEchoReply
+                          : wire::Icmpv6Type::kDestinationUnreachable;
+    obs.code = static_cast<std::uint8_t>(i % 3);
+    obs.time = sim::days(static_cast<std::int64_t>(i % 4)) -
+               static_cast<std::int64_t>(i % 2);
+    store.add(obs);
+  }
+
+  ASSERT_TRUE(save_observations(csv.path, store));
+  const auto from_text = load_observations(csv.path);
+  ASSERT_TRUE(from_text.has_value());
+
+  corpus::SnapshotWriter writer;
+  writer.append(store);
+  ASSERT_TRUE(writer.write(snap.path));
+  corpus::SnapshotReader reader;
+  ASSERT_TRUE(reader.open(snap.path));
+  const auto from_binary = reader.read_store();
+  ASSERT_TRUE(from_binary.has_value());
+
+  ASSERT_EQ(from_text->size(), store.size());
+  ASSERT_EQ(from_binary->size(), store.size());
+  for (std::size_t i = 0; i < store.size(); ++i) {
+    EXPECT_EQ(from_text->target(i), from_binary->target(i));
+    EXPECT_EQ(from_text->response(i), from_binary->response(i));
+    EXPECT_EQ(from_text->type_code(i), from_binary->type_code(i));
+    EXPECT_EQ(from_text->time(i), from_binary->time(i));
+    EXPECT_EQ(from_binary->target(i), store.target(i));
+    EXPECT_EQ(from_binary->response(i), store.response(i));
+  }
+  EXPECT_EQ(from_text->unique_eui64_iids(), from_binary->unique_eui64_iids());
+  EXPECT_EQ(from_text->unique_responses(), from_binary->unique_responses());
 }
 
 TEST(SaveErrors, UnwritablePathReportsFalse) {
