@@ -16,9 +16,15 @@
 //     layout it replaced (replicated here as the measured baseline);
 //   * corpus: binary snapshot save and load sustain >= 1M rows/s, and
 //     incremental rotation differencing beats the full-column path >= 1.2x
-//     over a 20-day snapshot chain with identical verdicts.
+//     over a 20-day snapshot chain with identical verdicts;
+//   * analysis: the fused single-pass engine beats the sum of the five
+//     independent full scans it replaced by >= 3x at one thread on a
+//     1M-row corpus, with every derived report bit-identical.
 // All guard numbers are written to $SCENT_BENCH_JSON (default
-// BENCH_micro.json) so the perf trajectory is tracked across PRs.
+// BENCH_micro.json) so the perf trajectory is tracked across PRs. Each
+// guard records whether it was enforced, the thread count it needs, and an
+// explicit skipped_reason when the host cannot measure it — scripts/check.sh
+// fails the run if a guard is skipped on hardware that could measure it.
 //
 // This TU replaces global operator new/delete with a live-byte-counting
 // wrapper (malloc_usable_size accounting), which is what makes the
@@ -33,25 +39,37 @@
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <map>
 #include <new>
+#include <optional>
+#include <set>
+#include <string>
 #include <thread>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
+#include "analysis/derive.h"
+#include "analysis/engine.h"
 #include "container/flat_hash.h"
+#include "core/homogeneity.h"
+#include "core/inference.h"
 #include "core/observation.h"
+#include "core/pathology.h"
 #include "core/rotation_detector.h"
 #include "core/sweep_ingest.h"
 #include "corpus/snapshot.h"
 #include "engine/sweep.h"
 #include "netbase/eui64.h"
 #include "netbase/ipv6_address.h"
+#include "oui/oui_registry.h"
 #include "probe/permutation.h"
 #include "probe/prober.h"
 #include "probe/target_generator.h"
+#include "routing/bgp_table.h"
 #include "routing/prefix_trie.h"
 #include "sim/scenario.h"
+#include "sim/sim_time.h"
 #include "telemetry/metrics.h"
 #include "wire/icmpv6.h"
 
@@ -176,6 +194,33 @@ struct BenchReport {
   double diff_incremental_ms = 0;
   double diff_speedup = 0;
   bool corpus_ok = false;
+
+  std::size_t analysis_rows = 0;
+  std::size_t analysis_devices = 0;
+  std::size_t analysis_ases = 0;
+  double analysis_alloc_ms = 0;        // legacy scan 1: global Algorithm 1
+  double analysis_pool_ms = 0;         // legacy scan 2: global Algorithm 2
+  double analysis_per_as_ms = 0;       // legacy scan 3: day-0 per-AS medians
+  double analysis_homogeneity_ms = 0;  // legacy scan 4: vendor census
+  double analysis_pathology_ms = 0;    // legacy scan 5: multi-AS IIDs
+  double analysis_legacy_total_ms = 0;
+  double analysis_fused_ms = 0;
+  double analysis_speedup = 0;
+  bool analysis_reports_equal = false;
+  bool analysis_ok = false;
+
+  /// One row of the "guards" JSON section: whether this guard's floor held,
+  /// whether it could be enforced at all on this host, the thread count the
+  /// measurement needs, and an explicit reason when it was skipped (so a
+  /// skip can never masquerade as a pass).
+  struct GuardStatus {
+    const char* name = "";
+    bool ok = false;
+    bool enforced = true;
+    unsigned required_threads = 1;
+    std::string skipped_reason;  // empty = nothing skipped
+  };
+  std::vector<GuardStatus> guard_status;
 };
 
 // ---------------------------------------------------------------------------
@@ -813,6 +858,374 @@ bool check_corpus_guards(BenchReport& report) {
 }
 
 // ---------------------------------------------------------------------------
+// Fused-analysis guard: scent::analysis builds one aggregate table in a
+// single pass and derives every report from it; the baseline is the sum of
+// the five independent full scans that pass replaced. The pre-fusion scan
+// bodies are kept verbatim below (like LegacyObservationStore above) because
+// core::analyze_homogeneity and core::find_multi_as_iids are now thin
+// wrappers over the fused engine and can no longer serve as their own
+// baseline.
+
+/// Eight announced /36es under 2001:16b8::/32, one AS each, so attribution,
+/// per-AS medians, and the vendor census all see real multi-AS work.
+routing::BgpTable make_analysis_bgp() {
+  routing::BgpTable bgp;
+  for (std::uint64_t k = 0; k < 8; ++k) {
+    const net::Ipv6Address base{0x200116b800000000ULL | (k << 28), 0};
+    bgp.announce({net::Prefix{base, 36},
+                  static_cast<routing::Asn>(65001 + k),
+                  k % 2 == 0 ? "DE" : "VN", "BenchNet"});
+  }
+  return bgp;
+}
+
+/// A campaign-shaped analysis corpus: 85% EUI-64 responses from a 64k-MAC
+/// population (three OUIs), each device homed in one of the eight announced
+/// ASes with a 3% roaming chance (multi-AS pathology fodder), rows spread
+/// over 10 scan days, 15% privacy-addressed noise.
+core::ObservationStore make_analysis_corpus(std::uint64_t seed,
+                                            std::size_t rows) {
+  constexpr std::uint64_t kOuis[] = {0x3810d5000000ULL, 0x50c7bf000000ULL,
+                                     0xf4f26d000000ULL};
+  sim::Rng rng{seed};
+  core::ObservationStore store;
+  for (std::size_t i = 0; i < rows; ++i) {
+    const std::uint64_t slot = rng.below(1 << 14);
+    core::Observation obs;
+    obs.type = wire::Icmpv6Type::kEchoReply;
+    obs.code = 0;
+    obs.time = static_cast<sim::TimePoint>(rng.below(10)) * sim::kDay +
+               static_cast<sim::TimePoint>(i);
+    std::uint64_t as_pick;
+    if (rng.chance(0.85)) {
+      const std::uint64_t mac_index = rng.below(1 << 16);
+      const net::MacAddress mac{kOuis[mac_index % 3] | mac_index};
+      as_pick = rng.chance(0.03) ? rng.below(8) : (mac_index & 7);
+      const std::uint64_t network =
+          0x200116b800000000ULL | (as_pick << 28) | (slot << 8);
+      obs.target = net::Ipv6Address{network, i};
+      obs.response = net::Ipv6Address{network, net::mac_to_eui64(mac)};
+    } else {
+      as_pick = rng.below(8);
+      const std::uint64_t network =
+          0x200116b800000000ULL | (as_pick << 28) | (slot << 8);
+      obs.target = net::Ipv6Address{network, i};
+      obs.response =
+          net::Ipv6Address{network, rng.next() | 0x0400000000000000ULL};
+    }
+    store.add(obs);
+  }
+  return store;
+}
+
+/// The pre-fusion analyze_homogeneity body, verbatim: its own full pass
+/// over by_mac() with per-observation attribution.
+std::vector<core::AsHomogeneity> legacy_homogeneity(
+    const core::ObservationStore& store, const routing::BgpTable& bgp,
+    const oui::Registry& registry, std::size_t min_iids) {
+  struct AsAccumulator {
+    std::string country;
+    container::FlatMap<std::string,
+                       container::FlatSet<net::MacAddress, net::MacAddressHash>>
+        vendor_macs;
+    container::FlatSet<net::MacAddress, net::MacAddressHash> all_macs;
+  };
+  container::FlatMap<routing::Asn, AsAccumulator> per_as;
+  routing::AttributionCache attributions;
+
+  for (const auto& [mac, index_list] : store.by_mac()) {
+    container::FlatSet<routing::Asn> seen_as;
+    for (const std::uint32_t i : store.indices(index_list)) {
+      const auto* ad = bgp.attribute(store.response(i), attributions);
+      if (ad == nullptr) continue;
+      if (!seen_as.insert(ad->origin_asn).second) continue;
+      AsAccumulator& acc = per_as[ad->origin_asn];
+      acc.country = ad->country;
+      const auto vendor = registry.vendor(mac);
+      acc.vendor_macs[vendor ? std::string{*vendor} : "(unknown)"].insert(mac);
+      acc.all_macs.insert(mac);
+    }
+  }
+
+  std::vector<core::AsHomogeneity> out;
+  out.reserve(per_as.size());
+  for (auto& [asn, acc] : per_as) {
+    if (acc.all_macs.size() < min_iids) continue;
+    core::AsHomogeneity h;
+    h.asn = asn;
+    h.country = acc.country;
+    h.unique_iids = acc.all_macs.size();
+    h.vendors.reserve(acc.vendor_macs.size());
+    for (const auto& [vendor, macs] : acc.vendor_macs) {
+      h.vendors.push_back(core::VendorCount{vendor, macs.size()});
+    }
+    std::sort(h.vendors.begin(), h.vendors.end(),
+              [](const core::VendorCount& a, const core::VendorCount& b) {
+                if (a.unique_iids != b.unique_iids) {
+                  return a.unique_iids > b.unique_iids;
+                }
+                return a.vendor < b.vendor;
+              });
+    out.push_back(std::move(h));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const core::AsHomogeneity& a, const core::AsHomogeneity& b) {
+              return a.asn < b.asn;
+            });
+  return out;
+}
+
+/// The pre-fusion find_multi_as_iids body, verbatim: per-MAC std::set
+/// prefilter plus a second presence pass with std::map-of-std::set days.
+std::vector<core::MultiAsIid> legacy_multi_as_iids(
+    const core::ObservationStore& store, const routing::BgpTable& bgp,
+    const core::PathologyOptions& options) {
+  const auto is_default_mac = [](net::MacAddress mac) noexcept {
+    return mac.bits() == 0 || mac.bits() == 0xffffffffffffULL;
+  };
+  std::vector<core::MultiAsIid> out;
+  routing::AttributionCache attributions;
+  for (const auto& [mac, index_list] : store.by_mac()) {
+    std::set<routing::Asn> asns;
+    for (const std::uint32_t i : store.indices(index_list)) {
+      const auto* ad = bgp.attribute(store.response(i), attributions);
+      if (ad != nullptr) asns.insert(ad->origin_asn);
+    }
+    if (asns.size() < 2) continue;
+
+    core::MultiAsIid entry;
+    entry.mac = mac;
+    entry.asns.assign(asns.begin(), asns.end());
+
+    core::DailyAsPresence presence;
+    for (const std::uint32_t i : store.indices(index_list)) {
+      const auto* ad = bgp.attribute(store.response(i), attributions);
+      if (ad == nullptr) continue;
+      presence.days[sim::day_of(store.time(i))].insert(ad->origin_asn);
+    }
+    for (const auto& [day, day_asns] : presence.days) {
+      if (day_asns.size() >= 2) ++entry.concurrent_days;
+    }
+
+    if (is_default_mac(mac)) {
+      entry.kind = core::PathologyKind::kDefaultMac;
+    } else if (entry.concurrent_days >= options.min_concurrent_days) {
+      entry.kind = core::PathologyKind::kConcurrentReuse;
+    } else if (asns.size() == 2 && entry.concurrent_days == 0) {
+      const routing::Asn a = entry.asns[0];
+      const routing::Asn b = entry.asns[1];
+      std::int64_t last_a = INT64_MIN, first_a = INT64_MAX;
+      std::int64_t last_b = INT64_MIN, first_b = INT64_MAX;
+      for (const auto& [day, day_asns] : presence.days) {
+        if (day_asns.contains(a)) {
+          last_a = std::max(last_a, day);
+          first_a = std::min(first_a, day);
+        }
+        if (day_asns.contains(b)) {
+          last_b = std::max(last_b, day);
+          first_b = std::min(first_b, day);
+        }
+      }
+      if (last_a < first_b) {
+        entry.kind = core::PathologyKind::kProviderSwitch;
+        entry.switch_from = a;
+        entry.switch_to = b;
+        entry.switch_day = first_b;
+      } else if (last_b < first_a) {
+        entry.kind = core::PathologyKind::kProviderSwitch;
+        entry.switch_from = b;
+        entry.switch_to = a;
+        entry.switch_day = first_a;
+      } else {
+        entry.kind = core::PathologyKind::kMultiAsOther;
+      }
+    } else {
+      entry.kind = core::PathologyKind::kMultiAsOther;
+    }
+    out.push_back(std::move(entry));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const core::MultiAsIid& a, const core::MultiAsIid& b) {
+              return a.mac < b.mac;
+            });
+  return out;
+}
+
+/// Everything the five legacy scans (or the one fused pass) produce; the
+/// guard asserts the two sides are identical field by field.
+struct AnalysisReports {
+  std::optional<unsigned> alloc_median;
+  std::optional<unsigned> pool_median;
+  container::FlatMap<routing::Asn, unsigned> alloc_by_as;
+  std::vector<core::AsHomogeneity> census;
+  std::vector<core::MultiAsIid> pathologies;
+};
+
+bool same_analysis_reports(const AnalysisReports& a,
+                           const AnalysisReports& b) {
+  if (a.alloc_median != b.alloc_median) return false;
+  if (a.pool_median != b.pool_median) return false;
+  if (!(a.alloc_by_as == b.alloc_by_as)) return false;
+  if (a.census.size() != b.census.size()) return false;
+  for (std::size_t i = 0; i < a.census.size(); ++i) {
+    const auto& x = a.census[i];
+    const auto& y = b.census[i];
+    if (x.asn != y.asn || x.country != y.country ||
+        x.unique_iids != y.unique_iids ||
+        x.vendors.size() != y.vendors.size()) {
+      return false;
+    }
+    for (std::size_t v = 0; v < x.vendors.size(); ++v) {
+      if (x.vendors[v].vendor != y.vendors[v].vendor ||
+          x.vendors[v].unique_iids != y.vendors[v].unique_iids) {
+        return false;
+      }
+    }
+  }
+  if (a.pathologies.size() != b.pathologies.size()) return false;
+  for (std::size_t i = 0; i < a.pathologies.size(); ++i) {
+    const auto& x = a.pathologies[i];
+    const auto& y = b.pathologies[i];
+    if (x.mac != y.mac || x.kind != y.kind || x.asns != y.asns ||
+        x.concurrent_days != y.concurrent_days ||
+        x.switch_from != y.switch_from || x.switch_to != y.switch_to ||
+        x.switch_day != y.switch_day) {
+      return false;
+    }
+  }
+  return true;
+}
+
+/// The five pre-fusion scans, timed individually; their sum is the guard's
+/// baseline.
+AnalysisReports run_legacy_analysis(const core::ObservationStore& store,
+                                    const routing::BgpTable& bgp,
+                                    const oui::Registry& registry,
+                                    std::array<double, 5>& seconds) {
+  AnalysisReports reports;
+
+  auto start = std::chrono::steady_clock::now();
+  core::AllocationSizeInference alloc;
+  alloc.observe_all(store);
+  reports.alloc_median = alloc.median_length();
+  seconds[0] = seconds_since(start);
+
+  start = std::chrono::steady_clock::now();
+  core::RotationPoolInference pools;
+  pools.observe_all(store);
+  reports.pool_median = pools.median_length();
+  seconds[1] = seconds_since(start);
+
+  start = std::chrono::steady_clock::now();
+  std::map<routing::Asn, core::AllocationSizeInference> per_as_alloc;
+  routing::AttributionCache attributions;
+  for (std::size_t i = 0; i < store.size(); ++i) {
+    const auto* ad = bgp.attribute(store.response(i), attributions);
+    if (ad == nullptr) continue;
+    per_as_alloc[ad->origin_asn].observe(store.target(i), store.response(i));
+  }
+  for (const auto& [asn, inference] : per_as_alloc) {
+    if (const auto median = inference.median_length()) {
+      reports.alloc_by_as[asn] = *median;
+    }
+  }
+  seconds[2] = seconds_since(start);
+
+  start = std::chrono::steady_clock::now();
+  reports.census = legacy_homogeneity(store, bgp, registry, /*min_iids=*/100);
+  seconds[3] = seconds_since(start);
+
+  start = std::chrono::steady_clock::now();
+  reports.pathologies = legacy_multi_as_iids(store, bgp, {});
+  seconds[4] = seconds_since(start);
+
+  return reports;
+}
+
+/// One fused pass at one thread, then every report derived from the table.
+AnalysisReports run_fused_analysis(const core::ObservationStore& store,
+                                   const routing::BgpTable& bgp,
+                                   const oui::Registry& registry,
+                                   double& seconds, BenchReport& report) {
+  const auto start = std::chrono::steady_clock::now();
+  analysis::AnalysisOptions options;
+  options.threads = 1;
+  options.collect_sightings = false;
+  const analysis::AggregateTable table = analysis::analyze(store, &bgp,
+                                                           options);
+  AnalysisReports reports;
+  reports.alloc_median = analysis::allocation_median(table);
+  reports.pool_median = analysis::pool_median(table);
+  reports.alloc_by_as = analysis::allocation_medians_by_as(table);
+  reports.census = analysis::homogeneity(table, registry, /*min_iids=*/100);
+  reports.pathologies = analysis::multi_as_iids(table, {});
+  seconds = seconds_since(start);
+  report.analysis_devices = table.devices.size();
+  report.analysis_ases = table.as_rollups.size();
+  return reports;
+}
+
+/// Enforces this PR's tentpole floor: the fused single-pass engine beats
+/// the summed legacy scans >= 3x at one thread, reports bit-identical.
+/// Single-threaded on both sides, so the floor is enforced on any host.
+bool check_analysis_guard(BenchReport& report) {
+  constexpr std::size_t kRows = 1 << 20;
+  const core::ObservationStore store = make_analysis_corpus(0xA11, kRows);
+  const routing::BgpTable bgp = make_analysis_bgp();
+  const oui::Registry& registry = oui::builtin_registry();
+
+  std::array<double, 5> legacy_s{};
+  std::array<double, 5> best_legacy_s;
+  best_legacy_s.fill(1e30);
+  double fused_s = 0;
+  double best_fused_s = 1e30;
+  {
+    // Warm-up, discarded.
+    run_fused_analysis(store, bgp, registry, fused_s, report);
+  }
+  bool equal = true;
+  for (int trial = 0; trial < 3; ++trial) {  // interleaved best-of-3
+    const auto legacy = run_legacy_analysis(store, bgp, registry, legacy_s);
+    const auto fused = run_fused_analysis(store, bgp, registry, fused_s,
+                                          report);
+    for (std::size_t i = 0; i < legacy_s.size(); ++i) {
+      best_legacy_s[i] = std::min(best_legacy_s[i], legacy_s[i]);
+    }
+    best_fused_s = std::min(best_fused_s, fused_s);
+    equal = equal && same_analysis_reports(legacy, fused);
+  }
+
+  double legacy_total_s = 0;
+  for (const double s : best_legacy_s) legacy_total_s += s;
+  const double speedup = legacy_total_s / best_fused_s;
+
+  report.analysis_rows = kRows;
+  report.analysis_alloc_ms = best_legacy_s[0] * 1e3;
+  report.analysis_pool_ms = best_legacy_s[1] * 1e3;
+  report.analysis_per_as_ms = best_legacy_s[2] * 1e3;
+  report.analysis_homogeneity_ms = best_legacy_s[3] * 1e3;
+  report.analysis_pathology_ms = best_legacy_s[4] * 1e3;
+  report.analysis_legacy_total_ms = legacy_total_s * 1e3;
+  report.analysis_fused_ms = best_fused_s * 1e3;
+  report.analysis_speedup = speedup;
+  report.analysis_reports_equal = equal;
+
+  const bool fast_enough = speedup >= 3.0;
+  std::printf(
+      "analysis guard (%zu rows -> %zu devices, %zu ASes): legacy scans "
+      "%.1f+%.1f+%.1f+%.1f+%.1f = %.1fms vs fused %.1fms = %.2fx (floor 3x, "
+      "reports %s) %s\n",
+      kRows, report.analysis_devices, report.analysis_ases,
+      report.analysis_alloc_ms, report.analysis_pool_ms,
+      report.analysis_per_as_ms, report.analysis_homogeneity_ms,
+      report.analysis_pathology_ms, report.analysis_legacy_total_ms,
+      report.analysis_fused_ms, speedup, equal ? "equal" : "DIVERGED",
+      fast_enough && equal ? "OK" : "FAILED");
+  report.analysis_ok = fast_enough && equal;
+  return report.analysis_ok;
+}
+
+// ---------------------------------------------------------------------------
 // Telemetry and sweep-scaling guards (pre-existing budgets).
 
 /// Measures fast-path probe throughput (probes/sec) over a fixed batch,
@@ -1016,17 +1429,47 @@ void write_report_json(const BenchReport& r, bool guards_ok) {
                r.telemetry_plain_mops, r.telemetry_attached_mops,
                r.telemetry_overhead_pct);
   std::fprintf(f,
-               "  \"guards\": {\n"
-               "    \"telemetry_ok\": %s,\n"
-               "    \"sweep_scaling_ok\": %s,\n"
-               "    \"ingest_ok\": %s,\n"
-               "    \"corpus_ok\": %s,\n"
+               "  \"analysis\": {\n"
+               "    \"rows\": %zu,\n"
+               "    \"devices\": %zu,\n"
+               "    \"ases\": %zu,\n"
+               "    \"legacy_alloc_ms\": %.2f,\n"
+               "    \"legacy_pool_ms\": %.2f,\n"
+               "    \"legacy_per_as_ms\": %.2f,\n"
+               "    \"legacy_homogeneity_ms\": %.2f,\n"
+               "    \"legacy_pathology_ms\": %.2f,\n"
+               "    \"legacy_total_ms\": %.2f,\n"
+               "    \"fused_ms\": %.2f,\n"
+               "    \"speedup\": %.2f,\n"
+               "    \"reports_equal\": %s\n"
+               "  },\n",
+               r.analysis_rows, r.analysis_devices, r.analysis_ases,
+               r.analysis_alloc_ms, r.analysis_pool_ms, r.analysis_per_as_ms,
+               r.analysis_homogeneity_ms, r.analysis_pathology_ms,
+               r.analysis_legacy_total_ms, r.analysis_fused_ms,
+               r.analysis_speedup,
+               r.analysis_reports_equal ? "true" : "false");
+  std::fprintf(f, "  \"guards\": {\n    \"entries\": [\n");
+  for (std::size_t i = 0; i < r.guard_status.size(); ++i) {
+    const auto& g = r.guard_status[i];
+    std::fprintf(f,
+                 "      {\"name\": \"%s\", \"ok\": %s, \"enforced\": %s, "
+                 "\"required_threads\": %u, \"hardware_threads\": %u, "
+                 "\"skipped_reason\": ",
+                 g.name, g.ok ? "true" : "false",
+                 g.enforced ? "true" : "false", g.required_threads,
+                 r.hardware_threads);
+    if (g.skipped_reason.empty()) {
+      std::fprintf(f, "null}");
+    } else {
+      std::fprintf(f, "\"%s\"}", g.skipped_reason.c_str());
+    }
+    std::fprintf(f, "%s\n", i + 1 < r.guard_status.size() ? "," : "");
+  }
+  std::fprintf(f,
+               "    ],\n"
                "    \"all_ok\": %s\n"
                "  }\n}\n",
-               r.telemetry_ok ? "true" : "false",
-               r.sweep_ok ? "true" : "false",
-               r.ingest_ok ? "true" : "false",
-               r.corpus_ok ? "true" : "false",
                guards_ok ? "true" : "false");
   std::fclose(f);
   std::printf("bench report written to %s\n", path);
@@ -1041,8 +1484,26 @@ int main(int argc, char** argv) {
   const bool scaling_ok = check_sweep_scaling(report);
   const bool ingest_ok = check_ingest_guard(report);
   const bool corpus_ok = check_corpus_guards(report);
+  const bool analysis_ok = check_analysis_guard(report);
   measure_container_stats(report);
-  const bool guards_ok = telemetry_ok && scaling_ok && ingest_ok && corpus_ok;
+
+  char sweep_skip[96] = "";
+  if (!report.sweep_floor_enforced) {
+    std::snprintf(sweep_skip, sizeof(sweep_skip),
+                  "host has %u hardware threads; the 3x-at-8-threads floor "
+                  "needs 8",
+                  report.hardware_threads);
+  }
+  report.guard_status = {
+      {"telemetry", telemetry_ok, true, 1, ""},
+      {"sweep_scaling", scaling_ok, report.sweep_floor_enforced, 8,
+       sweep_skip},
+      {"ingest", ingest_ok, true, 1, ""},
+      {"corpus", corpus_ok, true, 1, ""},
+      {"analysis", analysis_ok, true, 1, ""},
+  };
+  const bool guards_ok =
+      telemetry_ok && scaling_ok && ingest_ok && corpus_ok && analysis_ok;
   write_report_json(report, guards_ok);
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;

@@ -8,7 +8,9 @@
 
 #include <cstdio>
 
-#include "core/inference.h"
+#include "analysis/derive.h"
+#include "analysis/engine.h"
+#include "core/observation.h"
 #include "core/report.h"
 #include "probe/prober.h"
 #include "sim/scenario.h"
@@ -26,24 +28,32 @@ void map_one(probe::Prober& prober, const sim::Internet& internet,
   const net::Prefix p48{pool.config().prefix.base(), 48};
 
   core::AllocationGrid grid;
-  core::AllocationSizeInference inference;
+  core::ObservationStore store;
   probe::SubnetTargets targets{p48, 64, 0xA110};
   net::Ipv6Address target;
   while (targets.next(target)) {
     const auto r = prober.probe_one(target);
     if (!r.responded) continue;
-    inference.observe(r.target, r.response_source);
+    store.add(r);
     grid.mark(r.target.byte(6), r.target.byte(7),
               grid.intern(r.response_source.iid() ^
                           r.response_source.network()));
   }
+
+  // Algorithm 1 over the sweep: one fused pass accumulates every device's
+  // probed-target /64 span; the median derives from the aggregate table.
+  analysis::AnalysisOptions aopt;
+  aopt.attribute = false;
+  aopt.collect_sightings = false;
+  const analysis::AggregateTable table = analysis::analyze(store, nullptr,
+                                                           aopt);
 
   std::printf("\n%s (AS%u, %s) - %s\n", provider.config().name.c_str(),
               provider.config().asn, provider.config().country.c_str(),
               p48.to_string().c_str());
   std::printf("distinct responding CPE: %zu; inferred allocation: /%u\n",
               grid.distinct_sources(),
-              inference.median_length().value_or(0));
+              analysis::allocation_median(table).value_or(0));
   std::printf("%s", grid.render(20, 72).c_str());
 }
 

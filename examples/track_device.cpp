@@ -9,7 +9,9 @@
 
 #include <cstdio>
 
-#include "core/inference.h"
+#include "analysis/derive.h"
+#include "analysis/engine.h"
+#include "core/observation.h"
 #include "core/tracker.h"
 #include "probe/prober.h"
 #include "sim/scenario.h"
@@ -56,26 +58,30 @@ int main(int argc, char** argv) {
   // warns about. Algorithm 2 (rotation pool) wants the opposite: as many
   // days as possible, and only needs the response addresses, so the cheap
   // one-probe-per-/56 sweep suffices.
-  core::AllocationSizeInference alloc;
-  core::RotationPoolInference pools;
+  core::ObservationStore store;
   {
     clock.advance_to(sim::hours(12));
-    const auto results = prober.sweep_subnets(pool.config().prefix, 64,
-                                              0xDA5E);
-    for (const auto& r : results) {
-      alloc.observe(r.target, r.response_source);
-      pools.observe(r.response_source);
-    }
+    store.add_all(prober.sweep_subnets(pool.config().prefix, 64, 0xDA5E));
   }
+  const std::size_t day0_rows = store.size();
   for (int day = 1; day < 5; ++day) {
     clock.advance_to(sim::days(day) + sim::hours(12));
-    const auto results =
-        prober.sweep_subnets(pool.config().prefix, 56, 0xDA5E + day);
-    for (const auto& r : results) pools.observe(r.response_source);
+    store.add_all(prober.sweep_subnets(pool.config().prefix, 56,
+                                       0xDA5E + day));
   }
-  const unsigned alloc_len = alloc.median_length().value_or(56);
-  const unsigned pool_len = pools.median_length().value_or(48);
-  const auto victim_pool = pools.pool_for(victim_mac, pool_len);
+  // Both algorithms derive from one aggregate table built in a single fused
+  // pass over the corpus; Algorithm 1 reads only the day-0 target spans (the
+  // [0, day0_rows) window), Algorithm 2 the full-week response spans.
+  analysis::AnalysisOptions aopt;
+  aopt.attribute = false;
+  aopt.collect_sightings = false;
+  const analysis::AggregateTable day0 = analysis::analyze(
+      analysis::StoreInput{store, 0, day0_rows}, nullptr, aopt);
+  const analysis::AggregateTable week =
+      analysis::analyze(store, nullptr, aopt);
+  const unsigned alloc_len = analysis::allocation_median(day0).value_or(56);
+  const unsigned pool_len = analysis::pool_median(week).value_or(48);
+  const auto victim_pool = analysis::pool_for(week, victim_mac, pool_len);
   std::printf("inferred: allocation /%u, rotation pool /%u -> search %s\n\n",
               alloc_len, pool_len,
               victim_pool ? victim_pool->to_string().c_str() : "(unknown)");

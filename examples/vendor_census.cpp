@@ -8,7 +8,8 @@
 #include <cstdio>
 #include <iostream>
 
-#include "core/homogeneity.h"
+#include "analysis/derive.h"
+#include "analysis/engine.h"
 #include "core/io.h"
 #include "core/report.h"
 #include "oui/oui_registry.h"
@@ -44,8 +45,15 @@ int main(int argc, char** argv) {
     }
   }
 
-  const auto census = core::analyze_homogeneity(
-      store, world.internet.bgp(), oui::builtin_registry(), /*min_iids=*/50);
+  // One fused pass over the corpus; the census derives from the merged
+  // per-device aggregate table (as would any other report — no rescans).
+  analysis::AnalysisOptions aopt;
+  aopt.collect_targets = false;
+  aopt.collect_sightings = false;
+  const analysis::AggregateTable agg =
+      analysis::analyze(store, &world.internet.bgp(), aopt);
+  const auto census =
+      analysis::homogeneity(agg, oui::builtin_registry(), /*min_iids=*/50);
 
   core::TextTable table{
       {"ASN", "CC", "IIDs", "homogeneity", "dominant vendor", "runner-up"}};
@@ -59,6 +67,9 @@ int main(int argc, char** argv) {
   }
   table.print(std::cout);
 
+  std::printf("\nfused pass: %llu rows -> %zu EUI-64 devices, %zu attributed ASes\n",
+              static_cast<unsigned long long>(agg.rows_scanned),
+              agg.devices.size(), agg.as_rollups.size());
   std::printf("\n%zu ASes; a homogeneity index near 1.0 means one vendor's\n"
               "firmware fleet-wide — a monoculture a vendor-specific exploit "
               "can sweep.\n",

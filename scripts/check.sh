@@ -7,15 +7,20 @@
 # The plain pass is the repo's tier-1 gate (ROADMAP.md). The bench-guard leg
 # runs bench_micro's enforced perf floors (telemetry overhead, sweep scaling,
 # ingest throughput, bytes per observation, snapshot save/load, incremental
-# differencing) and refreshes the machine-readable BENCH_micro.json snapshot.
+# differencing, fused analysis speedup) and refreshes the machine-readable
+# BENCH_micro.json snapshot; a follow-up audit of guards.entries fails the
+# run if any guard reported itself skipped on hardware that could have run
+# it — a guard may only be waved through when the host genuinely lacks the
+# threads its floor needs.
 # The checkpoint/resume leg kills a checkpointed campaign mid-flight and
 # asserts the resumed run's digest and on-disk snapshot chain are
 # byte-identical to an uninterrupted run, at 1 and 4 threads (§5f).
 # The ASan/UBSan pass rebuilds everything with
 # -fsanitize=address,undefined into build-sanitize/ and reruns the test suite
 # under it. The TSan pass rebuilds into build-tsan/ with -fsanitize=thread and
-# runs the engine's sharded-executor tests (the only multi-threaded code in
-# the tree) under ThreadSanitizer.
+# runs every Engine-prefixed suite — the sharded executor plus the fused
+# analysis engine's serial/parallel equivalence matrix — under
+# ThreadSanitizer.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -36,6 +41,27 @@ echo "== bench guards: perf floors + BENCH_micro.json (bench_micro) =="
 # registered microbenchmarks (the guards measure everything the JSON needs).
 SCENT_BENCH_JSON=BENCH_micro.json \
   ./build/bench/bench_micro --benchmark_filter='^$'
+
+echo "== bench guards: no guard skipped on capable hardware =="
+# bench_micro downgrades thread-scaling floors to advisory on hosts with
+# too few cores, recording why in guards.entries[].skipped_reason. That
+# escape hatch must never fire on a machine that has the threads: a skip
+# with required_threads <= nproc means the guard was dodged, not gated.
+python3 - "$(nproc)" <<'PYEOF'
+import json, sys
+nproc = int(sys.argv[1])
+entries = json.load(open("BENCH_micro.json"))["guards"]["entries"]
+bad = [e for e in entries
+       if e["skipped_reason"] is not None and e["required_threads"] <= nproc]
+for e in bad:
+    print(f"guard '{e['name']}' skipped ({e['skipped_reason']}) but host has "
+          f"{nproc} >= {e['required_threads']} threads", file=sys.stderr)
+ok = [e["name"] for e in entries if e["skipped_reason"] is None]
+skipped = [e["name"] for e in entries if e["skipped_reason"] is not None]
+print(f"  enforced: {', '.join(ok)}"
+      + (f"; legitimately skipped: {', '.join(skipped)}" if skipped else ""))
+sys.exit(1 if bad else 0)
+PYEOF
 
 echo "== checkpoint/resume: kill-and-resume byte-identical corpus =="
 resume_tmp=$(mktemp -d)

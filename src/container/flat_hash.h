@@ -287,6 +287,13 @@ class FlatMap {
     return table_.find_index(key) != Table::npos;
   }
 
+  /// Checked lookup; the key must be present.
+  [[nodiscard]] const V& at(const K& key) const noexcept {
+    const const_iterator it = find(key);
+    assert(it != end() && "FlatMap::at: key not found");
+    return it->second;
+  }
+
   /// O(n); see FlatTable::erase_key.
   bool erase(const K& key) { return table_.erase_key(key); }
 
@@ -295,6 +302,24 @@ class FlatMap {
 
   [[nodiscard]] std::size_t memory_footprint() const noexcept {
     return table_.memory_footprint();
+  }
+
+  /// Equality is order-sensitive on purpose: insertion order is part of the
+  /// determinism contract, so two maps compare equal iff they hold the same
+  /// entries in the same first-insertion order.
+  [[nodiscard]] friend bool operator==(const FlatMap& a, const FlatMap& b) {
+    if (a.size() != b.size()) return false;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      const Entry& lhs = a.begin()[i];
+      const Entry& rhs = b.begin()[i];
+      if (!(lhs.first == rhs.first) || !(lhs.second == rhs.second)) {
+        return false;
+      }
+    }
+    return true;
+  }
+  [[nodiscard]] friend bool operator!=(const FlatMap& a, const FlatMap& b) {
+    return !(a == b);
   }
 
  private:
@@ -347,6 +372,15 @@ class FlatSet {
 
   [[nodiscard]] std::size_t memory_footprint() const noexcept {
     return table_.memory_footprint();
+  }
+
+  /// Order-sensitive, like FlatMap::operator== — insertion order is part of
+  /// the determinism contract.
+  [[nodiscard]] friend bool operator==(const FlatSet& a, const FlatSet& b) {
+    return a.size() == b.size() && std::equal(a.begin(), a.end(), b.begin());
+  }
+  [[nodiscard]] friend bool operator!=(const FlatSet& a, const FlatSet& b) {
+    return !(a == b);
   }
 
  private:

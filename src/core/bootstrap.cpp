@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <map>
 
+#include "analysis/engine.h"
 #include "container/flat_hash.h"
 #include "core/sweep_ingest.h"
 #include "engine/sweep.h"
@@ -71,6 +72,7 @@ BootstrapResult run_bootstrap(sim::Internet& internet,
 
   engine::SweepOptions sweep_options;
   sweep_options.threads = options.threads;
+  sweep_options.oversubscribe = options.oversubscribe;
   sweep_options.seed = options.seed;
   sweep_options.merge_registry = prober.telemetry();
 
@@ -230,7 +232,7 @@ BootstrapResult run_bootstrap(sim::Internet& internet,
 
   // ---- Stage 3 (§4.3): two same-seed snapshots, one probe per /64 of
   // every high-density /48, `snapshot_gap` apart.
-  const auto take_snapshot = [&](Snapshot& snap) {
+  const auto sweep_snapshot = [&]() -> analysis::RowWindow {
     std::vector<engine::SweepUnit> units;
     units.reserve(result.high_density_48s.size());
     for (const auto& p48 : result.high_density_48s) {
@@ -238,21 +240,29 @@ BootstrapResult run_bootstrap(sim::Internet& internet,
     }
     const std::size_t stage_begin = result.observations.size();
     sweep(units);
-    const ObservationStore& store = result.observations;
-    for (std::size_t i = stage_begin; i < store.size(); ++i) {
-      snap.record(store.target(i), store.response(i));
-    }
+    return analysis::RowWindow{stage_begin, result.observations.size()};
   };
 
-  Snapshot first;
-  Snapshot second;
   const sim::TimePoint snap1_start = clock.now();
-  take_snapshot(first);
+  const analysis::RowWindow first_window = sweep_snapshot();
   clock.advance_to(snap1_start + options.snapshot_gap);
-  take_snapshot(second);
+  const analysis::RowWindow second_window = sweep_snapshot();
 
-  result.verdicts = detect_rotation(first, second, /*churn_threshold=*/0,
-                                    options.registry);
+  // One fused pass reconstructs both snapshots' <target, response> maps
+  // via windowed replay instead of re-walking each snapshot's row range;
+  // no attribution or sighting state is needed here.
+  analysis::AnalysisOptions analysis_options;
+  analysis_options.threads = options.threads;
+  analysis_options.oversubscribe = options.oversubscribe;
+  analysis_options.attribute = false;
+  analysis_options.collect_sightings = false;
+  analysis_options.windows = {first_window, second_window};
+  const analysis::AggregateTable table = analysis::analyze(
+      result.observations, nullptr, analysis_options, options.registry);
+
+  result.verdicts =
+      detect_rotation(table.window_snapshots[0], table.window_snapshots[1],
+                      /*churn_threshold=*/0, options.registry);
   for (const auto& v : result.verdicts) {
     if (v.rotating) result.rotating_48s.push_back(v.prefix);
   }

@@ -65,6 +65,10 @@ struct BootstrapOptions {
   /// wall-clock knob. Traceroute-mode seeding stays serial (its per-hop
   /// probe count is response-dependent, so it has no a-priori schedule).
   unsigned threads = 1;
+  /// Allow more shards than physical cores (see
+  /// engine::SweepOptions::oversubscribe); the equivalence matrices set it
+  /// so low-core CI still runs genuinely multi-shard.
+  bool oversubscribe = false;
 
   /// Optional telemetry sinks. With a registry, each stage runs under a
   /// span ("bootstrap/seed", ".../expand", ".../density", ".../rotation")

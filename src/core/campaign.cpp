@@ -1,7 +1,10 @@
 #include "core/campaign.h"
 
 #include <algorithm>
+#include <map>
 
+#include "analysis/derive.h"
+#include "analysis/engine.h"
 #include "container/flat_hash.h"
 #include "core/sweep_ingest.h"
 #include "corpus/checkpoint.h"
@@ -23,6 +26,24 @@ std::uint64_t targets_digest(const std::vector<net::Prefix>& targets) {
     digest = sim::mix64(digest, prefix.length());
   }
   return digest;
+}
+
+/// Checkpoint manifests keep std::map (the on-disk ordering contract);
+/// the in-memory result is flat-map backed. Both iterate ascending by
+/// ASN, so the conversions preserve byte-identical serialization.
+std::map<routing::Asn, unsigned> to_manifest_map(
+    const container::FlatMap<routing::Asn, unsigned>& lengths) {
+  std::map<routing::Asn, unsigned> out;
+  for (const auto& [asn, length] : lengths) out.emplace(asn, length);
+  return out;
+}
+
+container::FlatMap<routing::Asn, unsigned> from_manifest_map(
+    const std::map<routing::Asn, unsigned>& lengths) {
+  container::FlatMap<routing::Asn, unsigned> out;
+  out.reserve(lengths.size());
+  for (const auto& [asn, length] : lengths) out[asn] = length;
+  return out;
 }
 
 /// Result of replaying a persisted checkpoint chain into a fresh result.
@@ -79,7 +100,8 @@ std::optional<ResumeState> replay_checkpoint(
     ++state.completed_days;
   }
   if (state.completed_days > 0) {
-    result.allocation_length_by_as = prior.allocation_length_by_as;
+    result.allocation_length_by_as =
+        from_manifest_map(prior.allocation_length_by_as);
   }
   result.resumed_days = state.completed_days;
   return state;
@@ -143,11 +165,9 @@ CampaignResult run_campaign(sim::Internet& internet, sim::VirtualClock& clock,
     manifest.targets_digest = digest;
   }
 
-  // Day 0: full per-/64 sweep; feeds Algorithm 1 per AS.
-  std::map<routing::Asn, AllocationSizeInference> per_as_alloc;
-
   engine::SweepOptions sweep_options;
   sweep_options.threads = options.threads;
+  sweep_options.oversubscribe = options.oversubscribe;
   sweep_options.seed = options.seed;
   sweep_options.merge_registry = prober.telemetry();
 
@@ -216,22 +236,19 @@ CampaignResult run_campaign(sim::Internet& internet, sim::VirtualClock& clock,
 
     if (day == 0) {
       // Run Algorithm 1 on the full-granularity day and freeze the per-AS
-      // allocation sizes used by subsequent days (and by trackers).
+      // allocation sizes used by subsequent days (and by trackers): one
+      // fused sharded pass over the day-0 rows, per-AS medians derived
+      // from the merged aggregate table.
       telemetry::Span infer_span{options.registry, "alloc_infer"};
-      const ObservationStore& store = result.observations;
-      routing::AttributionCache attributions;
-      for (std::size_t i = 0; i < store.size(); ++i) {
-        const auto* ad = internet.bgp().attribute(store.response(i),
-                                                  attributions);
-        if (ad == nullptr) continue;
-        per_as_alloc[ad->origin_asn].observe(store.target(i),
-                                             store.response(i));
-      }
-      for (const auto& [asn, inference] : per_as_alloc) {
-        if (const auto median = inference.median_length()) {
-          result.allocation_length_by_as[asn] = *median;
-        }
-      }
+      analysis::AnalysisOptions analysis_options;
+      analysis_options.threads = options.threads;
+      analysis_options.oversubscribe = options.oversubscribe;
+      analysis_options.collect_sightings = false;
+      const analysis::AggregateTable table =
+          analysis::analyze(result.observations, &internet.bgp(),
+                            analysis_options, options.registry);
+      result.allocation_length_by_as =
+          analysis::allocation_medians_by_as(table);
     }
 
     if (options.journal != nullptr) {
@@ -254,7 +271,8 @@ CampaignResult run_campaign(sim::Internet& internet, sim::VirtualClock& clock,
       record.rows = day_snapshot.rows();
       record.clock_us = clock.now();
       record.snapshot_file = corpus::snapshot_file_name(day);
-      manifest.allocation_length_by_as = result.allocation_length_by_as;
+      manifest.allocation_length_by_as =
+          to_manifest_map(result.allocation_length_by_as);
 
       const std::string snap_path =
           options.checkpoint_dir + "/" + record.snapshot_file;

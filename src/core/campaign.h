@@ -12,11 +12,10 @@
 
 #include <cstdint>
 #include <functional>
-#include <map>
 #include <string>
 #include <vector>
 
-#include "core/inference.h"
+#include "container/flat_hash.h"
 #include "core/observation.h"
 #include "netbase/prefix.h"
 #include "probe/prober.h"
@@ -44,6 +43,10 @@ struct CampaignOptions {
   /// concurrency. Any value yields a bit-identical corpus — the engine's
   /// determinism contract — so this is purely a wall-clock knob.
   unsigned threads = 1;
+  /// Allow more shards than physical cores (see
+  /// engine::SweepOptions::oversubscribe); the equivalence matrices set it
+  /// so low-core CI still runs genuinely multi-shard.
+  bool oversubscribe = false;
 
   /// When non-empty, the campaign checkpoints after every day: the day's
   /// observations land in `<dir>/day_NNNN.snap` and a manifest records the
@@ -86,8 +89,11 @@ struct CampaignResult {
   std::uint64_t probes_sent = 0;
   std::uint64_t responses = 0;
 
-  /// Per-AS inferred allocation length from the day-0 full sweep.
-  std::map<routing::Asn, unsigned> allocation_length_by_as;
+  /// Per-AS inferred allocation length from the day-0 full sweep, keyed
+  /// ascending by ASN (flat-map backed; insertion order == ASN order, so
+  /// iteration — and every digest/manifest derived from it — matches the
+  /// ordered std::map it replaced byte for byte).
+  container::FlatMap<routing::Asn, unsigned> allocation_length_by_as;
 
   /// Days replayed from a checkpoint instead of being swept live.
   unsigned resumed_days = 0;

@@ -1,8 +1,7 @@
 #include "core/homogeneity.h"
 
-#include <algorithm>
-
-#include "container/flat_hash.h"
+#include "analysis/derive.h"
+#include "analysis/engine.h"
 
 namespace scent::core {
 
@@ -10,61 +9,16 @@ std::vector<AsHomogeneity> analyze_homogeneity(const ObservationStore& store,
                                                const routing::BgpTable& bgp,
                                                const oui::Registry& registry,
                                                std::size_t min_iids) {
-  // asn -> vendor -> set of distinct MACs. A MAC observed in several ASes
-  // (pathological reuse) counts once in each — the paper's per-AS counts
-  // are per-AS unique.
-  struct AsAccumulator {
-    std::string country;
-    container::FlatMap<std::string,
-                       container::FlatSet<net::MacAddress, net::MacAddressHash>>
-        vendor_macs;
-    container::FlatSet<net::MacAddress, net::MacAddressHash> all_macs;
-  };
-  container::FlatMap<routing::Asn, AsAccumulator> per_as;
-  routing::AttributionCache attributions;
-
-  for (const auto& [mac, index_list] : store.by_mac()) {
-    // Attribute each observation of this MAC; the same MAC may map to
-    // multiple ASes.
-    container::FlatSet<routing::Asn> seen_as;
-    for (const std::uint32_t i : store.indices(index_list)) {
-      const auto* ad = bgp.attribute(store.response(i), attributions);
-      if (ad == nullptr) continue;
-      if (!seen_as.insert(ad->origin_asn).second) continue;
-      AsAccumulator& acc = per_as[ad->origin_asn];
-      acc.country = ad->country;
-      const auto vendor = registry.vendor(mac);
-      acc.vendor_macs[vendor ? std::string{*vendor} : "(unknown)"].insert(mac);
-      acc.all_macs.insert(mac);
-    }
-  }
-
-  std::vector<AsHomogeneity> out;
-  out.reserve(per_as.size());
-  for (auto& [asn, acc] : per_as) {
-    if (acc.all_macs.size() < min_iids) continue;
-    AsHomogeneity h;
-    h.asn = asn;
-    h.country = acc.country;
-    h.unique_iids = acc.all_macs.size();
-    h.vendors.reserve(acc.vendor_macs.size());
-    for (const auto& [vendor, macs] : acc.vendor_macs) {
-      h.vendors.push_back(VendorCount{vendor, macs.size()});
-    }
-    std::sort(h.vendors.begin(), h.vendors.end(),
-              [](const VendorCount& a, const VendorCount& b) {
-                if (a.unique_iids != b.unique_iids) {
-                  return a.unique_iids > b.unique_iids;
-                }
-                return a.vendor < b.vendor;
-              });
-    out.push_back(std::move(h));
-  }
-  std::sort(out.begin(), out.end(),
-            [](const AsHomogeneity& a, const AsHomogeneity& b) {
-              return a.asn < b.asn;
-            });
-  return out;
+  // One fused pass (analysis::analyze) instead of a dedicated scan; the
+  // derivation reproduces the legacy per-AS/vendor distinct-MAC counts bit
+  // for bit (bench_micro's analysis guard asserts the equality). Vendor
+  // homogeneity needs neither target spans nor sighting histories.
+  analysis::AnalysisOptions options;
+  options.collect_targets = false;
+  options.collect_sightings = false;
+  const analysis::AggregateTable table =
+      analysis::analyze(store, &bgp, options);
+  return analysis::homogeneity(table, registry, min_iids);
 }
 
 }  // namespace scent::core

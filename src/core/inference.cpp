@@ -2,15 +2,6 @@
 
 namespace scent::core {
 
-std::optional<unsigned> median_of(std::vector<unsigned> values) {
-  if (values.empty()) return std::nullopt;
-  const std::size_t mid = (values.size() - 1) / 2;
-  std::nth_element(values.begin(),
-                   values.begin() + static_cast<std::ptrdiff_t>(mid),
-                   values.end());
-  return values[mid];
-}
-
 void AllocationSizeInference::observe(net::Ipv6Address target,
                                       net::Ipv6Address response) {
   const auto mac = net::embedded_mac(response);

@@ -49,7 +49,17 @@ namespace scent::core {
 /// Median of a small vector (by partial sort); returns nullopt when empty.
 /// For even sizes, the lower median is returned — prefix lengths are
 /// ordinal, and the paper's algorithm takes a plain median of integer sizes.
-[[nodiscard]] std::optional<unsigned> median_of(std::vector<unsigned> values);
+/// Inline so the analysis layer (which sits below scent_core) can derive
+/// the same medians from its aggregate table.
+[[nodiscard]] inline std::optional<unsigned> median_of(
+    std::vector<unsigned> values) {
+  if (values.empty()) return std::nullopt;
+  const std::size_t mid = (values.size() - 1) / 2;
+  std::nth_element(values.begin(),
+                   values.begin() + static_cast<std::ptrdiff_t>(mid),
+                   values.end());
+  return values[mid];
+}
 
 /// Accumulates per-EUI target spans and infers allocation sizes
 /// (Algorithm 1).

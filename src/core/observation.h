@@ -249,6 +249,53 @@ class ObservationStore {
     return response_class_.size();
   }
 
+  /// The distinct response addresses themselves, in first-seen order —
+  /// the classification memo's keys. The analysis engine walks this to
+  /// prime a shared read-only AttributionCache up front (one BGP trie
+  /// walk per distinct /64) before fanning out shards.
+  class DistinctResponses {
+   public:
+    class iterator {
+     public:
+      explicit iterator(
+          const container::FlatMap<net::Ipv6Address, std::uint64_t,
+                                   net::Ipv6AddressHash>::const_iterator it)
+          : it_(it) {}
+      net::Ipv6Address operator*() const noexcept { return it_->first; }
+      iterator& operator++() noexcept {
+        ++it_;
+        return *this;
+      }
+      bool operator!=(const iterator& o) const noexcept {
+        return it_ != o.it_;
+      }
+
+     private:
+      container::FlatMap<net::Ipv6Address, std::uint64_t,
+                         net::Ipv6AddressHash>::const_iterator it_;
+    };
+    [[nodiscard]] iterator begin() const noexcept {
+      return iterator{map_->begin()};
+    }
+    [[nodiscard]] iterator end() const noexcept {
+      return iterator{map_->end()};
+    }
+    [[nodiscard]] std::size_t size() const noexcept { return map_->size(); }
+
+   private:
+    friend class ObservationStore;
+    explicit DistinctResponses(
+        const container::FlatMap<net::Ipv6Address, std::uint64_t,
+                                 net::Ipv6AddressHash>* map) noexcept
+        : map_(map) {}
+    const container::FlatMap<net::Ipv6Address, std::uint64_t,
+                             net::Ipv6AddressHash>* map_;
+  };
+
+  [[nodiscard]] DistinctResponses distinct_responses() const noexcept {
+    return DistinctResponses{&response_class_};
+  }
+
   /// Distinct EUI-64 response addresses seen.
   [[nodiscard]] std::size_t unique_eui64_responses() const noexcept {
     return eui_unique_;

@@ -1,15 +1,10 @@
 #include "core/pathology.h"
 
-#include <algorithm>
+#include "analysis/derive.h"
+#include "analysis/engine.h"
 
 namespace scent::core {
 namespace {
-
-bool is_default_mac(net::MacAddress mac) noexcept {
-  // The all-zero MAC is the one the paper observed (12 ASes); broadcast and
-  // the all-one pattern are equally meaningless as identifiers.
-  return mac.bits() == 0 || mac.bits() == 0xffffffffffffULL;
-}
 
 DailyAsPresence presence_of_cached(net::MacAddress mac,
                                    const ObservationStore& store,
@@ -37,70 +32,16 @@ DailyAsPresence presence_of(net::MacAddress mac, const ObservationStore& store,
 std::vector<MultiAsIid> find_multi_as_iids(const ObservationStore& store,
                                            const routing::BgpTable& bgp,
                                            const PathologyOptions& options) {
-  std::vector<MultiAsIid> out;
-  routing::AttributionCache attributions;
-  for (const auto& [mac, index_list] : store.by_mac()) {
-    // Cheap prefilter: distinct ASes across all observations.
-    std::set<routing::Asn> asns;
-    for (const std::uint32_t i : store.indices(index_list)) {
-      const auto* ad = bgp.attribute(store.response(i), attributions);
-      if (ad != nullptr) asns.insert(ad->origin_asn);
-    }
-    if (asns.size() < 2) continue;
-
-    MultiAsIid entry;
-    entry.mac = mac;
-    entry.asns.assign(asns.begin(), asns.end());
-
-    const DailyAsPresence presence =
-        presence_of_cached(mac, store, bgp, attributions);
-    for (const auto& [day, day_asns] : presence.days) {
-      if (day_asns.size() >= 2) ++entry.concurrent_days;
-    }
-
-    if (is_default_mac(mac)) {
-      entry.kind = PathologyKind::kDefaultMac;
-    } else if (entry.concurrent_days >= options.min_concurrent_days) {
-      entry.kind = PathologyKind::kConcurrentReuse;
-    } else if (asns.size() == 2 && entry.concurrent_days == 0) {
-      // Candidate provider switch: check for a clean temporal hand-off —
-      // one AS strictly before some day, the other strictly after.
-      const routing::Asn a = entry.asns[0];
-      const routing::Asn b = entry.asns[1];
-      std::int64_t last_a = INT64_MIN, first_a = INT64_MAX;
-      std::int64_t last_b = INT64_MIN, first_b = INT64_MAX;
-      for (const auto& [day, day_asns] : presence.days) {
-        if (day_asns.contains(a)) {
-          last_a = std::max(last_a, day);
-          first_a = std::min(first_a, day);
-        }
-        if (day_asns.contains(b)) {
-          last_b = std::max(last_b, day);
-          first_b = std::min(first_b, day);
-        }
-      }
-      if (last_a < first_b) {
-        entry.kind = PathologyKind::kProviderSwitch;
-        entry.switch_from = a;
-        entry.switch_to = b;
-        entry.switch_day = first_b;
-      } else if (last_b < first_a) {
-        entry.kind = PathologyKind::kProviderSwitch;
-        entry.switch_from = b;
-        entry.switch_to = a;
-        entry.switch_day = first_a;
-      } else {
-        entry.kind = PathologyKind::kMultiAsOther;
-      }
-    } else {
-      entry.kind = PathologyKind::kMultiAsOther;
-    }
-    out.push_back(std::move(entry));
-  }
-  std::sort(out.begin(), out.end(), [](const MultiAsIid& a, const MultiAsIid& b) {
-    return a.mac < b.mac;
-  });
-  return out;
+  // One fused pass instead of two attribution scans per multi-AS MAC; the
+  // per-AS distinct-day lists in the aggregate table carry everything the
+  // classification needs (bench_micro's analysis guard asserts equality
+  // with the legacy scan).
+  analysis::AnalysisOptions analysis_options;
+  analysis_options.collect_targets = false;
+  analysis_options.collect_sightings = false;
+  const analysis::AggregateTable table =
+      analysis::analyze(store, &bgp, analysis_options);
+  return analysis::multi_as_iids(table, options);
 }
 
 }  // namespace scent::core

@@ -1,6 +1,8 @@
 #include "core/tracker.h"
 
-#include "corpus/snapshot.h"
+#include "analysis/derive.h"
+#include "analysis/engine.h"
+#include "analysis/input.h"
 #include "netbase/eui64.h"
 #include "probe/target_generator.h"
 #include "sim/rng.h"
@@ -97,31 +99,19 @@ TrackAttempt Tracker::locate(std::int64_t day) {
 std::vector<Sighting> sightings_from_snapshots(
     const std::vector<std::string>& snapshot_paths, net::MacAddress mac,
     std::size_t* failed_files) {
-  std::vector<Sighting> sightings;
-  std::size_t failed = 0;
-  std::vector<net::Ipv6Address> responses;
-  std::vector<sim::TimePoint> times;
-  for (const std::string& path : snapshot_paths) {
-    corpus::SnapshotReader reader;
-    if (!reader.open(path) || !reader.read_responses(responses) ||
-        !reader.read_times(times)) {
-      ++failed;
-      continue;
-    }
-    for (std::size_t i = 0; i < responses.size(); ++i) {
-      const auto embedded = net::embedded_mac(responses[i]);
-      if (!embedded || *embedded != mac) continue;
-      const Sighting sighting{sim::day_of(times[i]), responses[i].network()};
-      if (!sightings.empty() &&
-          sightings.back().day == sighting.day &&
-          sightings.back().network == sighting.network) {
-        continue;
-      }
-      sightings.push_back(sighting);
-    }
-  }
-  if (failed_files != nullptr) *failed_files = failed;
-  return sightings;
+  // Fused-engine follow path: lazy chain read of only the response and
+  // time columns (24 of 42 bytes per row), restricted to the one device.
+  // Output and skip semantics are identical to the legacy per-file loop —
+  // unreadable snapshots contribute no rows and are counted.
+  analysis::ChainInput chain{snapshot_paths};
+  analysis::AnalysisOptions options;
+  options.collect_targets = false;
+  options.attribute = false;
+  options.only_mac = mac;
+  const analysis::AggregateTable table =
+      analysis::analyze(chain, nullptr, options);
+  if (failed_files != nullptr) *failed_files = table.failed_files;
+  return analysis::sightings_of(table, mac);
 }
 
 bool Tracker::update_prediction(double min_support) {

@@ -1,9 +1,9 @@
 #include "engine/executor.h"
 
-#include <exception>
 #include <thread>
 #include <utility>
 
+#include "engine/parallel.h"
 #include "sim/rng.h"
 #include "telemetry/metrics.h"
 
@@ -59,7 +59,6 @@ struct ShardState {
   probe::Prober::Counters counters;
   sim::Internet::Stats stats;
   telemetry::Registry registry;
-  std::exception_ptr error;
 };
 
 }  // namespace
@@ -69,7 +68,8 @@ SweepReport run_sharded_sweep(
     std::span<const SweepUnit> units,
     const probe::ProberOptions& prober_options, const SweepOptions& options,
     const std::function<UnitSink*(unsigned shard)>& sink_for_shard) {
-  const unsigned threads = resolve_threads(options.threads);
+  const unsigned threads =
+      effective_threads(options.threads, options.oversubscribe);
   const SweepPlan plan{units, prober_options, clock.now(), threads};
 
   SweepReport report;
@@ -126,25 +126,10 @@ SweepReport run_sharded_sweep(
     state.stats = net_ctx.stats;
   };
 
-  if (threads == 1) {
-    run_shard(0);
-  } else {
-    std::vector<std::thread> workers;
-    workers.reserve(threads);
-    for (unsigned s = 0; s < threads; ++s) {
-      workers.emplace_back([&, s] {
-        try {
-          run_shard(s);
-        } catch (...) {
-          shards[s].error = std::current_exception();
-        }
-      });
-    }
-    for (auto& worker : workers) worker.join();
-    for (const auto& shard : shards) {
-      if (shard.error) std::rethrow_exception(shard.error);
-    }
-  }
+  // One worker per shard; a single shard runs inline on the calling
+  // thread (the serial fallback — no spawn/join overhead when the clamp
+  // or the request leaves us with one effective worker).
+  run_shards(threads, run_shard);
 
   // Deterministic merge, shard order == unit order == serial order.
   for (unsigned s = 0; s < threads; ++s) {

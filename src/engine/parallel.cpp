@@ -1,0 +1,51 @@
+#include "engine/parallel.h"
+
+#include <exception>
+#include <thread>
+#include <vector>
+
+#include "engine/sweep.h"
+
+namespace scent::engine {
+
+unsigned effective_threads(unsigned requested, bool oversubscribe) noexcept {
+  unsigned threads = resolve_threads(requested);
+  if (!oversubscribe) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    const unsigned cap = hw == 0 ? 1 : hw;
+    if (threads > cap) threads = cap;
+  }
+  return threads;
+}
+
+RowRange shard_rows(std::size_t total, unsigned shards, unsigned s) noexcept {
+  if (shards == 0) shards = 1;
+  const auto t = static_cast<unsigned long long>(total);
+  return RowRange{static_cast<std::size_t>(t * s / shards),
+                  static_cast<std::size_t>(t * (s + 1) / shards)};
+}
+
+void run_shards(unsigned shards, const std::function<void(unsigned)>& body) {
+  if (shards <= 1) {
+    body(0);
+    return;
+  }
+  std::vector<std::exception_ptr> errors(shards);
+  std::vector<std::thread> workers;
+  workers.reserve(shards);
+  for (unsigned s = 0; s < shards; ++s) {
+    workers.emplace_back([&errors, &body, s] {
+      try {
+        body(s);
+      } catch (...) {
+        errors[s] = std::current_exception();
+      }
+    });
+  }
+  for (auto& worker : workers) worker.join();
+  for (const auto& error : errors) {
+    if (error) std::rethrow_exception(error);
+  }
+}
+
+}  // namespace scent::engine

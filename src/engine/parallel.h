@@ -1,0 +1,54 @@
+// parallel.h - shared shard-runner primitives for the engine's executors.
+//
+// Both parallel passes in the tree — the probe-side sweep executor and the
+// analysis-side fused aggregation scan — follow the same shape: pick an
+// effective worker count, carve the work into contiguous shards, run one
+// worker per shard with shard-local state, then merge in shard order. This
+// header owns the first three steps so the two executors cannot drift:
+//
+//   * effective_threads() resolves the request (0 = hardware concurrency)
+//     and clamps it to the physical core count unless the caller opts into
+//     oversubscription. Sharding pays real overhead — per-shard probers,
+//     clocks, accumulators, and a merge — and past the core count that
+//     overhead buys nothing: BENCH_micro.json records sweep speedups of
+//     0.91–0.92 when 2–8 shards time-slice a single core.
+//
+//   * shard_rows() is the contiguous slice rule shared with SweepPlan's
+//     probe-offset partition: shard s of N owns [total*s/N, total*(s+1)/N),
+//     monotone in s and exhaustive, so shard order equals row order equals
+//     serial order — the precondition for deterministic shard-order merges.
+//
+//   * run_shards() executes one body per shard: inline on the calling
+//     thread when there is a single shard (the serial reference path the
+//     parallel runs must reproduce bit for bit, with no thread spawn or
+//     join overhead), otherwise one std::thread per shard with per-shard
+//     exception capture and the lowest-index shard's exception rethrown
+//     after all workers have joined.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+namespace scent::engine {
+
+/// Effective worker count for a request: resolve_threads(requested),
+/// clamped to hardware concurrency unless `oversubscribe`. Tests that pin
+/// exact shard counts (the TSan stress suite, the equivalence matrices)
+/// oversubscribe so low-core CI still exercises real multi-shard runs.
+[[nodiscard]] unsigned effective_threads(unsigned requested,
+                                         bool oversubscribe) noexcept;
+
+/// Contiguous row range [begin, end) owned by one shard.
+struct RowRange {
+  std::size_t begin = 0;
+  std::size_t end = 0;
+};
+
+/// The slice rule: shard s of `shards` owns [total*s/N, total*(s+1)/N).
+[[nodiscard]] RowRange shard_rows(std::size_t total, unsigned shards,
+                                  unsigned s) noexcept;
+
+/// Runs body(s) for every shard s in [0, shards). See the file comment.
+void run_shards(unsigned shards, const std::function<void(unsigned)>& body);
+
+}  // namespace scent::engine

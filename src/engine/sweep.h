@@ -52,6 +52,16 @@ struct SweepOptions {
   /// If set, every shard prober mirrors into a shard-local registry and
   /// the executor folds those counters in here after the join.
   telemetry::Registry* merge_registry = nullptr;
+
+  /// Allow more shards than physical cores. Off by default: the executor
+  /// clamps the effective worker count to hardware_concurrency(), because
+  /// extra shards only add partition/spawn/merge overhead when they
+  /// time-slice the same cores (BENCH_micro.json sweep speedups of
+  /// 0.91–0.92 on a 1-core host). A clamp to 1 takes the inline serial
+  /// path — no threads at all. Tests that pin exact shard counts (the
+  /// TSan stress suite, the equivalence matrices) set this so low-core CI
+  /// still exercises genuine multi-shard execution.
+  bool oversubscribe = false;
 };
 
 /// Picks the actual worker count for a request (0 = hardware concurrency,

@@ -105,6 +105,41 @@ class BgpTable {
                : &ads_[static_cast<std::size_t>(entry->second)];
   }
 
+  /// Read-only attribution against a prebuilt cache: never mutates `cache`,
+  /// so one memo built up front (serially, over every distinct /64 in the
+  /// input) can be shared by all analysis shards with no synchronization.
+  /// A /64 missing from the cache — or a table with routes more specific
+  /// than /64 — falls back to the uncached trie walk: correct, just not
+  /// memoized. Overload resolution keeps existing call sites on the
+  /// mutating form; shards reach this one by passing a const reference.
+  [[nodiscard]] const Advertisement* attribute(
+      net::Ipv6Address addr, const AttributionCache& cache) const {
+    if (max_announced_length_ <= 64) {
+      const auto it = cache.by_network_.find(addr.network());
+      if (it != cache.by_network_.end()) {
+        return it->second == AttributionCache::kNoMatch
+                   ? nullptr
+                   : &ads_[static_cast<std::size_t>(it->second)];
+      }
+    }
+    const auto match = trie_.longest_match(addr);
+    return match ? &ads_[*match->value] : nullptr;
+  }
+
+  /// True when `ad` — a pointer previously returned by this table — is
+  /// guaranteed to be `addr`'s longest match: its prefix covers the
+  /// address, and no announcement anywhere in the table is more specific
+  /// than it, so nothing can shadow it. Lets a scan that remembers the ad
+  /// it last resolved (e.g. per device) revalidate the memo with two
+  /// compares against L1-resident state instead of a cache probe; when it
+  /// returns false the caller falls back to attribute(), so the answer is
+  /// always exactly the trie's.
+  [[nodiscard]] bool covers_unshadowed(const Advertisement* ad,
+                                       net::Ipv6Address addr) const noexcept {
+    return ad->prefix.length() >= max_announced_length_ &&
+           ad->prefix.contains(addr);
+  }
+
   /// Attributes an address, copying the result. Convenience form for cold
   /// paths and tests; hot scans use attribute().
   [[nodiscard]] std::optional<Attribution> lookup(

@@ -126,6 +126,7 @@ TEST(EngineExecutor, StreamsOrderedBatchesAndAggregates) {
 
   SweepOptions options;
   options.threads = 2;
+  options.oversubscribe = true;  // exact shard count even on 1-core CI
   std::vector<RecordingSink> sinks(2);
   const SweepReport report = run_sharded_sweep(
       world.internet, clock, units, fast_options(), options,
@@ -184,6 +185,7 @@ TEST(EngineExecutor, MergesShardRegistriesIntoOne) {
   telemetry::Registry registry;
   SweepOptions options;
   options.threads = 4;
+  options.oversubscribe = true;
   options.merge_registry = &registry;
 
   core::ObservationStore store;
@@ -212,6 +214,7 @@ TEST(EngineExecutor, SinkExceptionsPropagateAfterJoin) {
 
   SweepOptions options;
   options.threads = 2;
+  options.oversubscribe = true;
   EXPECT_THROW(run_sharded_sweep(world.internet, clock, units,
                                  fast_options(), options,
                                  [&sinks](unsigned s) { return &sinks[s]; }),
@@ -225,7 +228,7 @@ TEST(EngineExecutor, IngestRangesSliceTheMergedStore) {
 
   core::ObservationStore store;
   const core::SweepIngest ingest = core::sweep_into_store(
-      world.internet, clock, units, fast_options(), SweepOptions{.threads = 3},
+      world.internet, clock, units, fast_options(), SweepOptions{.threads = 3, .oversubscribe = true},
       store);
 
   ASSERT_EQ(ingest.units.size(), 6u);
