@@ -43,6 +43,7 @@
 #include <new>
 #include <optional>
 #include <set>
+#include <span>
 #include <string>
 #include <thread>
 #include <unordered_map>
@@ -71,6 +72,8 @@
 #include "sim/scenario.h"
 #include "sim/sim_time.h"
 #include "telemetry/metrics.h"
+#include "trace/quantile.h"
+#include "trace/recorder.h"
 #include "wire/icmpv6.h"
 
 namespace {
@@ -194,6 +197,14 @@ struct BenchReport {
   double diff_incremental_ms = 0;
   double diff_speedup = 0;
   bool corpus_ok = false;
+
+  std::size_t trace_rows = 0;
+  double trace_batch_ns = 0;          // one 256-row columnar ingest batch
+  double trace_idle_sample_ns = 0;    // ScopedSample, both sinks null
+  double trace_enabled_sample_ns = 0; // ScopedSample, live recorder+sketch
+  double trace_idle_overhead_pct = 0;
+  double trace_enabled_overhead_pct = 0;
+  bool trace_ok = false;
 
   std::size_t analysis_rows = 0;
   std::size_t analysis_devices = 0;
@@ -1228,20 +1239,13 @@ bool check_analysis_guard(BenchReport& report) {
 // ---------------------------------------------------------------------------
 // Telemetry and sweep-scaling guards (pre-existing budgets).
 
-/// Measures fast-path probe throughput (probes/sec) over a fixed batch,
-/// with or without a telemetry registry attached.
-double probe_loop_rate(bool with_telemetry, std::uint64_t batch) {
-  sim::PaperWorld world = sim::make_tiny_world(5, 512);
-  sim::VirtualClock clock{sim::hours(12)};
-  probe::ProberOptions options;
-  options.wire_mode = false;
-  options.packets_per_second = 0;
-  probe::Prober prober{world.internet, clock, options};
-  telemetry::Registry registry;
-  registry.set_clock(&clock);
-  if (with_telemetry) prober.attach_telemetry(registry);
-  const auto& pool = world.internet.provider(world.versatel).pools()[0];
-
+/// Measures one prober's fast-path throughput (probes/sec) over a fixed
+/// batch. The caller owns the world and the prober: both guard arms must
+/// probe the SAME simulated state, because two independently constructed
+/// worlds differ in heap layout by enough to swing per-probe time several
+/// percent — more than the effect the guard exists to measure.
+double probe_loop_rate(probe::Prober& prober, const sim::RotationPool& pool,
+                       std::uint64_t batch) {
   const auto start = std::chrono::steady_clock::now();
   for (std::uint64_t i = 0; i < batch; ++i) {
     const auto target = probe::target_in(
@@ -1252,19 +1256,53 @@ double probe_loop_rate(bool with_telemetry, std::uint64_t batch) {
 }
 
 /// Guards the telemetry hot-path budget: attaching a registry must cost
-/// <5% of fast-path sweep throughput. Interleaved best-of-N trials cancel
-/// out frequency-scaling and cache-warmth drift.
+/// <5% of fast-path sweep throughput. Two probers — one plain, one with a
+/// registry attached — walk the same world, and the overhead is the
+/// median of per-trial paired ratios with the arm order alternating
+/// between trials. Each layer strips one source of fake overhead that a
+/// ratio of independent single-shot runs (or of each arm's best) suffers
+/// on a shared host: the shared world removes allocation-layout skew
+/// between the arms, pairing cancels frequency/thermal drift across the
+/// guard run, alternation cancels within-pair drift, and the median
+/// discards the pairs a scheduler hiccup still splits.
 bool check_telemetry_overhead(BenchReport& report) {
-  constexpr std::uint64_t kBatch = 400000;
-  constexpr int kTrials = 5;
-  probe_loop_rate(false, kBatch / 4);  // warm-up, discarded
+  constexpr std::uint64_t kBatch = 1600000;
+  constexpr int kTrials = 9;
+  sim::PaperWorld world = sim::make_tiny_world(5, 512);
+  sim::VirtualClock clock{sim::hours(12)};
+  probe::ProberOptions options;
+  options.wire_mode = false;
+  options.packets_per_second = 0;
+  probe::Prober plain_prober{world.internet, clock, options};
+  probe::Prober telemetry_prober{world.internet, clock, options};
+  telemetry::Registry registry;
+  registry.set_clock(&clock);
+  telemetry_prober.attach_telemetry(registry);
+  const auto& pool = world.internet.provider(world.versatel).pools()[0];
+
+  probe_loop_rate(plain_prober, pool, kBatch / 4);  // warm-up, discarded
+  probe_loop_rate(telemetry_prober, pool, kBatch / 4);
   double best_plain = 0;
   double best_telemetry = 0;
+  std::vector<double> overheads;
+  overheads.reserve(kTrials);
   for (int t = 0; t < kTrials; ++t) {
-    best_plain = std::max(best_plain, probe_loop_rate(false, kBatch));
-    best_telemetry = std::max(best_telemetry, probe_loop_rate(true, kBatch));
+    double plain = 0;
+    double telemetry = 0;
+    if (t % 2 == 0) {
+      plain = probe_loop_rate(plain_prober, pool, kBatch);
+      telemetry = probe_loop_rate(telemetry_prober, pool, kBatch);
+    } else {
+      telemetry = probe_loop_rate(telemetry_prober, pool, kBatch);
+      plain = probe_loop_rate(plain_prober, pool, kBatch);
+    }
+    best_plain = std::max(best_plain, plain);
+    best_telemetry = std::max(best_telemetry, telemetry);
+    overheads.push_back(plain / telemetry - 1.0);
   }
-  const double overhead = best_plain / best_telemetry - 1.0;
+  std::nth_element(overheads.begin(), overheads.begin() + kTrials / 2,
+                   overheads.end());
+  const double overhead = overheads[kTrials / 2];
   const bool ok = overhead < 0.05;
   std::printf("telemetry overhead guard: plain=%.3gM/s telemetry=%.3gM/s "
               "overhead=%.2f%% (budget 5%%) %s\n",
@@ -1274,6 +1312,87 @@ bool check_telemetry_overhead(BenchReport& report) {
   report.telemetry_attached_mops = best_telemetry / 1e6;
   report.telemetry_overhead_pct = overhead * 100;
   report.telemetry_ok = ok;
+  return ok;
+}
+
+// Trace-overhead guard: the flight-recorder/sketch sample wrapped around
+// every columnar ingest batch (core/sweep_ingest.cpp's on_results) must be
+// invisible when tracing is off and near-free when it is on.
+
+/// Best-of-N cost of one ScopedSample against the given (possibly null)
+/// sinks, in nanoseconds. DoNotOptimize keeps the pointers opaque so the
+/// null case measures the real runtime branches, not a folded-away loop.
+double scoped_sample_cost_ns(trace::TraceRecorder* recorder,
+                             trace::QuantileSketch* sketch) {
+  constexpr int kIters = 1 << 20;
+  constexpr int kTrials = 5;
+  double best = 1e18;
+  for (int t = 0; t < kTrials; ++t) {
+    benchmark::DoNotOptimize(recorder);
+    benchmark::DoNotOptimize(sketch);
+    const auto start = std::chrono::steady_clock::now();
+    for (int i = 0; i < kIters; ++i) {
+      const trace::ScopedSample sample{recorder, sketch, "ingest.batch"};
+      benchmark::DoNotOptimize(i);
+    }
+    best = std::min(best, seconds_since(start) * 1e9 / kIters);
+  }
+  return best;
+}
+
+/// Guards the tracing budgets on the columnar ingest hot path. The cost of
+/// one instrumentation sample is measured directly (a tight 1M-iteration
+/// loop is stable to fractions of a nanosecond even on a noisy host) and
+/// expressed as a fraction of one measured 256-row ingest batch — the
+/// engine's callback grain on the 1M-row path. Differential wall-clock A/B
+/// at full ingest scale cannot resolve a <1% effect under multi-percent
+/// scheduler jitter; this ratio can. Floors: idle (null recorder and
+/// sketch — two predicted branches) < 1% of a batch, live tracing (four
+/// clock reads, two ring writes, one sketch observe) < 5%.
+bool check_trace_overhead(BenchReport& report) {
+  constexpr std::size_t kRows = std::size_t{1} << 20;
+  constexpr std::size_t kBatchRows = 256;
+  const auto stream = make_ingest_stream(0x7A3, kRows);
+
+  // Median-of-3 batched ingest passes -> ns per 256-row batch.
+  std::array<double, 3> times{};
+  for (double& t : times) {
+    core::ObservationStore store;
+    const auto start = std::chrono::steady_clock::now();
+    for (std::size_t i = 0; i < stream.size(); i += kBatchRows) {
+      store.add_all(std::span<const core::Observation>{
+          stream.data() + i, std::min(kBatchRows, stream.size() - i)});
+    }
+    t = seconds_since(start);
+    benchmark::DoNotOptimize(store.unique_responses());
+  }
+  std::sort(times.begin(), times.end());
+  const double batch_ns =
+      times[1] * 1e9 / static_cast<double>(stream.size() / kBatchRows);
+
+  trace::TraceRecorder recorder{1 << 14};
+  trace::QuantileSketch sketch;
+  const double idle_ns = scoped_sample_cost_ns(nullptr, nullptr);
+  const double enabled_ns = scoped_sample_cost_ns(&recorder, &sketch);
+  benchmark::DoNotOptimize(recorder.size());
+  benchmark::DoNotOptimize(sketch.count());
+
+  const double idle_overhead = idle_ns / batch_ns;
+  const double enabled_overhead = enabled_ns / batch_ns;
+  const bool ok = idle_overhead < 0.01 && enabled_overhead < 0.05;
+  std::printf(
+      "trace overhead guard (%zu rows, %zu-row batches): batch=%.0fns "
+      "idle sample=%.2fns (%.3f%%, budget 1%%) enabled sample=%.1fns "
+      "(%.3f%%, budget 5%%) %s\n",
+      kRows, kBatchRows, batch_ns, idle_ns, idle_overhead * 100, enabled_ns,
+      enabled_overhead * 100, ok ? "OK" : "FAILED");
+  report.trace_rows = kRows;
+  report.trace_batch_ns = batch_ns;
+  report.trace_idle_sample_ns = idle_ns;
+  report.trace_enabled_sample_ns = enabled_ns;
+  report.trace_idle_overhead_pct = idle_overhead * 100;
+  report.trace_enabled_overhead_pct = enabled_overhead * 100;
+  report.trace_ok = ok;
   return ok;
 }
 
@@ -1429,6 +1548,18 @@ void write_report_json(const BenchReport& r, bool guards_ok) {
                r.telemetry_plain_mops, r.telemetry_attached_mops,
                r.telemetry_overhead_pct);
   std::fprintf(f,
+               "  \"trace\": {\n"
+               "    \"rows\": %zu,\n"
+               "    \"batch_ns\": %.1f,\n"
+               "    \"idle_sample_ns\": %.3f,\n"
+               "    \"enabled_sample_ns\": %.2f,\n"
+               "    \"idle_overhead_pct\": %.3f,\n"
+               "    \"enabled_overhead_pct\": %.3f\n"
+               "  },\n",
+               r.trace_rows, r.trace_batch_ns, r.trace_idle_sample_ns,
+               r.trace_enabled_sample_ns, r.trace_idle_overhead_pct,
+               r.trace_enabled_overhead_pct);
+  std::fprintf(f,
                "  \"analysis\": {\n"
                "    \"rows\": %zu,\n"
                "    \"devices\": %zu,\n"
@@ -1481,6 +1612,7 @@ int main(int argc, char** argv) {
   BenchReport report;
   report.hardware_threads = std::max(1u, std::thread::hardware_concurrency());
   const bool telemetry_ok = check_telemetry_overhead(report);
+  const bool trace_ok = check_trace_overhead(report);
   const bool scaling_ok = check_sweep_scaling(report);
   const bool ingest_ok = check_ingest_guard(report);
   const bool corpus_ok = check_corpus_guards(report);
@@ -1496,14 +1628,15 @@ int main(int argc, char** argv) {
   }
   report.guard_status = {
       {"telemetry", telemetry_ok, true, 1, ""},
+      {"trace", trace_ok, true, 1, ""},
       {"sweep_scaling", scaling_ok, report.sweep_floor_enforced, 8,
        sweep_skip},
       {"ingest", ingest_ok, true, 1, ""},
       {"corpus", corpus_ok, true, 1, ""},
       {"analysis", analysis_ok, true, 1, ""},
   };
-  const bool guards_ok =
-      telemetry_ok && scaling_ok && ingest_ok && corpus_ok && analysis_ok;
+  const bool guards_ok = telemetry_ok && trace_ok && scaling_ok &&
+                         ingest_ok && corpus_ok && analysis_ok;
   write_report_json(report, guards_ok);
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;

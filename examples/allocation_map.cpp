@@ -22,7 +22,7 @@ namespace {
 using namespace scent;
 
 void map_one(probe::Prober& prober, const sim::Internet& internet,
-             std::size_t provider_index) {
+             std::size_t provider_index, trace::TraceCollector* trace) {
   const auto& provider = internet.provider(provider_index);
   const auto& pool = provider.pools()[0];
   const net::Prefix p48{pool.config().prefix.base(), 48};
@@ -43,6 +43,7 @@ void map_one(probe::Prober& prober, const sim::Internet& internet,
   // Algorithm 1 over the sweep: one fused pass accumulates every device's
   // probed-target /64 span; the median derives from the aggregate table.
   analysis::AnalysisOptions aopt;
+  aopt.trace = trace;
   aopt.attribute = false;
   aopt.collect_sightings = false;
   const analysis::AggregateTable table = analysis::analyze(store, nullptr,
@@ -62,7 +63,8 @@ void map_one(probe::Prober& prober, const sim::Internet& internet,
 int main(int argc, char** argv) {
   using namespace scent;
   // Shared flags accepted for CLI uniformity; the map renders to stdout.
-  (void)examples::Cli::parse(argc, argv);
+  const examples::Cli cli = examples::Cli::parse(argc, argv);
+  examples::TraceSink trace_sink{cli};
   sim::PaperWorldOptions options;
   options.tail_as_count = 0;
   options.inject_pathologies = false;
@@ -75,8 +77,9 @@ int main(int argc, char** argv) {
 
   std::printf("Each character = one sampled /64; letters are distinct\n"
               "responding CPE addresses, '.' is silence (Figure 3 style).\n");
-  map_one(prober, world.internet, world.entel);      // /56 bands
-  map_one(prober, world.internet, world.bhtelecom);  // /60 sub-bands
-  map_one(prober, world.internet, world.starcat);    // /64 pixels
-  return 0;
+  trace::TraceCollector* trace = trace_sink.collector();
+  map_one(prober, world.internet, world.entel, trace);      // /56 bands
+  map_one(prober, world.internet, world.bhtelecom, trace);  // /60 sub-bands
+  map_one(prober, world.internet, world.starcat, trace);    // /64 pixels
+  return trace_sink.finish() ? 0 : 1;
 }

@@ -98,12 +98,15 @@ int main(int argc, char** argv) {
   journal.open(cli.path("checkpoint_campaign_journal.jsonl"));
   journal.set_clock(&clock);
 
+  examples::TraceSink trace_sink{cli};
+
   core::CampaignOptions options;
   options.days = days;
   options.threads = cli.threads;
   options.checkpoint_dir = cli.out_dir;
   options.registry = &registry;
   options.journal = &journal;
+  options.trace = trace_sink.collector();
   unsigned committed = 0;
   options.on_day_complete = [&](const core::DaySummary& summary) {
     if (!digest_only) {
@@ -124,6 +127,7 @@ int main(int argc, char** argv) {
   const core::CampaignResult result =
       run_campaign(world.internet, clock, prober, targets, options);
   journal.close();
+  if (!trace_sink.finish()) return 1;
 
   const std::uint64_t digest = campaign_digest(result);
   if (digest_only) {

@@ -29,6 +29,7 @@ int main(int argc, char** argv) {
   // --out-dir=DIR is where the journal and corpus artifacts land.
   const examples::Cli cli = examples::Cli::parse(argc, argv);
   const unsigned threads = cli.threads;
+  examples::TraceSink trace_sink{cli};
 
   // A small world: one rotating and one static provider (plus everything
   // the paper's pipeline needs: BGP view, ICMPv6 semantics, EUI-64 CPE).
@@ -72,6 +73,7 @@ int main(int argc, char** argv) {
   boot.threads = threads;
   boot.registry = &registry;
   boot.journal = &journal;
+  boot.trace = trace_sink.collector();
   const core::BootstrapResult funnel =
       core::run_bootstrap(world.internet, clock, prober, boot);
 
@@ -127,5 +129,6 @@ int main(int argc, char** argv) {
                 journal.events_written());
   }
 
+  if (!trace_sink.finish()) return 1;
   return funnel.rotating_48s.empty() ? 1 : 0;
 }

@@ -1,23 +1,31 @@
 // example_util.h - CLI plumbing shared by every example.
 //
-// Two flags, parsed identically everywhere:
-//   --threads=N    worker shards for engine-backed sweeps (0 = hardware
-//                  concurrency); bit-identical results at any value.
-//   --out-dir=DIR  where journals, snapshots and other artifacts land
-//                  (created if needed; default "." — never a hardcoded
-//                  file name in the repo root).
+// Three flags, parsed identically everywhere:
+//   --threads=N      worker shards for engine-backed sweeps (0 = hardware
+//                    concurrency); bit-identical results at any value.
+//   --out-dir=DIR    where journals, snapshots and other artifacts land
+//                    (created if needed; default "." — never a hardcoded
+//                    file name in the repo root).
+//   --trace-out=FILE write a Chrome trace-event JSON timeline of the run
+//                    (open in https://ui.perfetto.dev or chrome://tracing).
 #pragma once
 
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <filesystem>
+#include <memory>
 #include <string>
+
+#include "trace/chrome_export.h"
+#include "trace/recorder.h"
 
 namespace scent::examples {
 
 struct Cli {
   unsigned threads = 1;
   std::string out_dir = ".";
+  std::string trace_out;  ///< Empty = tracing off.
 
   /// Parses the shared flags; unrecognized arguments are left for the
   /// example's own parsing.
@@ -29,6 +37,8 @@ struct Cli {
             static_cast<unsigned>(std::strtoul(argv[i] + 10, nullptr, 10));
       } else if (std::strncmp(argv[i], "--out-dir=", 10) == 0) {
         cli.out_dir = argv[i] + 10;
+      } else if (std::strncmp(argv[i], "--trace-out=", 12) == 0) {
+        cli.trace_out = argv[i] + 12;
       }
     }
     if (cli.out_dir.empty()) cli.out_dir = ".";
@@ -43,6 +53,42 @@ struct Cli {
   [[nodiscard]] std::string path(const std::string& file) const {
     return out_dir + "/" + file;
   }
+};
+
+/// Owns the optional trace collector behind --trace-out. collector() is
+/// null when tracing is off — the same pointer the instrumented layers
+/// null-check — and finish() writes the Chrome trace-event JSON file and
+/// reports it on stdout. Safe to call finish() exactly once, at the end.
+class TraceSink {
+ public:
+  explicit TraceSink(const Cli& cli) : path_(cli.trace_out) {
+    if (!path_.empty()) {
+      collector_ = std::make_unique<trace::TraceCollector>();
+    }
+  }
+
+  [[nodiscard]] trace::TraceCollector* collector() noexcept {
+    return collector_.get();
+  }
+
+  /// Writes the trace when enabled. Returns false only on write failure.
+  bool finish() {
+    if (collector_ == nullptr) return true;
+    if (!trace::write_chrome_trace(path_, *collector_)) {
+      std::fprintf(stderr, "trace write failed: %s\n", path_.c_str());
+      return false;
+    }
+    std::printf("trace: %s (%llu events across %zu lanes, %llu dropped)\n",
+                path_.c_str(),
+                static_cast<unsigned long long>(collector_->total_events()),
+                collector_->lanes().size(),
+                static_cast<unsigned long long>(collector_->total_dropped()));
+    return true;
+  }
+
+ private:
+  std::string path_;
+  std::unique_ptr<trace::TraceCollector> collector_;
 };
 
 }  // namespace scent::examples

@@ -20,9 +20,10 @@
 int main(int argc, char** argv) {
   using namespace scent;
 
-  // Accepts the shared --threads/--out-dir flags like every example; the
-  // quickstart itself is stdout-only, so neither changes what it prints.
-  (void)examples::Cli::parse(argc, argv);
+  // Accepts the shared flags like every example; the quickstart probes
+  // serially, so --trace-out yields an empty (but valid) timeline.
+  const examples::Cli cli = examples::Cli::parse(argc, argv);
+  examples::TraceSink trace_sink{cli};
 
   // --- 1. EUI-64 is reversible: address -> MAC -> manufacturer.
   const auto addr = *net::Ipv6Address::parse("2001:16b8:2:300:3a10:d5ff:feaa:bbcc");
@@ -78,6 +79,7 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(attempt.probes_sent),
               attempt.found ? attempt.address.to_string().c_str() : "-");
 
+  if (!trace_sink.finish()) return 1;
   return attempt.found &&
                  net::embedded_mac(attempt.address) == target_mac &&
                  attempt.address == wan_tomorrow

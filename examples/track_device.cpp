@@ -26,6 +26,7 @@ int main(int argc, char** argv) {
 
   // --out-dir=DIR routes the per-attempt tracker journal.
   const examples::Cli cli = examples::Cli::parse(argc, argv);
+  examples::TraceSink trace_sink{cli};
 
   sim::PaperWorld world = sim::make_tiny_world(0xCA5E, 64);
   sim::VirtualClock clock{sim::hours(12)};
@@ -73,6 +74,7 @@ int main(int argc, char** argv) {
   // pass over the corpus; Algorithm 1 reads only the day-0 target spans (the
   // [0, day0_rows) window), Algorithm 2 the full-week response spans.
   analysis::AnalysisOptions aopt;
+  aopt.trace = trace_sink.collector();
   aopt.attribute = false;
   aopt.collect_sightings = false;
   const analysis::AggregateTable day0 = analysis::analyze(
@@ -128,5 +130,5 @@ int main(int argc, char** argv) {
                 cli.path("track_device_journal.jsonl").c_str(),
                 journal.events_written());
   }
-  return 0;
+  return trace_sink.finish() ? 0 : 1;
 }

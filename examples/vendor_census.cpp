@@ -23,6 +23,7 @@ int main(int argc, char** argv) {
 
   // --out-dir=DIR routes the census corpus export.
   const examples::Cli cli = examples::Cli::parse(argc, argv);
+  examples::TraceSink trace_sink{cli};
 
   sim::PaperWorldOptions options;
   options.tail_as_count = 6;
@@ -48,6 +49,7 @@ int main(int argc, char** argv) {
   // One fused pass over the corpus; the census derives from the merged
   // per-device aggregate table (as would any other report — no rescans).
   analysis::AnalysisOptions aopt;
+  aopt.trace = trace_sink.collector();
   aopt.collect_targets = false;
   aopt.collect_sightings = false;
   const analysis::AggregateTable agg =
@@ -82,5 +84,6 @@ int main(int argc, char** argv) {
     std::printf("corpus export: %s (%zu observations)\n", csv_path.c_str(),
                 store.size());
   }
+  if (!trace_sink.finish()) return 1;
   return census.empty() ? 1 : 0;
 }

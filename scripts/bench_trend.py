@@ -1,0 +1,162 @@
+#!/usr/bin/env python3
+"""bench_trend.py - perf-trend harness over bench_micro's guard JSON.
+
+Compares a fresh bench run (written via SCENT_BENCH_JSON) against the
+committed BENCH_micro.json baseline, metric by metric:
+
+  python3 scripts/bench_trend.py --baseline BENCH_micro.json \
+      --fresh /tmp/bench_fresh.json --history BENCH_history.jsonl
+
+* Every numeric metric present in both files is printed with its delta and
+  a direction-aware verdict: throughput-like metrics (M ops/s, speedups,
+  rows/s) should not fall, cost-like metrics (milliseconds, overhead %,
+  bytes per observation) should not rise.
+* A move past --regress-pct (default 10%) in the bad direction is flagged
+  as a REGRESSION, past the same threshold in the good direction as an
+  improvement; anything within the band is noise and stays quiet unless
+  --verbose.
+* Each run appends one JSON line (timestamp, headline metrics, flags) to
+  --history so the trajectory across PRs survives baseline refreshes. The
+  history file is an append-only local artifact and is gitignored.
+
+Exit status: 1 if the fresh run's own guards failed (guards.all_ok false)
+or, with --strict, if any regression was flagged; 0 otherwise. The default
+is advisory because shared CI hosts jitter far more than 10% — the hard
+floors live in bench_micro itself.
+"""
+
+import argparse
+import datetime
+import json
+import sys
+
+# Substring -> direction. "up" = bigger is better, "down" = smaller is
+# better. First match wins; metrics matching nothing are reported but never
+# flagged (counts, sizes and thread tallies have no good direction).
+DIRECTION_RULES = [
+    ("overhead_pct", "down"),
+    ("_ms", "down"),
+    ("bytes_per_obs", "down"),
+    ("sample_ns", "down"),
+    ("batch_ns", "down"),
+    ("file_bytes", "down"),
+    ("mops", "up"),
+    ("mrows_per_s", "up"),
+    ("speedup", "up"),
+    ("reduction_pct", "up"),
+]
+
+# Metrics summarized into each history line: one headline number per
+# guarded subsystem.
+HEADLINE = [
+    "ingest.columnar_mops",
+    "analysis.fused_ms",
+    "corpus.save_mrows_per_s",
+    "corpus.load_mrows_per_s",
+    "telemetry.overhead_pct",
+    "trace.idle_overhead_pct",
+    "trace.enabled_overhead_pct",
+    "sweep_scaling.serial_mops",
+    "containers.flat_insert_mops",
+]
+
+
+def flatten(node, prefix=""):
+    """Dotted-path -> value map over nested dicts (lists are opaque)."""
+    out = {}
+    if isinstance(node, dict):
+        for key, value in node.items():
+            path = f"{prefix}.{key}" if prefix else key
+            out.update(flatten(value, path))
+    elif isinstance(node, (int, float)) and not isinstance(node, bool):
+        out[prefix] = float(node)
+    return out
+
+
+def direction_for(path):
+    for needle, direction in DIRECTION_RULES:
+        if needle in path:
+            return direction
+    return None
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="diff a fresh bench_micro JSON against the baseline")
+    parser.add_argument("--baseline", default="BENCH_micro.json")
+    parser.add_argument("--fresh", required=True)
+    parser.add_argument("--history", default=None,
+                        help="JSONL file to append this run's summary to")
+    parser.add_argument("--regress-pct", type=float, default=10.0,
+                        help="flag moves past this %% in the bad direction")
+    parser.add_argument("--strict", action="store_true",
+                        help="exit nonzero when a regression is flagged")
+    parser.add_argument("--verbose", action="store_true",
+                        help="also print metrics inside the noise band")
+    args = parser.parse_args()
+
+    with open(args.baseline) as f:
+        baseline = json.load(f)
+    with open(args.fresh) as f:
+        fresh = json.load(f)
+
+    base_metrics = flatten(baseline)
+    fresh_metrics = flatten(fresh)
+    shared = sorted(set(base_metrics) & set(fresh_metrics))
+    if not shared:
+        print("bench_trend: no shared numeric metrics; wrong files?",
+              file=sys.stderr)
+        return 1
+
+    regressions = []
+    improvements = []
+    print(f"bench trend: {args.fresh} vs {args.baseline} "
+          f"({len(shared)} shared metrics, +/-{args.regress_pct:g}% band)")
+    for path in shared:
+        base, new = base_metrics[path], fresh_metrics[path]
+        if base == 0:
+            continue  # nothing to express a ratio against
+        delta_pct = (new / base - 1.0) * 100.0
+        direction = direction_for(path)
+        verdict = ""
+        if direction is not None and abs(delta_pct) >= args.regress_pct:
+            bad = delta_pct < 0 if direction == "up" else delta_pct > 0
+            verdict = "REGRESSION" if bad else "improved"
+            (regressions if bad else improvements).append(
+                (path, base, new, delta_pct))
+        if verdict or args.verbose:
+            arrow = {"up": "^", "down": "v", None: "-"}[direction]
+            print(f"  {path:42s} {base:12.3f} -> {new:12.3f} "
+                  f"{delta_pct:+7.2f}% [{arrow}] {verdict}")
+
+    guards_ok = bool(fresh.get("guards", {}).get("all_ok", False))
+    print(f"  guards.all_ok: {guards_ok}; "
+          f"{len(regressions)} regression(s), "
+          f"{len(improvements)} improvement(s) flagged")
+    for path, base, new, delta_pct in regressions:
+        print(f"  REGRESSION {path}: {base:.3f} -> {new:.3f} "
+              f"({delta_pct:+.1f}%)", file=sys.stderr)
+
+    if args.history:
+        entry = {
+            "timestamp": datetime.datetime.now(datetime.timezone.utc)
+                         .isoformat(timespec="seconds"),
+            "baseline": args.baseline,
+            "guards_ok": guards_ok,
+            "metrics": {p: fresh_metrics[p] for p in HEADLINE
+                        if p in fresh_metrics},
+            "regressions": [p for p, *_ in regressions],
+        }
+        with open(args.history, "a") as f:
+            f.write(json.dumps(entry, sort_keys=True) + "\n")
+        print(f"  history: appended to {args.history}")
+
+    if not guards_ok:
+        return 1
+    if args.strict and regressions:
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -5,13 +5,19 @@
 #   scripts/check.sh --fast     # plain build + ctest only
 #
 # The plain pass is the repo's tier-1 gate (ROADMAP.md). The bench-guard leg
-# runs bench_micro's enforced perf floors (telemetry overhead, sweep scaling,
-# ingest throughput, bytes per observation, snapshot save/load, incremental
-# differencing, fused analysis speedup) and refreshes the machine-readable
-# BENCH_micro.json snapshot; a follow-up audit of guards.entries fails the
-# run if any guard reported itself skipped on hardware that could have run
-# it — a guard may only be waved through when the host genuinely lacks the
-# threads its floor needs.
+# runs bench_micro's enforced perf floors (telemetry overhead, trace
+# instrumentation overhead, sweep scaling, ingest throughput, bytes per
+# observation, snapshot save/load, incremental differencing, fused analysis
+# speedup) into a fresh JSON report; a follow-up audit of guards.entries
+# fails the run if any guard reported itself skipped on hardware that could
+# have run it — a guard may only be waved through when the host genuinely
+# lacks the threads its floor needs. bench_trend.py then diffs the fresh
+# report against the committed BENCH_micro.json baseline metric by metric
+# (advisory deltas; the hard floors already ran) and appends one line to
+# the local BENCH_history.jsonl trajectory.
+# The trace leg runs a traced checkpoint campaign and validates the Chrome
+# trace-event JSON it writes: parseable, the required keys present, and
+# the expected per-shard lanes rendered.
 # The checkpoint/resume leg kills a checkpointed campaign mid-flight and
 # asserts the resumed run's digest and on-disk snapshot chain are
 # byte-identical to an uninterrupted run, at 1 and 4 threads (§5f).
@@ -36,10 +42,16 @@ if [[ "${1:-}" == "--fast" ]]; then
   exit 0
 fi
 
-echo "== bench guards: perf floors + BENCH_micro.json (bench_micro) =="
+bench_tmp=$(mktemp -d)
+trap 'rm -rf "$bench_tmp"' EXIT
+
+echo "== bench guards: perf floors (bench_micro) =="
 # Exits nonzero if any guard floor is missed; the filter skips the
-# registered microbenchmarks (the guards measure everything the JSON needs).
-SCENT_BENCH_JSON=BENCH_micro.json \
+# registered microbenchmarks (the guards measure everything the JSON
+# needs). The report lands in a temp file so a noisy run never clobbers
+# the committed baseline — refresh BENCH_micro.json deliberately, with
+# SCENT_BENCH_JSON=BENCH_micro.json, when a PR moves the floors.
+SCENT_BENCH_JSON="$bench_tmp/bench_fresh.json" \
   ./build/bench/bench_micro --benchmark_filter='^$'
 
 echo "== bench guards: no guard skipped on capable hardware =="
@@ -47,10 +59,10 @@ echo "== bench guards: no guard skipped on capable hardware =="
 # too few cores, recording why in guards.entries[].skipped_reason. That
 # escape hatch must never fire on a machine that has the threads: a skip
 # with required_threads <= nproc means the guard was dodged, not gated.
-python3 - "$(nproc)" <<'PYEOF'
-import json, sys
+SCENT_BENCH_FRESH="$bench_tmp/bench_fresh.json" python3 - "$(nproc)" <<'PYEOF'
+import json, os, sys
 nproc = int(sys.argv[1])
-entries = json.load(open("BENCH_micro.json"))["guards"]["entries"]
+entries = json.load(open(os.environ["SCENT_BENCH_FRESH"]))["guards"]["entries"]
 bad = [e for e in entries
        if e["skipped_reason"] is not None and e["required_threads"] <= nproc]
 for e in bad:
@@ -63,9 +75,35 @@ print(f"  enforced: {', '.join(ok)}"
 sys.exit(1 if bad else 0)
 PYEOF
 
+echo "== bench trend: fresh run vs committed BENCH_micro.json baseline =="
+python3 scripts/bench_trend.py --baseline BENCH_micro.json \
+  --fresh "$bench_tmp/bench_fresh.json" --history BENCH_history.jsonl
+
+echo "== trace: Perfetto-loadable timeline from a traced campaign =="
+./build/examples/checkpoint_campaign --days=3 --threads=4 \
+  --out-dir="$bench_tmp/traced" --trace-out="$bench_tmp/trace.json" \
+  > /dev/null
+python3 -m json.tool "$bench_tmp/trace.json" > /dev/null
+SCENT_TRACE_JSON="$bench_tmp/trace.json" python3 - <<'PYEOF'
+import json, os, sys
+doc = json.load(open(os.environ["SCENT_TRACE_JSON"]))
+events = doc["traceEvents"]
+assert events, "empty traceEvents"
+for required in ("name", "ph", "ts", "pid", "tid"):
+    missing = [e for e in events if required not in e]
+    assert not missing, f"events missing '{required}': {missing[:3]}"
+lanes = {e["args"]["name"] for e in events
+         if e.get("ph") == "M" and e["name"] == "thread_name"}
+for expect in ("campaign", "sweep shard 0", "ingest shard 0",
+               "analysis shard 0"):
+    assert expect in lanes, f"missing lane '{expect}' in {sorted(lanes)}"
+print(f"  {len(events)} events across {len(lanes)} lanes, "
+      f"{doc['otherData']['dropped_events']} dropped: OK")
+PYEOF
+
 echo "== checkpoint/resume: kill-and-resume byte-identical corpus =="
 resume_tmp=$(mktemp -d)
-trap 'rm -rf "$resume_tmp"' EXIT
+trap 'rm -rf "$bench_tmp" "$resume_tmp"' EXIT
 for t in 1 4; do
   rm -rf "$resume_tmp/killed" "$resume_tmp/whole"
   mkdir -p "$resume_tmp/killed" "$resume_tmp/whole"

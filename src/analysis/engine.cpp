@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstdio>
+#include <memory>
 #include <utility>
 
 #include "engine/parallel.h"
@@ -37,6 +39,8 @@ using ScanDeviceMap =
 struct ShardScratch {
   AggregateTable table;  ///< Counters and window snapshots during the scan.
   ScanDeviceMap devices;
+  std::unique_ptr<trace::TraceRecorder> recorder;  ///< Only when tracing.
+  std::uint64_t scan_ns = 0;  ///< Shard scan wall time, for the sketch.
 };
 
 void note_day(DeviceAggregate& dev, std::int64_t day) {
@@ -326,8 +330,15 @@ AggregateTable analyze(const AnalysisInput& input, const routing::BgpTable* bgp,
   std::vector<ShardScratch> shards(threads);
   for (ShardScratch& shard : shards) {
     shard.table.window_snapshots.resize(options.windows.size());
+    if (options.trace != nullptr) {
+      shard.recorder = std::make_unique<trace::TraceRecorder>(
+          options.trace->recorder_capacity());
+    }
   }
   engine::run_shards(threads, [&](unsigned s) {
+    trace::TraceRecorder* recorder = shards[s].recorder.get();
+    const std::uint64_t scan_start = trace::TraceRecorder::now_wall_ns();
+    if (recorder != nullptr) recorder->begin("analysis.scan_shard");
     const engine::RowRange range = engine::shard_rows(total, threads, s);
     input.scan(range.begin, range.end, options.collect_targets,
                [&](std::size_t first_row,
@@ -338,6 +349,13 @@ AggregateTable analyze(const AnalysisInput& input, const routing::BgpTable* bgp,
                                   shared_cache, lazy_cache, first_row,
                                   targets, responses, times);
                });
+    if (recorder != nullptr) {
+      recorder->end("analysis.scan_shard");
+      recorder->counter(
+          "analysis.rows",
+          static_cast<std::int64_t>(shards[s].table.rows_scanned));
+    }
+    shards[s].scan_ns = trace::TraceRecorder::now_wall_ns() - scan_start;
   });
 
   // Phase 3 (serial): merge in shard order == row order == serial order.
@@ -375,6 +393,19 @@ AggregateTable analyze(const AnalysisInput& input, const routing::BgpTable* bgp,
   out.threads_used = threads;
   out.failed_files = input.failed_files();
   if (attributor != nullptr) build_rollups(out);
+
+  // Trace lanes and the scan-latency sketch fold in at the same merge
+  // point as the tables, in the same shard order.
+  for (unsigned s = 0; s < threads; ++s) {
+    if (options.trace != nullptr && shards[s].recorder != nullptr) {
+      char lane[32];
+      std::snprintf(lane, sizeof lane, "analysis shard %u", s);
+      options.trace->drain(lane, *shards[s].recorder);
+    }
+    if (registry != nullptr) {
+      registry->sketch("analysis.scan_ns").observe(shards[s].scan_ns);
+    }
+  }
 
   if (registry != nullptr) {
     registry->counter("analysis.passes").inc();

@@ -36,6 +36,7 @@
 #include "netbase/mac_address.h"
 #include "routing/bgp_table.h"
 #include "telemetry/metrics.h"
+#include "trace/recorder.h"
 
 namespace scent::analysis {
 
@@ -74,6 +75,12 @@ struct AnalysisOptions {
 
   /// Row windows to materialize rotation Snapshots for.
   std::vector<RowWindow> windows;
+
+  /// If set, each scan shard records its pass into a shard-local flight
+  /// recorder, drained as "analysis shard s" lanes at the phase-3 merge
+  /// (shard order). With a registry, per-shard scan wall time also lands
+  /// in the "analysis.scan_ns" quantile sketch.
+  trace::TraceCollector* trace = nullptr;
 };
 
 /// One fused pass over `input`. `bgp` may be null when options.attribute

@@ -75,6 +75,7 @@ BootstrapResult run_bootstrap(sim::Internet& internet,
   sweep_options.oversubscribe = options.oversubscribe;
   sweep_options.seed = options.seed;
   sweep_options.merge_registry = prober.telemetry();
+  sweep_options.trace = options.trace;
 
   // Engine-backed sweep straight into the result store: shard traffic is
   // folded into the funnel prober's ledger, per-unit store slices come
@@ -254,6 +255,7 @@ BootstrapResult run_bootstrap(sim::Internet& internet,
   analysis::AnalysisOptions analysis_options;
   analysis_options.threads = options.threads;
   analysis_options.oversubscribe = options.oversubscribe;
+  analysis_options.trace = options.trace;
   analysis_options.attribute = false;
   analysis_options.collect_sightings = false;
   analysis_options.windows = {first_window, second_window};

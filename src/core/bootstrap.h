@@ -30,6 +30,7 @@
 #include "sim/sim_time.h"
 #include "telemetry/journal.h"
 #include "telemetry/metrics.h"
+#include "trace/recorder.h"
 
 namespace scent::core {
 
@@ -77,6 +78,11 @@ struct BootstrapOptions {
   /// rotating /48 are emitted.
   telemetry::Registry* registry = nullptr;
   telemetry::Journal* journal = nullptr;
+
+  /// Optional trace collector: every funnel sweep contributes "sweep
+  /// shard s" / "ingest shard s" lanes and the rotation-stage analysis
+  /// adds "analysis shard s" lanes (see engine::SweepOptions::trace).
+  trace::TraceCollector* trace = nullptr;
 };
 
 struct BootstrapResult {

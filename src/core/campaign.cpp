@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <map>
+#include <memory>
 
 #include "analysis/derive.h"
 #include "analysis/engine.h"
@@ -61,7 +62,8 @@ struct ResumeState {
 /// snapshot in the chain fails to load; the caller then starts over.
 std::optional<ResumeState> replay_checkpoint(
     const corpus::CampaignCheckpoint& prior, const CampaignOptions& options,
-    std::uint64_t digest, CampaignResult& result) {
+    std::uint64_t digest, CampaignResult& result,
+    trace::TraceRecorder* recorder, trace::QuantileSketch* read_sketch) {
   const bool compatible =
       prior.seed == options.seed &&
       prior.scan_time_of_day == options.scan_time_of_day &&
@@ -80,6 +82,7 @@ std::optional<ResumeState> replay_checkpoint(
   for (unsigned day = 0; day < replay; ++day) {
     const corpus::CheckpointDay& record = prior.days[day];
     corpus::SnapshotReader reader;
+    reader.set_trace(recorder, read_sketch);
     const std::size_t before = result.observations.size();
     if (!reader.open(options.checkpoint_dir + "/" + record.snapshot_file) ||
         reader.rows() != record.rows ||
@@ -118,7 +121,33 @@ CampaignResult run_campaign(sim::Internet& internet, sim::VirtualClock& clock,
   const std::uint64_t base_received = prober.counters().received;
   telemetry::Span campaign_span{options.registry, "campaign"};
 
+  // Failed journal writes surface in the telemetry summary, not just in
+  // event()'s return value.
+  if (options.journal != nullptr && options.registry != nullptr) {
+    options.journal->set_drop_counter(
+        &options.registry->counter("journal.dropped"));
+  }
+
+  // Driver-side flight recorder: campaign day phases as one trace lane,
+  // stamped with the campaign clock's virtual time. Stage sketches live in
+  // the registry so they merge/export like every other instrument.
+  std::unique_ptr<trace::TraceRecorder> recorder;
+  if (options.trace != nullptr) {
+    recorder = std::make_unique<trace::TraceRecorder>(
+        options.trace->recorder_capacity());
+    recorder->set_clock(&clock);
+  }
+  telemetry::Registry* registry = options.registry;
+  const auto stage_sketch =
+      [registry](const char* name) -> trace::QuantileSketch* {
+    return registry != nullptr ? &registry->sketch(name) : nullptr;
+  };
+
   const bool checkpointing = !options.checkpoint_dir.empty();
+  trace::QuantileSketch* read_sketch =
+      checkpointing ? stage_sketch("snapshot.section_read_ns") : nullptr;
+  trace::QuantileSketch* write_sketch =
+      checkpointing ? stage_sketch("snapshot.section_write_ns") : nullptr;
   const std::uint64_t digest = targets_digest(targets);
 
   // Resume phase: replay any compatible checkpoint chain, then position
@@ -131,8 +160,10 @@ CampaignResult run_campaign(sim::Internet& internet, sim::VirtualClock& clock,
   corpus::CampaignCheckpoint manifest;
   if (checkpointing) {
     if (const auto prior = corpus::load_checkpoint(options.checkpoint_dir)) {
-      if (const auto resumed =
-              replay_checkpoint(*prior, options, digest, result)) {
+      const trace::ScopedSample resume_sample{recorder.get(), nullptr,
+                                              "campaign.resume"};
+      if (const auto resumed = replay_checkpoint(
+              *prior, options, digest, result, recorder.get(), read_sketch)) {
         start_day = resumed->completed_days;
         first_day = resumed->first_day;
         restored_probes = resumed->probes;
@@ -170,6 +201,7 @@ CampaignResult run_campaign(sim::Internet& internet, sim::VirtualClock& clock,
   sweep_options.oversubscribe = options.oversubscribe;
   sweep_options.seed = options.seed;
   sweep_options.merge_registry = prober.telemetry();
+  sweep_options.trace = options.trace;
 
   std::uint64_t snapshot_bytes = 0;
   std::vector<engine::SweepUnit> day_units;
@@ -177,6 +209,8 @@ CampaignResult run_campaign(sim::Internet& internet, sim::VirtualClock& clock,
     const std::int64_t abs_day = first_day + day;
     clock.advance_to(abs_day * sim::kDay + options.scan_time_of_day);
     telemetry::Span day_span{options.registry, "day"};
+    const trace::ScopedSample day_sample{
+        recorder.get(), stage_sketch("campaign.day_ns"), "campaign.day"};
 
     // The prober's counters are the day's probe/response ledger. The
     // engine's shard traffic is folded back into them after each sweep,
@@ -209,9 +243,12 @@ CampaignResult run_campaign(sim::Internet& internet, sim::VirtualClock& clock,
     }
 
     corpus::SnapshotWriter day_snapshot;
+    day_snapshot.set_trace(recorder.get(), write_sketch);
     const std::size_t day_obs_begin = result.observations.size();
     {
       telemetry::Span sweep_span{options.registry, "sweep"};
+      const trace::ScopedSample sweep_sample{
+          recorder.get(), stage_sketch("campaign.sweep_ns"), "campaign.sweep"};
       const SweepIngest ingest = sweep_into_store(
           internet, clock, day_units, prober.options(), sweep_options,
           result.observations,
@@ -221,6 +258,9 @@ CampaignResult run_campaign(sim::Internet& internet, sim::VirtualClock& clock,
 
     {
       telemetry::Span ingest_span{options.registry, "ingest"};
+      const trace::ScopedSample ingest_sample{
+          recorder.get(), stage_sketch("campaign.ingest_ns"),
+          "campaign.ingest"};
       const ObservationStore& store = result.observations;
       for (std::size_t i = day_obs_begin; i < store.size(); ++i) {
         if (const auto mac = net::embedded_mac(store.response(i))) {
@@ -240,10 +280,14 @@ CampaignResult run_campaign(sim::Internet& internet, sim::VirtualClock& clock,
       // fused sharded pass over the day-0 rows, per-AS medians derived
       // from the merged aggregate table.
       telemetry::Span infer_span{options.registry, "alloc_infer"};
+      const trace::ScopedSample infer_sample{
+          recorder.get(), stage_sketch("campaign.alloc_infer_ns"),
+          "campaign.alloc_infer"};
       analysis::AnalysisOptions analysis_options;
       analysis_options.threads = options.threads;
       analysis_options.oversubscribe = options.oversubscribe;
       analysis_options.collect_sightings = false;
+      analysis_options.trace = options.trace;
       const analysis::AggregateTable table =
           analysis::analyze(result.observations, &internet.bgp(),
                             analysis_options, options.registry);
@@ -263,6 +307,9 @@ CampaignResult run_campaign(sim::Internet& internet, sim::VirtualClock& clock,
     // references it. Ordering matters — a crash between the two leaves a
     // manifest that simply does not know about the newest snapshot yet.
     if (checkpointing && result.checkpoint_ok) {
+      const trace::ScopedSample checkpoint_sample{
+          recorder.get(), stage_sketch("campaign.checkpoint_ns"),
+          "campaign.checkpoint"};
       corpus::CheckpointDay record;
       record.day = abs_day;
       record.probes = summary.probes;
@@ -307,6 +354,10 @@ CampaignResult run_campaign(sim::Internet& internet, sim::VirtualClock& clock,
   result.responses =
       restored_responses + prober.counters().received - base_received;
   campaign_span.stop();
+
+  if (options.trace != nullptr && recorder != nullptr) {
+    options.trace->drain("campaign", *recorder);
+  }
 
   if (options.registry != nullptr) {
     telemetry::Registry& reg = *options.registry;

@@ -24,6 +24,7 @@
 #include "sim/sim_time.h"
 #include "telemetry/journal.h"
 #include "telemetry/metrics.h"
+#include "trace/recorder.h"
 
 namespace scent::core {
 
@@ -66,6 +67,15 @@ struct CampaignOptions {
   /// "day_funnel" record is emitted per campaign day.
   telemetry::Registry* registry = nullptr;
   telemetry::Journal* journal = nullptr;
+
+  /// Optional trace collector. The campaign driver records day/sweep/
+  /// ingest/alloc_infer/checkpoint phase events into a "campaign" lane,
+  /// the engine adds "sweep shard s" and "ingest shard s" lanes, day-0
+  /// inference adds "analysis shard s" lanes, and snapshot I/O is
+  /// bracketed per section — one Perfetto-loadable timeline of the whole
+  /// data plane. With a registry, per-day stage wall latencies also land
+  /// in campaign.*_ns quantile sketches.
+  trace::TraceCollector* trace = nullptr;
 
   /// Invoked after each day is fully committed (summary recorded and, when
   /// checkpointing, its snapshot + manifest durably written). Drives the

@@ -1,14 +1,33 @@
 #include "core/sweep_ingest.h"
 
+#include <cstdio>
+#include <memory>
+
 #include "corpus/snapshot.h"
+#include "engine/parallel.h"
+#include "trace/recorder.h"
 
 namespace scent::core {
 namespace {
 
 /// Shard-local ingest: results land in a private store, unit boundaries
 /// are recorded as store offsets for the post-join range fix-up.
+///
+/// When tracing, each sink owns a flight-recorder ring ("ingest shard s"
+/// lanes — the columnar ingest's own lane group, distinct from the sweep
+/// lanes) and a shard-local batch-latency sketch folded into the merge
+/// registry in shard order. Sink callbacks run inside the prober's sweep,
+/// so per-batch instrumentation here IS the columnar hot path — it must
+/// stay within the bench-guarded idle/enabled overhead budgets.
 class StoreShardSink final : public engine::UnitSink {
  public:
+  void enable_trace(std::size_t recorder_capacity) {
+    recorder_ = std::make_unique<trace::TraceRecorder>(recorder_capacity);
+  }
+  void enable_sketch() {
+    sketch_ = std::make_unique<trace::QuantileSketch>();
+  }
+
   void on_unit_begin(std::size_t unit_index) override {
     ranges_.push_back({unit_index, store_.size(), store_.size()});
   }
@@ -16,6 +35,8 @@ class StoreShardSink final : public engine::UnitSink {
   void on_results(std::size_t unit_index,
                   std::span<const probe::ProbeResult> batch) override {
     (void)unit_index;
+    const trace::ScopedSample sample{recorder_.get(), sketch_.get(),
+                                     "ingest.batch"};
     store_.add_all(batch);
   }
 
@@ -36,10 +57,18 @@ class StoreShardSink final : public engine::UnitSink {
   [[nodiscard]] const std::vector<UnitRange>& ranges() const noexcept {
     return ranges_;
   }
+  [[nodiscard]] trace::TraceRecorder* recorder() noexcept {
+    return recorder_.get();
+  }
+  [[nodiscard]] const trace::QuantileSketch* sketch() const noexcept {
+    return sketch_.get();
+  }
 
  private:
   ObservationStore store_;
   std::vector<UnitRange> ranges_;
+  std::unique_ptr<trace::TraceRecorder> recorder_;
+  std::unique_ptr<trace::QuantileSketch> sketch_;
 };
 
 }  // namespace
@@ -51,7 +80,13 @@ SweepIngest sweep_into_store(sim::Internet& internet, sim::VirtualClock& clock,
                              ObservationStore& store,
                              corpus::SnapshotWriter* snapshot) {
   std::vector<StoreShardSink> sinks(
-      engine::resolve_threads(options.threads));
+      engine::effective_threads(options.threads, options.oversubscribe));
+  for (auto& sink : sinks) {
+    if (options.trace != nullptr) {
+      sink.enable_trace(options.trace->recorder_capacity());
+    }
+    if (options.merge_registry != nullptr) sink.enable_sketch();
+  }
   const auto report = engine::run_sharded_sweep(
       internet, clock, units, prober_options, options,
       [&sinks](unsigned shard) { return &sinks[shard]; });
@@ -62,8 +97,11 @@ SweepIngest sweep_into_store(sim::Internet& internet, sim::VirtualClock& clock,
   ingest.units.resize(units.size());
 
   // Merge in shard order: shards hold contiguous ascending unit ranges, so
-  // concatenation reproduces the serial observation sequence exactly.
-  for (const auto& sink : sinks) {
+  // concatenation reproduces the serial observation sequence exactly. The
+  // ingest trace lanes and batch-latency sketches fold in at the same
+  // point, in the same order.
+  for (std::size_t s = 0; s < sinks.size(); ++s) {
+    StoreShardSink& sink = sinks[s];
     const std::size_t base = store.size();
     store.append(sink.store());
     if (snapshot != nullptr) snapshot->append(sink.store());
@@ -73,6 +111,15 @@ SweepIngest sweep_into_store(sim::Internet& internet, sim::VirtualClock& clock,
       unit.responded = report.units[range.unit].responded;
       unit.obs_begin = base + range.begin;
       unit.obs_end = base + range.end;
+    }
+    if (options.trace != nullptr && sink.recorder() != nullptr) {
+      char lane[32];
+      std::snprintf(lane, sizeof lane, "ingest shard %zu", s);
+      options.trace->drain(lane, *sink.recorder());
+    }
+    if (options.merge_registry != nullptr && sink.sketch() != nullptr) {
+      options.merge_registry->sketch("ingest.batch_ns")
+          .merge_from(*sink.sketch());
     }
   }
   return ingest;

@@ -262,6 +262,8 @@ bool SnapshotWriter::write(const std::string& path) const {
       std::fwrite(header.data(), 1, header.size(), file.handle) ==
       header.size();
   for (std::uint32_t id = 1; id <= kSectionCount; ++id) {
+    const trace::ScopedSample sample{trace_recorder_, trace_sketch_,
+                                     "snapshot.section_write"};
     emit_section(id, [&](const unsigned char* p, std::size_t len) {
       ok = std::fwrite(p, 1, len, file.handle) == len && ok;
     });
@@ -384,6 +386,8 @@ bool SnapshotReader::read_section(std::uint32_t id, Visit&& visit) {
   if (file_ == nullptr) return false;  // preserves the original error
   const Section* s = section(id);
   if (s == nullptr) return fail(SnapshotError::kBadLayout);
+  const trace::ScopedSample sample{trace_recorder_, trace_sketch_,
+                                   "snapshot.section_read"};
   if (std::fseek(file_, static_cast<long>(s->offset), SEEK_SET) != 0) {
     return fail(SnapshotError::kReadFailed);
   }

@@ -53,6 +53,7 @@
 #include "core/observation.h"
 #include "netbase/ipv6_address.h"
 #include "sim/sim_time.h"
+#include "trace/recorder.h"
 
 namespace scent::corpus {
 
@@ -108,6 +109,15 @@ class SnapshotWriter {
   /// writes that only surface at flush/close time (disk full).
   [[nodiscard]] bool write(const std::string& path) const;
 
+  /// Optional section-I/O instrumentation: write() brackets each section
+  /// with begin/end events in `recorder` and observes the per-section
+  /// wall-ns into `sketch`. Either may be null; both default off.
+  void set_trace(trace::TraceRecorder* recorder,
+                 trace::QuantileSketch* sketch) noexcept {
+    trace_recorder_ = recorder;
+    trace_sketch_ = sketch;
+  }
+
   void clear();
 
  private:
@@ -122,6 +132,8 @@ class SnapshotWriter {
   /// rotation Snapshot semantics, precomputed).
   container::FlatMap<net::Ipv6Address, net::Ipv6Address, net::Ipv6AddressHash>
       eui_pairs_;
+  trace::TraceRecorder* trace_recorder_ = nullptr;
+  trace::QuantileSketch* trace_sketch_ = nullptr;
 };
 
 /// Opens a snapshot and serves columns lazily: each read_* call touches
@@ -139,6 +151,15 @@ class SnapshotReader {
   /// returns false with error() set; the reader stays unusable.
   [[nodiscard]] bool open(const std::string& path);
   void close();
+
+  /// Optional section-I/O instrumentation, mirroring SnapshotWriter: each
+  /// section read is bracketed in `recorder` and its wall-ns observed into
+  /// `sketch`. Either may be null; both default off.
+  void set_trace(trace::TraceRecorder* recorder,
+                 trace::QuantileSketch* sketch) noexcept {
+    trace_recorder_ = recorder;
+    trace_sketch_ = sketch;
+  }
 
   [[nodiscard]] bool is_open() const noexcept { return file_ != nullptr; }
   [[nodiscard]] SnapshotError error() const noexcept { return error_; }
@@ -188,6 +209,8 @@ class SnapshotReader {
   SnapshotError error_ = SnapshotError::kNone;
   std::uint64_t rows_ = 0;
   std::array<Section, kMaxSectionId + 1> sections_{};
+  trace::TraceRecorder* trace_recorder_ = nullptr;
+  trace::QuantileSketch* trace_sketch_ = nullptr;
 };
 
 }  // namespace scent::corpus

@@ -1,11 +1,14 @@
 #include "engine/executor.h"
 
+#include <cstdio>
+#include <memory>
 #include <thread>
 #include <utility>
 
 #include "engine/parallel.h"
 #include "sim/rng.h"
 #include "telemetry/metrics.h"
+#include "trace/recorder.h"
 
 namespace scent::engine {
 
@@ -59,6 +62,7 @@ struct ShardState {
   probe::Prober::Counters counters;
   sim::Internet::Stats stats;
   telemetry::Registry registry;
+  std::unique_ptr<trace::TraceRecorder> recorder;  ///< Only when tracing.
 };
 
 }  // namespace
@@ -81,11 +85,19 @@ SweepReport run_sharded_sweep(
   for (unsigned s = 0; s < threads; ++s) sinks[s] = sink_for_shard(s);
 
   std::vector<ShardState> shards(threads);
+  if (options.trace != nullptr) {
+    for (auto& shard : shards) {
+      shard.recorder = std::make_unique<trace::TraceRecorder>(
+          options.trace->recorder_capacity());
+    }
+  }
 
   const auto run_shard = [&](unsigned s) {
     ShardState& state = shards[s];
     UnitSink* sink = sinks[s];
     sim::VirtualClock shard_clock{plan.start()};
+    trace::TraceRecorder* recorder = state.recorder.get();
+    if (recorder != nullptr) recorder->set_clock(&shard_clock);
     probe::Prober prober{internet, shard_clock, prober_options};
     // Per-shard derived stream: distinct wire sequence numbers per shard
     // (marks packets, never results — the determinism contract holds).
@@ -107,6 +119,7 @@ SweepReport run_sharded_sweep(
       net_ctx.response.reset();
 
       const probe::Prober::Counters before = prober.counters();
+      if (recorder != nullptr) recorder->begin("sweep.unit");
       if (sink != nullptr) sink->on_unit_begin(k);
       prober.sweep_subnets(
           units[k].prefix, units[k].sub_length, units[k].seed,
@@ -114,6 +127,12 @@ SweepReport run_sharded_sweep(
             if (sink != nullptr) sink->on_results(k, batch);
           });
       if (sink != nullptr) sink->on_unit_end(k);
+      if (recorder != nullptr) {
+        recorder->end("sweep.unit");
+        recorder->counter("sweep.responses",
+                          static_cast<std::int64_t>(
+                              prober.counters().received - before.received));
+      }
 
       UnitOutcome& outcome = report.units[k];
       outcome.sent = prober.counters().sent - before.sent;
@@ -138,6 +157,11 @@ SweepReport run_sharded_sweep(
     report.net_stats.merge(shards[s].stats);
     if (options.merge_registry != nullptr) {
       options.merge_registry->merge_counters_from(shards[s].registry);
+    }
+    if (options.trace != nullptr) {
+      char lane[32];
+      std::snprintf(lane, sizeof lane, "sweep shard %u", s);
+      options.trace->drain(lane, *shards[s].recorder);
     }
   }
   internet.absorb_stats(report.net_stats);

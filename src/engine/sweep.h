@@ -28,6 +28,7 @@
 #include "probe/target_generator.h"
 #include "sim/sim_time.h"
 #include "telemetry/metrics.h"
+#include "trace/recorder.h"
 
 namespace scent::engine {
 
@@ -52,6 +53,13 @@ struct SweepOptions {
   /// If set, every shard prober mirrors into a shard-local registry and
   /// the executor folds those counters in here after the join.
   telemetry::Registry* merge_registry = nullptr;
+
+  /// If set, every shard records per-unit begin/end/counter events into a
+  /// shard-local flight-recorder ring (capacity from the collector) and
+  /// the executor drains them here — "sweep shard s" lanes, in shard
+  /// order — at the same post-join merge point as the counters. Repeated
+  /// sweeps (a campaign's days) append to the same lanes.
+  trace::TraceCollector* trace = nullptr;
 
   /// Allow more shards than physical cores. Off by default: the executor
   /// clamps the effective worker count to hardware_concurrency(), because

@@ -44,6 +44,29 @@ std::string_view leaf_name(const std::string& path) {
 
 }  // namespace
 
+std::uint64_t histogram_quantile(const Histogram& histogram, double q) {
+  const std::uint64_t n = histogram.count();
+  if (n == 0) return 0;
+  if (q <= 0.0) return histogram.min();
+  if (q >= 1.0) return histogram.max();
+  std::uint64_t rank =
+      static_cast<std::uint64_t>(q * static_cast<double>(n)) + 1;
+  if (rank > n) rank = n;
+  const auto& bounds = histogram.bounds();
+  const auto& buckets = histogram.buckets();
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < buckets.size(); ++i) {
+    cumulative += buckets[i];
+    if (cumulative >= rank) {
+      std::uint64_t v = i < bounds.size() ? bounds[i] : histogram.max();
+      if (v < histogram.min()) v = histogram.min();
+      if (v > histogram.max()) v = histogram.max();
+      return v;
+    }
+  }
+  return histogram.max();
+}
+
 std::string format_virtual_duration(sim::Duration us) {
   const char* sign = us < 0 ? "-" : "";
   if (us < 0) us = -us;
@@ -108,6 +131,11 @@ void print_summary(std::FILE* out, const Registry& registry) {
                    name.c_str(), histogram.count(), histogram.mean(),
                    histogram.min(), histogram.max());
       if (histogram.count() == 0) continue;
+      std::fprintf(out,
+                   "      p50=%" PRIu64 " p90=%" PRIu64 " p99=%" PRIu64 "\n",
+                   histogram_quantile(histogram, 0.50),
+                   histogram_quantile(histogram, 0.90),
+                   histogram_quantile(histogram, 0.99));
       std::fprintf(out, "      ");
       const auto& bounds = histogram.bounds();
       const auto& buckets = histogram.buckets();
@@ -121,6 +149,23 @@ void print_summary(std::FILE* out, const Registry& registry) {
         }
       }
       std::fprintf(out, "\n");
+    }
+  }
+
+  if (!registry.sketches().empty()) {
+    std::fprintf(out, "  sketches:\n");
+    for (const auto& [name, sketch] : registry.sketches()) {
+      std::fprintf(out,
+                   "    %-32s n=%" PRIu64 " mean=%.1f min=%" PRIu64
+                   " max=%" PRIu64 "\n",
+                   name.c_str(), sketch.count(), sketch.mean(), sketch.min(),
+                   sketch.max());
+      if (sketch.count() == 0) continue;
+      std::fprintf(out,
+                   "      p50=%" PRIu64 " p90=%" PRIu64 " p99=%" PRIu64
+                   " p99.9=%" PRIu64 "\n",
+                   sketch.quantile(0.50), sketch.quantile(0.90),
+                   sketch.quantile(0.99), sketch.quantile(0.999));
     }
   }
   std::fprintf(out, "  %s\n", std::string(62, '-').c_str());
@@ -153,12 +198,15 @@ std::string to_json(const Registry& registry) {
     if (!first) out += ',';
     first = false;
     append_json_string(out, name);
-    char buf[96];
+    char buf[192];
     std::snprintf(buf, sizeof buf,
                   ":{\"count\":%" PRIu64 ",\"sum\":%" PRIu64 ",\"min\":%" PRIu64
-                  ",\"max\":%" PRIu64 ",\"bounds\":[",
+                  ",\"max\":%" PRIu64 ",\"p50\":%" PRIu64 ",\"p90\":%" PRIu64
+                  ",\"p99\":%" PRIu64 ",\"bounds\":[",
                   histogram.count(), histogram.sum(), histogram.min(),
-                  histogram.max());
+                  histogram.max(), histogram_quantile(histogram, 0.50),
+                  histogram_quantile(histogram, 0.90),
+                  histogram_quantile(histogram, 0.99));
     out += buf;
     for (std::size_t i = 0; i < histogram.bounds().size(); ++i) {
       if (i != 0) out += ',';
@@ -172,6 +220,22 @@ std::string to_json(const Registry& registry) {
       out += buf;
     }
     out += "]}";
+  }
+  out += "},\"sketches\":{";
+  first = true;
+  for (const auto& [name, sketch] : registry.sketches()) {
+    if (!first) out += ',';
+    first = false;
+    append_json_string(out, name);
+    char buf[256];
+    std::snprintf(buf, sizeof buf,
+                  ":{\"count\":%" PRIu64 ",\"sum\":%" PRIu64 ",\"min\":%" PRIu64
+                  ",\"max\":%" PRIu64 ",\"p50\":%" PRIu64 ",\"p90\":%" PRIu64
+                  ",\"p99\":%" PRIu64 ",\"p999\":%" PRIu64 "}",
+                  sketch.count(), sketch.sum(), sketch.min(), sketch.max(),
+                  sketch.quantile(0.50), sketch.quantile(0.90),
+                  sketch.quantile(0.99), sketch.quantile(0.999));
+    out += buf;
   }
   out += "},\"spans\":[";
   first = true;

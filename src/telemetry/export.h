@@ -13,6 +13,15 @@ namespace scent::telemetry {
 /// Renders a virtual-clock duration as "[Nd ]HH:MM:SS".
 [[nodiscard]] std::string format_virtual_duration(sim::Duration us);
 
+/// Derives the value at quantile q in [0, 1] from a fixed-bucket
+/// histogram: walks cumulative bucket counts to rank ceil(q * count) and
+/// returns that bucket's upper bound (the exact max for the overflow
+/// bucket), clamped to the observed [min, max]. Coarse by construction —
+/// fixed buckets cap resolution — but it makes every histogram report
+/// p50/p90/p99 alongside count/mean/min/max.
+[[nodiscard]] std::uint64_t histogram_quantile(const Histogram& histogram,
+                                               double q);
+
 /// Prints the span tree (wall + virtual durations, call counts), counters,
 /// gauges, and histograms as an aligned text block. Spans print in first-
 /// opened order with nesting indentation, so the output reads as the

@@ -1,5 +1,6 @@
 #include "telemetry/journal.h"
 
+#include <atomic>
 #include <cctype>
 #include <charconv>
 #include <cinttypes>
@@ -8,6 +9,12 @@
 namespace scent::telemetry {
 
 namespace {
+
+/// One per-process sequence counter shared by every Journal instance:
+/// "seq" totally orders events across concurrently written journals of
+/// the same run. Relaxed is enough — monotonic uniqueness is the contract,
+/// not cross-field synchronization.
+std::atomic<std::uint64_t> g_journal_seq{0};
 
 /// Skips spaces and tabs (the writer never emits them, but hand-edited
 /// journals are legitimate input).
@@ -162,6 +169,7 @@ bool Journal::open(const std::string& path) {
   if (handle_ == nullptr) return false;
   path_ = path;
   events_ = 0;
+  dropped_ = 0;
   write_failed_ = false;
   return true;
 }
@@ -173,6 +181,12 @@ bool Journal::event(std::string_view type,
   line.reserve(64 + fields.size() * 24);
   line += "{\"type\":";
   append_json_string(line, type);
+  {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, ",\"seq\":%" PRIu64,
+                  g_journal_seq.fetch_add(1, std::memory_order_relaxed));
+    line += buf;
+  }
   if (clock_ != nullptr) {
     char buf[32];
     std::snprintf(buf, sizeof buf, ",\"time_us\":%" PRId64, clock_->now());
@@ -187,6 +201,8 @@ bool Journal::event(std::string_view type,
   line += "}\n";
   if (std::fwrite(line.data(), 1, line.size(), handle_) != line.size()) {
     write_failed_ = true;
+    ++dropped_;
+    if (drop_counter_ != nullptr) drop_counter_->inc();
     return false;
   }
   ++events_;

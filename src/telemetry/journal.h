@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "sim/sim_time.h"
+#include "telemetry/metrics.h"
 
 namespace scent::telemetry {
 
@@ -66,8 +67,11 @@ struct JournalEvent {
   }
 };
 
-/// JSONL event writer. Events carry a "type" key, an automatic "time_us"
-/// virtual timestamp when a clock is bound, and the caller's fields.
+/// JSONL event writer. Events carry a "type" key, a "seq" number drawn
+/// from one per-process monotonic counter (so interleaved journals from
+/// the same run can be totally ordered after the fact), an automatic
+/// "time_us" virtual timestamp when a clock is bound, and the caller's
+/// fields.
 class Journal {
  public:
   Journal() = default;
@@ -81,6 +85,13 @@ class Journal {
   /// Virtual clock used to stamp events with "time_us" (optional).
   void set_clock(const sim::VirtualClock* clock) noexcept { clock_ = clock; }
 
+  /// Optional counter bumped once per dropped event — the conventional
+  /// wiring is &registry.counter("journal.dropped"), so a full disk shows
+  /// up in the telemetry summary instead of only in event()'s return.
+  void set_drop_counter(Counter* counter) noexcept {
+    drop_counter_ = counter;
+  }
+
   /// Appends one event line. Returns false if the journal is closed or the
   /// write failed (the journal stays usable; failures are also remembered
   /// and re-reported by close()).
@@ -92,13 +103,20 @@ class Journal {
 
   [[nodiscard]] bool is_open() const noexcept { return handle_ != nullptr; }
   [[nodiscard]] std::size_t events_written() const noexcept { return events_; }
+  /// Events lost to failed writes on this journal (never silent: also
+  /// mirrored into the drop counter when one is bound).
+  [[nodiscard]] std::size_t events_dropped() const noexcept {
+    return dropped_;
+  }
   [[nodiscard]] const std::string& path() const noexcept { return path_; }
 
  private:
   std::FILE* handle_ = nullptr;
   std::string path_;
   const sim::VirtualClock* clock_ = nullptr;
+  Counter* drop_counter_ = nullptr;
   std::size_t events_ = 0;
+  std::size_t dropped_ = 0;
   bool write_failed_ = false;
 };
 

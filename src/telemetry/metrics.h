@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "sim/sim_time.h"
+#include "trace/quantile.h"
 
 namespace scent::telemetry {
 
@@ -155,6 +156,12 @@ class Registry {
     }
     return it->second;
   }
+  /// Log-bucketed quantile sketch for tail latencies (p50/p90/p99/p99.9).
+  /// Single-writer like histograms; shard-local sketches fold in via
+  /// merge_sketches_from() at the deterministic merge points.
+  trace::QuantileSketch& sketch(std::string_view name) {
+    return sketches_.try_emplace(std::string{name}).first->second;
+  }
 
   [[nodiscard]] const Counter* find_counter(std::string_view name) const {
     const auto it = counters_.find(std::string{name});
@@ -167,6 +174,11 @@ class Registry {
   [[nodiscard]] const Histogram* find_histogram(std::string_view name) const {
     const auto it = histograms_.find(std::string{name});
     return it == histograms_.end() ? nullptr : &it->second;
+  }
+  [[nodiscard]] const trace::QuantileSketch* find_sketch(
+      std::string_view name) const {
+    const auto it = sketches_.find(std::string{name});
+    return it == sketches_.end() ? nullptr : &it->second;
   }
 
   [[nodiscard]] const std::map<std::string, Counter>& counters() const noexcept {
@@ -181,6 +193,10 @@ class Registry {
   }
   [[nodiscard]] const std::map<std::string, SpanStats>& spans() const noexcept {
     return spans_;
+  }
+  [[nodiscard]] const std::map<std::string, trace::QuantileSketch>& sketches()
+      const noexcept {
+    return sketches_;
   }
 
   /// Virtual clock consulted by Span for sim-time durations (optional).
@@ -226,11 +242,22 @@ class Registry {
     }
   }
 
+  /// Folds another registry's sketches into this one (created on demand).
+  /// Sketch merges are bucket-wise addition — commutative and associative
+  /// — so shard-order folding yields bit-identical state at any thread
+  /// count (the same contract the corpus merge provides, DESIGN §5h).
+  void merge_sketches_from(const Registry& other) {
+    for (const auto& [name, other_sketch] : other.sketches_) {
+      sketch(name).merge_from(other_sketch);
+    }
+  }
+
   /// Drops every instrument and span record (clock binding is kept).
   void reset() {
     counters_.clear();
     gauges_.clear();
     histograms_.clear();
+    sketches_.clear();
     spans_.clear();
     open_paths_.clear();
     next_seq_ = 0;
@@ -240,6 +267,7 @@ class Registry {
   std::map<std::string, Counter> counters_;
   std::map<std::string, Gauge> gauges_;
   std::map<std::string, Histogram> histograms_;
+  std::map<std::string, trace::QuantileSketch> sketches_;
   std::map<std::string, SpanStats> spans_;
   std::vector<std::string> open_paths_;
   std::uint64_t next_seq_ = 0;

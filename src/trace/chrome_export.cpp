@@ -1,0 +1,124 @@
+#include "trace/chrome_export.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+#include "telemetry/journal.h"
+
+namespace scent::trace {
+
+namespace {
+
+const char* phase_for(EventType type) {
+  switch (type) {
+    case EventType::kBegin: return "B";
+    case EventType::kEnd: return "E";
+    case EventType::kInstant: return "i";
+    case EventType::kCounter: return "C";
+  }
+  return "i";
+}
+
+/// Earliest wall timestamp across all lanes — the trace's ts origin, so
+/// timelines start near zero instead of at steady_clock's arbitrary epoch.
+std::uint64_t wall_base(const TraceCollector& collector) {
+  std::uint64_t base = 0;
+  bool any = false;
+  for (const auto& lane : collector.lanes()) {
+    for (const auto& event : lane.events) {
+      if (!any || event.wall_ns < base) {
+        base = event.wall_ns;
+        any = true;
+      }
+    }
+  }
+  return base;
+}
+
+void append_event(std::string& out, const TraceEvent& event,
+                  std::uint64_t base, std::size_t tid, bool& first) {
+  if (!first) out += ',';
+  first = false;
+  out += "\n{\"name\":";
+  telemetry::append_json_string(out, event.name != nullptr ? event.name
+                                                           : "(unnamed)");
+  char buf[128];
+  const double ts =
+      static_cast<double>(event.wall_ns - base) / 1000.0;  // ns -> us
+  std::snprintf(buf, sizeof buf, ",\"ph\":\"%s\",\"ts\":%.3f,\"pid\":1,"
+                "\"tid\":%zu",
+                phase_for(event.type), ts, tid);
+  out += buf;
+  if (event.type == EventType::kInstant) out += ",\"s\":\"t\"";
+  if (event.type == EventType::kCounter) {
+    std::snprintf(buf, sizeof buf,
+                  ",\"args\":{\"value\":%" PRId64 ",\"virtual_us\":%" PRId64
+                  "}}",
+                  event.value, event.virtual_us);
+  } else {
+    std::snprintf(buf, sizeof buf, ",\"args\":{\"virtual_us\":%" PRId64 "}}",
+                  event.virtual_us);
+  }
+  out += buf;
+}
+
+}  // namespace
+
+std::string to_chrome_json(const TraceCollector& collector) {
+  const std::uint64_t base = wall_base(collector);
+  std::string out = "{\"traceEvents\":[";
+  bool first = true;
+
+  // Process + thread naming metadata first, so viewers label every lane.
+  out += "\n{\"name\":\"process_name\",\"ph\":\"M\",\"ts\":0,\"pid\":1,"
+         "\"tid\":0,\"args\":{\"name\":\"scent\"}}";
+  first = false;
+  for (std::size_t i = 0; i < collector.lanes().size(); ++i) {
+    const TraceLane& lane = collector.lanes()[i];
+    out += ",\n{\"name\":\"thread_name\",\"ph\":\"M\",\"ts\":0,\"pid\":1,";
+    char buf[48];
+    std::snprintf(buf, sizeof buf, "\"tid\":%zu,\"args\":{\"name\":", i + 1);
+    out += buf;
+    telemetry::append_json_string(out, lane.name);
+    out += "}}";
+  }
+
+  std::uint64_t dropped_total = 0;
+  for (std::size_t i = 0; i < collector.lanes().size(); ++i) {
+    const TraceLane& lane = collector.lanes()[i];
+    for (const auto& event : lane.events) {
+      append_event(out, event, base, i + 1, first);
+    }
+    if (lane.dropped != 0) {
+      // Make overflow visible in the timeline itself, not just metadata.
+      TraceEvent marker;
+      marker.name = "trace.dropped";
+      marker.type = EventType::kCounter;
+      marker.wall_ns = base;
+      marker.value = static_cast<std::int64_t>(lane.dropped);
+      append_event(out, marker, base, i + 1, first);
+    }
+    dropped_total += lane.dropped;
+  }
+
+  char buf[96];
+  std::snprintf(buf, sizeof buf,
+                "\n],\"displayTimeUnit\":\"ms\",\"otherData\":{"
+                "\"dropped_events\":%" PRIu64 "}}\n",
+                dropped_total);
+  out += buf;
+  return out;
+}
+
+bool write_chrome_trace(const std::string& path,
+                        const TraceCollector& collector) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const std::string json = to_chrome_json(collector);
+  const bool wrote =
+      std::fwrite(json.data(), 1, json.size(), f) == json.size();
+  const bool closed = std::fclose(f) == 0;
+  return wrote && closed;
+}
+
+}  // namespace scent::trace

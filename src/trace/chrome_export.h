@@ -1,0 +1,30 @@
+// chrome_export.h - Chrome trace-event JSON exporter (Perfetto-loadable).
+//
+// Renders a TraceCollector as the classic {"traceEvents":[...]} format
+// both chrome://tracing and https://ui.perfetto.dev open directly. Each
+// lane becomes one timeline row (pid 1, tid = lane index + 1, named via a
+// thread_name metadata event), so engine sweep shards, columnar ingest,
+// snapshot I/O, campaign day phases, and analysis scan shards appear as
+// parallel lanes and phase overlap — or today's lack of it — is directly
+// visible.
+//
+// ts is wall time in microseconds relative to the earliest event in the
+// collector; the deterministic virtual timestamp rides along in
+// args.virtual_us. Per-lane overflow counts are exported both as
+// trace.dropped counter samples and in otherData.dropped_events.
+#pragma once
+
+#include <string>
+
+#include "trace/recorder.h"
+
+namespace scent::trace {
+
+/// Serializes the collector as one Chrome trace-event JSON document.
+[[nodiscard]] std::string to_chrome_json(const TraceCollector& collector);
+
+/// Writes to_chrome_json() to `path`. Returns false on any I/O failure.
+bool write_chrome_trace(const std::string& path,
+                        const TraceCollector& collector);
+
+}  // namespace scent::trace

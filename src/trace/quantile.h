@@ -1,0 +1,151 @@
+// quantile.h - mergeable log-bucketed quantile sketch for tail latencies.
+//
+// The telemetry Histogram keeps a handful of fixed buckets — fine for
+// coarse funnels, useless for p99.9 of a nanosecond-scale hot path. This
+// sketch is the HDR-histogram idea reduced to what the data plane needs:
+//
+//   * Bucket layout is fixed a priori (values 0..31 exact, then 16
+//     sub-buckets per power of two), so every sketch in the process shares
+//     the same geometry and merging is pure bucket-wise addition.
+//   * Addition is commutative and associative, so shard-local sketches
+//     merged in shard order are bit-identical to a serial run at ANY
+//     thread count — the same determinism contract the engine's shard
+//     merge already guarantees for the corpus (DESIGN §5d/§5h).
+//   * quantile() walks the cumulative counts and returns the bucket's
+//     integer midpoint clamped to the observed [min, max]; relative error
+//     is bounded by half a bucket width, ≤ 1/32 ≈ 3.2%.
+//
+// Single-writer, like Histogram: a sketch belongs to one shard or one
+// stage driver; cross-thread aggregation happens by merge_from() at the
+// deterministic merge points, never by concurrent observe().
+//
+// Header-only on purpose: telemetry::Registry embeds sketches and the
+// corpus/engine layers observe into them, and none of that may introduce a
+// link-time cycle with scent_trace (which links scent_telemetry).
+#pragma once
+
+#include <array>
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+
+namespace scent::trace {
+
+class QuantileSketch {
+ public:
+  /// Sub-bucket resolution: 2^kSubBits exact small values, then
+  /// kSubHalf sub-buckets per octave.
+  static constexpr unsigned kSubBits = 5;
+  static constexpr std::uint64_t kSubCount = std::uint64_t{1} << kSubBits;
+  static constexpr std::uint64_t kSubHalf = kSubCount / 2;
+  /// 32 exact buckets + 59 octaves (bit widths 6..64) x 16 sub-buckets.
+  static constexpr std::size_t kBucketCount =
+      static_cast<std::size_t>(kSubCount) + (64 - kSubBits) * kSubHalf;
+  /// Worst-case relative error of quantile(): half a bucket width over the
+  /// bucket's lower bound, 2^(s-1) / (kSubHalf * 2^s).
+  static constexpr double kRelativeError =
+      1.0 / static_cast<double>(2 * kSubHalf);
+
+  /// Bucket index for a sample value. Exact below kSubCount; above, the
+  /// top kSubBits bits of the value select a sub-bucket within its octave.
+  [[nodiscard]] static constexpr std::size_t index_for(
+      std::uint64_t v) noexcept {
+    if (v < kSubCount) return static_cast<std::size_t>(v);
+    const unsigned width = static_cast<unsigned>(std::bit_width(v));
+    const unsigned shift = width - kSubBits;  // >= 1
+    const std::uint64_t sub = v >> shift;     // in [kSubHalf, kSubCount)
+    return static_cast<std::size_t>(kSubCount +
+                                    (width - kSubBits - 1) * kSubHalf +
+                                    (sub - kSubHalf));
+  }
+
+  /// Smallest value mapping to bucket `i`.
+  [[nodiscard]] static constexpr std::uint64_t lower_bound_for(
+      std::size_t i) noexcept {
+    if (i < kSubCount) return i;
+    const std::size_t off = i - kSubCount;
+    const unsigned shift = static_cast<unsigned>(off / kSubHalf) + 1;
+    const std::uint64_t sub = kSubHalf + off % kSubHalf;
+    return sub << shift;
+  }
+
+  /// Deterministic integer representative (bucket midpoint) for bucket `i`.
+  [[nodiscard]] static constexpr std::uint64_t representative_for(
+      std::size_t i) noexcept {
+    if (i < kSubCount) return i;
+    const unsigned shift = static_cast<unsigned>((i - kSubCount) / kSubHalf) + 1;
+    return lower_bound_for(i) + (std::uint64_t{1} << (shift - 1));
+  }
+
+  void observe(std::uint64_t v) noexcept {
+    ++counts_[index_for(v)];
+    sum_ += v;
+    if (count_ == 0 || v < min_) min_ = v;
+    if (count_ == 0 || v > max_) max_ = v;
+    ++count_;
+  }
+
+  /// Bucket-wise addition. Commutative and associative: any merge tree
+  /// over the same multiset of samples yields identical state.
+  void merge_from(const QuantileSketch& other) noexcept {
+    if (other.count_ == 0) return;
+    for (std::size_t i = 0; i < kBucketCount; ++i) {
+      counts_[i] += other.counts_[i];
+    }
+    sum_ += other.sum_;
+    if (count_ == 0 || other.min_ < min_) min_ = other.min_;
+    if (count_ == 0 || other.max_ > max_) max_ = other.max_;
+    count_ += other.count_;
+  }
+
+  /// Value at quantile q in [0, 1]: walks cumulative bucket counts to the
+  /// 1-based rank ceil(q * count), returns the bucket midpoint clamped to
+  /// the exact observed [min, max]. Deterministic for identical state.
+  [[nodiscard]] std::uint64_t quantile(double q) const noexcept {
+    if (count_ == 0) return 0;
+    if (q <= 0.0) return min_;
+    if (q >= 1.0) return max_;
+    std::uint64_t rank =
+        static_cast<std::uint64_t>(q * static_cast<double>(count_)) + 1;
+    if (rank > count_) rank = count_;
+    std::uint64_t cumulative = 0;
+    for (std::size_t i = 0; i < kBucketCount; ++i) {
+      cumulative += counts_[i];
+      if (cumulative >= rank) {
+        std::uint64_t r = representative_for(i);
+        if (r < min_) r = min_;
+        if (r > max_) r = max_;
+        return r;
+      }
+    }
+    return max_;
+  }
+
+  [[nodiscard]] std::uint64_t count() const noexcept { return count_; }
+  [[nodiscard]] std::uint64_t sum() const noexcept { return sum_; }
+  [[nodiscard]] std::uint64_t min() const noexcept { return min_; }
+  [[nodiscard]] std::uint64_t max() const noexcept { return max_; }
+  [[nodiscard]] double mean() const noexcept {
+    return count_ == 0
+               ? 0.0
+               : static_cast<double>(sum_) / static_cast<double>(count_);
+  }
+  [[nodiscard]] const std::array<std::uint64_t, kBucketCount>& buckets()
+      const noexcept {
+    return counts_;
+  }
+
+  void reset() noexcept { *this = QuantileSketch{}; }
+
+  /// Full-state equality — the determinism tests' "bit-identical" check.
+  [[nodiscard]] bool operator==(const QuantileSketch&) const = default;
+
+ private:
+  std::array<std::uint64_t, kBucketCount> counts_{};
+  std::uint64_t count_ = 0;
+  std::uint64_t sum_ = 0;
+  std::uint64_t min_ = 0;
+  std::uint64_t max_ = 0;
+};
+
+}  // namespace scent::trace
