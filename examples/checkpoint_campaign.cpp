@@ -9,9 +9,17 @@
 // Flags:
 //   --out-dir=DIR         checkpoint directory (required in practice)
 //   --threads=N           sweep shards (0 = hardware concurrency)
+//   --pipeline            streamed scheduler (bounded queues, §5i);
+//                         bit-identical corpus, snapshots and digest
+//   --queue-capacity=N    queue depth (batches) for --pipeline
 //   --days=N              campaign length (default 6)
-//   --kill-after-day=K    simulate a crash: exit hard (no cleanup, like a
-//                         kill -9) right after day K commits
+//   --kill-after-day=K    simulate a crash: exit hard with status 42 (no
+//                         cleanup, like a kill -9) right after day K
+//                         commits
+//   --kill-mid-day=K      simulate a crash: exit hard with status 43 the
+//                         moment day K has drained its first rows —
+//                         nothing about day K is committed yet, so a
+//                         resume must replay it from scratch
 //   --digest-only         print only the final corpus digest (for scripts)
 //
 // The digest folds every observation column, every day summary, and the
@@ -66,12 +74,15 @@ int main(int argc, char** argv) {
   const examples::Cli cli = examples::Cli::parse(argc, argv);
   unsigned days = 6;
   long kill_after_day = -1;
+  long kill_mid_day = -1;
   bool digest_only = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--days=", 7) == 0) {
       days = static_cast<unsigned>(std::strtoul(argv[i] + 7, nullptr, 10));
     } else if (std::strncmp(argv[i], "--kill-after-day=", 17) == 0) {
       kill_after_day = std::strtol(argv[i] + 17, nullptr, 10);
+    } else if (std::strncmp(argv[i], "--kill-mid-day=", 15) == 0) {
+      kill_mid_day = std::strtol(argv[i] + 15, nullptr, 10);
     } else if (std::strcmp(argv[i], "--digest-only") == 0) {
       digest_only = true;
     }
@@ -103,6 +114,8 @@ int main(int argc, char** argv) {
   core::CampaignOptions options;
   options.days = days;
   options.threads = cli.threads;
+  options.pipeline = cli.pipeline;
+  options.queue_capacity = cli.queue_capacity;
   options.checkpoint_dir = cli.out_dir;
   options.registry = &registry;
   options.journal = &journal;
@@ -123,6 +136,19 @@ int main(int argc, char** argv) {
       std::_Exit(42);
     }
   };
+  // Mid-day kill hook: die the moment campaign day K (0-based, relative to
+  // this run's first day) has drained its first rows. Day K's snapshot and
+  // manifest entry are NOT durable yet — the resumed run must replay the
+  // day in full and still land on the uninterrupted digest.
+  if (kill_mid_day >= 0) {
+    std::int64_t first_seen = -1;
+    options.on_day_progress = [kill_mid_day, first_seen](
+                                  std::int64_t day,
+                                  std::size_t rows) mutable {
+      if (first_seen < 0) first_seen = day;
+      if (day - first_seen == kill_mid_day && rows > 0) std::_Exit(43);
+    };
+  }
 
   const core::CampaignResult result =
       run_campaign(world.internet, clock, prober, targets, options);

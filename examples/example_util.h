@@ -1,8 +1,13 @@
 // example_util.h - CLI plumbing shared by every example.
 //
-// Three flags, parsed identically everywhere:
+// The shared flags, parsed identically everywhere:
 //   --threads=N      worker shards for engine-backed sweeps (0 = hardware
 //                    concurrency); bit-identical results at any value.
+//   --pipeline       streamed scheduler (DESIGN.md §5i): probe shards
+//                    drain through bounded queues into ingest/snapshot
+//                    concurrently with probing; bit-identical results.
+//   --queue-capacity=N  bounded-queue depth, in observation batches, for
+//                    --pipeline (default 16).
 //   --out-dir=DIR    where journals, snapshots and other artifacts land
 //                    (created if needed; default "." — never a hardcoded
 //                    file name in the repo root).
@@ -24,6 +29,8 @@ namespace scent::examples {
 
 struct Cli {
   unsigned threads = 1;
+  bool pipeline = false;
+  unsigned queue_capacity = 16;
   std::string out_dir = ".";
   std::string trace_out;  ///< Empty = tracing off.
 
@@ -35,6 +42,11 @@ struct Cli {
       if (std::strncmp(argv[i], "--threads=", 10) == 0) {
         cli.threads =
             static_cast<unsigned>(std::strtoul(argv[i] + 10, nullptr, 10));
+      } else if (std::strcmp(argv[i], "--pipeline") == 0) {
+        cli.pipeline = true;
+      } else if (std::strncmp(argv[i], "--queue-capacity=", 17) == 0) {
+        cli.queue_capacity =
+            static_cast<unsigned>(std::strtoul(argv[i] + 17, nullptr, 10));
       } else if (std::strncmp(argv[i], "--out-dir=", 10) == 0) {
         cli.out_dir = argv[i] + 10;
       } else if (std::strncmp(argv[i], "--trace-out=", 12) == 0) {

@@ -19,10 +19,13 @@ committed BENCH_micro.json baseline, metric by metric:
   --history so the trajectory across PRs survives baseline refreshes. The
   history file is an append-only local artifact and is gitignored.
 
-Exit status: 1 if the fresh run's own guards failed (guards.all_ok false)
-or, with --strict, if any regression was flagged; 0 otherwise. The default
-is advisory because shared CI hosts jitter far more than 10% — the hard
-floors live in bench_micro itself.
+Exit status: 1 if the fresh run's own guards failed (guards.all_ok false),
+if the fresh report is missing any guard named in the baseline's
+guards.entries (a guard that silently vanishes is a regression in coverage,
+never noise — this check is unconditional, not gated on --strict), or, with
+--strict, if any regression was flagged; 0 otherwise. The metric band is
+advisory because shared CI hosts jitter far more than 10% — the hard floors
+live in bench_micro itself.
 """
 
 import argparse
@@ -129,10 +132,25 @@ def main():
             print(f"  {path:42s} {base:12.3f} -> {new:12.3f} "
                   f"{delta_pct:+7.2f}% [{arrow}] {verdict}")
 
+    # Coverage check: every guard the committed baseline knows about must
+    # still be reported by the fresh run. flatten() never sees the entries
+    # list, so without this a deleted guard would sail through the metric
+    # diff — and a missing floor is worse than a failed one.
+    def guard_names(report):
+        entries = report.get("guards", {}).get("entries", [])
+        return {e["name"] for e in entries
+                if isinstance(e, dict) and "name" in e}
+
+    missing_guards = sorted(guard_names(baseline) - guard_names(fresh))
+    for name in missing_guards:
+        print(f"  MISSING GUARD {name}: in baseline guards.entries but "
+              f"absent from {args.fresh}", file=sys.stderr)
+
     guards_ok = bool(fresh.get("guards", {}).get("all_ok", False))
     print(f"  guards.all_ok: {guards_ok}; "
           f"{len(regressions)} regression(s), "
-          f"{len(improvements)} improvement(s) flagged")
+          f"{len(improvements)} improvement(s) flagged, "
+          f"{len(missing_guards)} guard(s) missing")
     for path, base, new, delta_pct in regressions:
         print(f"  REGRESSION {path}: {base:.3f} -> {new:.3f} "
               f"({delta_pct:+.1f}%)", file=sys.stderr)
@@ -151,6 +169,8 @@ def main():
             f.write(json.dumps(entry, sort_keys=True) + "\n")
         print(f"  history: appended to {args.history}")
 
+    if missing_guards:
+        return 1
     if not guards_ok:
         return 1
     if args.strict and regressions:

@@ -6,9 +6,9 @@
 #
 # The plain pass is the repo's tier-1 gate (ROADMAP.md). The bench-guard leg
 # runs bench_micro's enforced perf floors (telemetry overhead, trace
-# instrumentation overhead, sweep scaling, ingest throughput, bytes per
-# observation, snapshot save/load, incremental differencing, fused analysis
-# speedup) into a fresh JSON report; a follow-up audit of guards.entries
+# instrumentation overhead, sweep scaling, pipeline scaling, ingest
+# throughput, bytes per observation, snapshot save/load, incremental
+# differencing, fused analysis speedup) into a fresh JSON report; a follow-up audit of guards.entries
 # fails the run if any guard reported itself skipped on hardware that could
 # have run it — a guard may only be waved through when the host genuinely
 # lacks the threads its floor needs. bench_trend.py then diffs the fresh
@@ -21,11 +21,17 @@
 # The checkpoint/resume leg kills a checkpointed campaign mid-flight and
 # asserts the resumed run's digest and on-disk snapshot chain are
 # byte-identical to an uninterrupted run, at 1 and 4 threads (§5f).
+# The pipeline-equivalence leg reruns the campaign through the streamed
+# scheduler (--pipeline, §5i) and compares digests and snapshot chains
+# byte-for-byte against barrier mode at 1 and 8 threads, then kills a
+# pipelined run mid-day (--kill-mid-day, exit 43, nothing durable for that
+# day) and asserts the resume still converges on the barrier digest.
 # The ASan/UBSan pass rebuilds everything with
 # -fsanitize=address,undefined into build-sanitize/ and reruns the test suite
 # under it. The TSan pass rebuilds into build-tsan/ with -fsanitize=thread and
-# runs every Engine-prefixed suite — the sharded executor plus the fused
-# analysis engine's serial/parallel equivalence matrix — under
+# runs every Engine- and Pipeline-prefixed suite — the sharded executor, the
+# bounded-queue/stage primitives, the streamed-scheduler determinism matrix,
+# and the fused analysis engine's serial/parallel equivalence matrix — under
 # ThreadSanitizer.
 set -euo pipefail
 
@@ -135,14 +141,70 @@ for t in 1 4; do
   echo "  threads $t: digest $resumed, 6-day chain byte-identical OK"
 done
 
+echo "== pipeline-equivalence: streamed vs barrier byte-identical =="
+pipe_tmp=$(mktemp -d)
+trap 'rm -rf "$bench_tmp" "$resume_tmp" "$pipe_tmp"' EXIT
+rm -rf "$pipe_tmp/barrier"
+mkdir -p "$pipe_tmp/barrier"
+barrier=$(./build/examples/checkpoint_campaign --days=5 --threads=1 \
+  --digest-only --out-dir="$pipe_tmp/barrier")
+for t in 1 8; do
+  rm -rf "$pipe_tmp/piped"
+  mkdir -p "$pipe_tmp/piped"
+  piped=$(./build/examples/checkpoint_campaign --days=5 --threads="$t" \
+    --pipeline --digest-only --out-dir="$pipe_tmp/piped")
+  if [[ "$piped" != "$barrier" ]]; then
+    echo "pipeline digest mismatch at $t threads: $piped != $barrier" >&2
+    exit 1
+  fi
+  for f in "$pipe_tmp"/barrier/day_*.snap "$pipe_tmp/barrier/manifest.txt"; do
+    if ! cmp -s "$f" "$pipe_tmp/piped/$(basename "$f")"; then
+      echo "pipeline chain file differs at $t threads: $(basename "$f")" >&2
+      exit 1
+    fi
+  done
+  echo "  threads $t: digest $piped, 5-day chain matches barrier OK"
+done
+# Mid-day kill: die after day 2 has streamed its first rows but before its
+# snapshot commits — exit 43, no day_0002.snap on disk — then resume and
+# land on the barrier digest with an identical chain.
+rm -rf "$pipe_tmp/piped"
+mkdir -p "$pipe_tmp/piped"
+set +e
+./build/examples/checkpoint_campaign --days=5 --threads=8 --pipeline \
+  --kill-mid-day=2 --out-dir="$pipe_tmp/piped" >/dev/null
+status=$?
+set -e
+if [[ "$status" -ne 43 ]]; then
+  echo "checkpoint_campaign: expected mid-day-kill exit 43, got $status" >&2
+  exit 1
+fi
+if [[ -e "$pipe_tmp/piped/day_0002.snap" ]]; then
+  echo "mid-day kill left a durable day_0002.snap; day 2 should be lost" >&2
+  exit 1
+fi
+resumed=$(./build/examples/checkpoint_campaign --days=5 --threads=8 \
+  --pipeline --digest-only --out-dir="$pipe_tmp/piped")
+if [[ "$resumed" != "$barrier" ]]; then
+  echo "mid-day-kill resume digest mismatch: $resumed != $barrier" >&2
+  exit 1
+fi
+for f in "$pipe_tmp"/barrier/day_*.snap "$pipe_tmp/barrier/manifest.txt"; do
+  if ! cmp -s "$f" "$pipe_tmp/piped/$(basename "$f")"; then
+    echo "mid-day-kill chain file differs: $(basename "$f")" >&2
+    exit 1
+  fi
+done
+echo "  mid-day kill (exit 43) + resume: digest $resumed, chain matches OK"
+
 echo "== sanitizer: ASan+UBSan build + ctest (build-sanitize/) =="
 cmake -B build-sanitize -S . -DSCENT_SANITIZE=address,undefined >/dev/null
 cmake --build build-sanitize -j"$jobs"
 (cd build-sanitize && ctest --output-on-failure -j"$jobs")
 
-echo "== sanitizer: TSan build + engine tests (build-tsan/) =="
+echo "== sanitizer: TSan build + engine/pipeline tests (build-tsan/) =="
 cmake -B build-tsan -S . -DSCENT_SANITIZE=thread >/dev/null
-cmake --build build-tsan -j"$jobs" --target engine_tests
-(cd build-tsan && ctest --output-on-failure -R '^Engine' -j"$jobs")
+cmake --build build-tsan -j"$jobs" --target engine_tests --target pipeline_tests
+(cd build-tsan && ctest --output-on-failure -R '^(Engine|Pipeline)' -j"$jobs")
 
 echo "== all checks passed =="

@@ -199,6 +199,8 @@ CampaignResult run_campaign(sim::Internet& internet, sim::VirtualClock& clock,
   engine::SweepOptions sweep_options;
   sweep_options.threads = options.threads;
   sweep_options.oversubscribe = options.oversubscribe;
+  sweep_options.pipeline = options.pipeline;
+  sweep_options.queue_capacity = options.queue_capacity;
   sweep_options.seed = options.seed;
   sweep_options.merge_registry = prober.telemetry();
   sweep_options.trace = options.trace;
@@ -245,18 +247,49 @@ CampaignResult run_campaign(sim::Internet& internet, sim::VirtualClock& clock,
     corpus::SnapshotWriter day_snapshot;
     day_snapshot.set_trace(recorder.get(), write_sketch);
     const std::size_t day_obs_begin = result.observations.size();
+    analysis::AnalysisOptions analysis_options;
+    analysis_options.threads = options.threads;
+    analysis_options.oversubscribe = options.oversubscribe;
+    analysis_options.collect_sightings = false;
+    analysis_options.trace = options.trace;
+    SweepAnalysis day0_analysis;
     {
       telemetry::Span sweep_span{options.registry, "sweep"};
       const trace::ScopedSample sweep_sample{
           recorder.get(), stage_sketch("campaign.sweep_ns"), "campaign.sweep"};
-      const SweepIngest ingest = sweep_into_store(
-          internet, clock, day_units, prober.options(), sweep_options,
-          result.observations,
-          checkpointing && result.checkpoint_ok ? &day_snapshot : nullptr);
-      prober.accumulate_counters(ingest.counters);
+      corpus::SnapshotWriter* snapshot =
+          checkpointing && result.checkpoint_ok ? &day_snapshot : nullptr;
+      if (options.pipeline) {
+        // Streamed day: the snapshot, MAC accounting and (on day 0) the
+        // allocation-inference scan all ride the sweep's drain chain, so
+        // they finish with the probing instead of after it.
+        SweepFanout fanout;
+        fanout.snapshot = snapshot;
+        fanout.macs = &day_macs;
+        if (day == 0) {
+          day0_analysis.bgp = &internet.bgp();
+          day0_analysis.options = analysis_options;
+          day0_analysis.registry = options.registry;
+          fanout.analysis = &day0_analysis;
+        }
+        if (options.on_day_progress) {
+          fanout.on_progress = [&options, abs_day](std::size_t rows) {
+            options.on_day_progress(abs_day, rows);
+          };
+        }
+        const SweepIngest ingest =
+            sweep_into_store(internet, clock, day_units, prober.options(),
+                             sweep_options, result.observations, fanout);
+        prober.accumulate_counters(ingest.counters);
+      } else {
+        const SweepIngest ingest =
+            sweep_into_store(internet, clock, day_units, prober.options(),
+                             sweep_options, result.observations, snapshot);
+        prober.accumulate_counters(ingest.counters);
+      }
     }
 
-    {
+    if (!options.pipeline) {
       telemetry::Span ingest_span{options.registry, "ingest"};
       const trace::ScopedSample ingest_sample{
           recorder.get(), stage_sketch("campaign.ingest_ns"),
@@ -267,6 +300,10 @@ CampaignResult run_campaign(sim::Internet& internet, sim::VirtualClock& clock,
           day_macs.insert(*mac);
         }
       }
+      if (options.on_day_progress) {
+        options.on_day_progress(abs_day,
+                                result.observations.size() - day_obs_begin);
+      }
     }
 
     summary.probes = prober.counters().sent - day_base_sent;
@@ -275,22 +312,21 @@ CampaignResult run_campaign(sim::Internet& internet, sim::VirtualClock& clock,
     result.daily.push_back(summary);
 
     if (day == 0) {
-      // Run Algorithm 1 on the full-granularity day and freeze the per-AS
-      // allocation sizes used by subsequent days (and by trackers): one
-      // fused sharded pass over the day-0 rows, per-AS medians derived
-      // from the merged aggregate table.
+      // Freeze the per-AS allocation sizes from Algorithm 1 on the
+      // full-granularity day — used by subsequent days (and by trackers).
+      // Day 0 swept into an empty store, so the day's rows are the whole
+      // store: the barrier path scans it here with the fused sharded
+      // analysis, while the streamed path already accumulated the same
+      // table inside the probe shards and only derives the medians now.
       telemetry::Span infer_span{options.registry, "alloc_infer"};
       const trace::ScopedSample infer_sample{
           recorder.get(), stage_sketch("campaign.alloc_infer_ns"),
           "campaign.alloc_infer"};
-      analysis::AnalysisOptions analysis_options;
-      analysis_options.threads = options.threads;
-      analysis_options.oversubscribe = options.oversubscribe;
-      analysis_options.collect_sightings = false;
-      analysis_options.trace = options.trace;
       const analysis::AggregateTable table =
-          analysis::analyze(result.observations, &internet.bgp(),
-                            analysis_options, options.registry);
+          options.pipeline
+              ? std::move(day0_analysis.table)
+              : analysis::analyze(result.observations, &internet.bgp(),
+                                  analysis_options, options.registry);
       result.allocation_length_by_as =
           analysis::allocation_medians_by_as(table);
     }

@@ -49,6 +49,19 @@ struct CampaignOptions {
   /// so low-core CI still runs genuinely multi-shard.
   bool oversubscribe = false;
 
+  /// Streamed scheduler for the daily sweeps (DESIGN.md §5i): probe shards
+  /// push observation batches through bounded queues into a concurrent
+  /// drain chain (columnar ingest → day snapshot → accounting) instead of
+  /// the phase-barrier sweep→merge→scan sequence, and the day's fused
+  /// analysis accumulates inside the probe shards. Corpus, snapshot bytes
+  /// and results are bit-identical either way — this is a wall-clock knob,
+  /// like `threads`.
+  bool pipeline = false;
+  /// Bounded-queue capacity, in observation batches, for the streamed
+  /// scheduler (engine::SweepOptions::queue_capacity). Caps the memory in
+  /// flight and sets how far probing may run ahead of the drain.
+  std::uint32_t queue_capacity = 16;
+
   /// When non-empty, the campaign checkpoints after every day: the day's
   /// observations land in `<dir>/day_NNNN.snap` and a manifest records the
   /// chain plus the clock cursor and frozen day-0 allocation inference. A
@@ -81,6 +94,16 @@ struct CampaignOptions {
   /// checkpointing, its snapshot + manifest durably written). Drives the
   /// kill-and-resume harness; also usable for progress reporting.
   std::function<void(const DaySummary&)> on_day_complete;
+
+  /// Invoked with the cumulative number of the current day's rows that
+  /// have fully drained — per batch under the streamed scheduler (from a
+  /// drain thread, mid-sweep), once per day after the merge under the
+  /// barrier. Nothing about the day is committed yet when it fires, so
+  /// throwing (or killing the process) from here models dying with a
+  /// partially drained day — the mid-day half of the kill-and-resume
+  /// harness, which must resume bit-identically from the previous day's
+  /// checkpoint.
+  std::function<void(std::int64_t day, std::size_t rows)> on_day_progress;
 };
 
 /// Per-day funnel record. Probe/response counts are read back from the

@@ -58,6 +58,15 @@ class ObservationStore {
                                       container::IndexArena::List,
                                       net::MacAddressHash>;
 
+  /// The stored 16-bit type/code lane: ICMPv6 type in the high byte. Public
+  /// so streamed producers (pipeline observation batches) can pack rows in
+  /// the store's own format before they reach add_packed().
+  [[nodiscard]] static constexpr std::uint16_t pack_type_code(
+      wire::Icmpv6Type type, std::uint8_t code) noexcept {
+    return static_cast<std::uint16_t>(
+        (static_cast<std::uint16_t>(type) << 8) | code);
+  }
+
   void add(const Observation& obs) {
     add_row(obs.target, obs.response, pack_type_code(obs.type, obs.code),
             obs.time);
@@ -352,12 +361,6 @@ class ObservationStore {
   /// MAC bits cannot exceed 48 bits, so all-ones marks "classified, not
   /// EUI-64" in the response classification cache.
   static constexpr std::uint64_t kNonEui = ~0ULL;
-
-  [[nodiscard]] static constexpr std::uint16_t pack_type_code(
-      wire::Icmpv6Type type, std::uint8_t code) noexcept {
-    return static_cast<std::uint16_t>(
-        (static_cast<std::uint16_t>(type) << 8) | code);
-  }
 
   void add_row(net::Ipv6Address target, net::Ipv6Address response,
                std::uint16_t type_code, sim::TimePoint time) {

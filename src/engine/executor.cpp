@@ -55,120 +55,135 @@ SweepPlan::SweepPlan(std::span<const SweepUnit> units,
   shard_begin_[shard_count] = units.size();
 }
 
-namespace {
-
-/// Everything one worker owns; kept alive until the post-join merge.
-struct ShardState {
+/// Everything one worker owns; kept alive until the finish() merge.
+struct ShardedSweep::ShardState {
   probe::Prober::Counters counters;
   sim::Internet::Stats stats;
   telemetry::Registry registry;
   std::unique_ptr<trace::TraceRecorder> recorder;  ///< Only when tracing.
 };
 
-}  // namespace
+ShardedSweep::ShardedSweep(sim::Internet& internet, sim::VirtualClock& clock,
+                           std::span<const SweepUnit> units,
+                           const probe::ProberOptions& prober_options,
+                           const SweepOptions& options)
+    : internet_(internet),
+      clock_(clock),
+      units_(units),
+      prober_options_(prober_options),
+      options_(options),
+      plan_(units, prober_options, clock.now(),
+            effective_threads(options.threads, options.oversubscribe)),
+      shards_(plan_.shard_count()) {
+  report_.threads_used = plan_.shard_count();
+  report_.start = plan_.start();
+  report_.units.resize(units.size());
+  if (options_.trace != nullptr) {
+    for (auto& shard : shards_) {
+      shard.recorder = std::make_unique<trace::TraceRecorder>(
+          options_.trace->recorder_capacity());
+    }
+  }
+}
+
+ShardedSweep::~ShardedSweep() = default;
+
+unsigned ShardedSweep::threads() const noexcept {
+  return plan_.shard_count();
+}
+
+void ShardedSweep::run_shard(unsigned s, UnitSink* sink) {
+  ShardState& state = shards_[s];
+  sim::VirtualClock shard_clock{plan_.start()};
+  trace::TraceRecorder* recorder = state.recorder.get();
+  if (recorder != nullptr) recorder->set_clock(&shard_clock);
+  probe::Prober prober{internet_, shard_clock, prober_options_};
+  // Per-shard derived stream: distinct wire sequence numbers per shard
+  // (marks packets, never results — the determinism contract holds).
+  prober.seed_sequence(
+      static_cast<std::uint16_t>(sim::mix64(options_.seed, s)));
+  if (options_.merge_registry != nullptr) {
+    prober.attach_telemetry(state.registry);
+  }
+  sim::NetContext net_ctx;
+  prober.set_net_context(&net_ctx);
+
+  for (std::size_t k = plan_.shard_first(s); k < plan_.shard_last(s); ++k) {
+    // Replay the serial schedule: jump to exactly where a
+    // single-threaded run's clock would stand at this unit.
+    shard_clock.advance_to(plan_.unit_start(k));
+    // Fresh response-policy state per unit: the unit's results depend
+    // only on (world, unit, start time, prober options), never on which
+    // units ran before it on this shard.
+    net_ctx.response.reset();
+
+    const probe::Prober::Counters before = prober.counters();
+    if (recorder != nullptr) recorder->begin("sweep.unit");
+    if (sink != nullptr) sink->on_unit_begin(k);
+    prober.sweep_subnets(
+        units_[k].prefix, units_[k].sub_length, units_[k].seed,
+        [&](std::span<const probe::ProbeResult> batch) {
+          if (sink != nullptr) sink->on_results(k, batch);
+        });
+    if (sink != nullptr) sink->on_unit_end(k);
+    if (recorder != nullptr) {
+      recorder->end("sweep.unit");
+      recorder->counter("sweep.responses",
+                        static_cast<std::int64_t>(
+                            prober.counters().received - before.received));
+    }
+
+    UnitOutcome& outcome = report_.units[k];
+    outcome.sent = prober.counters().sent - before.sent;
+    outcome.responded = prober.counters().received - before.received;
+    outcome.shard = s;
+    outcome.start = plan_.unit_start(k);
+  }
+
+  state.counters = prober.counters();
+  state.stats = net_ctx.stats;
+}
+
+SweepReport ShardedSweep::finish() {
+  // Deterministic merge, shard order == unit order == serial order.
+  for (unsigned s = 0; s < plan_.shard_count(); ++s) {
+    report_.counters.sent += shards_[s].counters.sent;
+    report_.counters.received += shards_[s].counters.received;
+    report_.net_stats.merge(shards_[s].stats);
+    if (options_.merge_registry != nullptr) {
+      options_.merge_registry->merge_counters_from(shards_[s].registry);
+    }
+    if (options_.trace != nullptr) {
+      char lane[32];
+      std::snprintf(lane, sizeof lane, "sweep shard %u", s);
+      options_.trace->drain(lane, *shards_[s].recorder);
+    }
+  }
+  internet_.absorb_stats(report_.net_stats);
+
+  clock_.advance_to(plan_.end_time());
+  report_.end = clock_.now();
+  return std::move(report_);
+}
 
 SweepReport run_sharded_sweep(
     sim::Internet& internet, sim::VirtualClock& clock,
     std::span<const SweepUnit> units,
     const probe::ProberOptions& prober_options, const SweepOptions& options,
     const std::function<UnitSink*(unsigned shard)>& sink_for_shard) {
-  const unsigned threads =
-      effective_threads(options.threads, options.oversubscribe);
-  const SweepPlan plan{units, prober_options, clock.now(), threads};
-
-  SweepReport report;
-  report.threads_used = threads;
-  report.start = plan.start();
-  report.units.resize(units.size());
+  ShardedSweep sweep{internet, clock, units, prober_options, options};
+  const unsigned threads = sweep.threads();
 
   std::vector<UnitSink*> sinks(threads, nullptr);
   for (unsigned s = 0; s < threads; ++s) sinks[s] = sink_for_shard(s);
 
-  std::vector<ShardState> shards(threads);
-  if (options.trace != nullptr) {
-    for (auto& shard : shards) {
-      shard.recorder = std::make_unique<trace::TraceRecorder>(
-          options.trace->recorder_capacity());
-    }
-  }
-
-  const auto run_shard = [&](unsigned s) {
-    ShardState& state = shards[s];
-    UnitSink* sink = sinks[s];
-    sim::VirtualClock shard_clock{plan.start()};
-    trace::TraceRecorder* recorder = state.recorder.get();
-    if (recorder != nullptr) recorder->set_clock(&shard_clock);
-    probe::Prober prober{internet, shard_clock, prober_options};
-    // Per-shard derived stream: distinct wire sequence numbers per shard
-    // (marks packets, never results — the determinism contract holds).
-    prober.seed_sequence(
-        static_cast<std::uint16_t>(sim::mix64(options.seed, s)));
-    if (options.merge_registry != nullptr) {
-      prober.attach_telemetry(state.registry);
-    }
-    sim::NetContext net_ctx;
-    prober.set_net_context(&net_ctx);
-
-    for (std::size_t k = plan.shard_first(s); k < plan.shard_last(s); ++k) {
-      // Replay the serial schedule: jump to exactly where a
-      // single-threaded run's clock would stand at this unit.
-      shard_clock.advance_to(plan.unit_start(k));
-      // Fresh response-policy state per unit: the unit's results depend
-      // only on (world, unit, start time, prober options), never on which
-      // units ran before it on this shard.
-      net_ctx.response.reset();
-
-      const probe::Prober::Counters before = prober.counters();
-      if (recorder != nullptr) recorder->begin("sweep.unit");
-      if (sink != nullptr) sink->on_unit_begin(k);
-      prober.sweep_subnets(
-          units[k].prefix, units[k].sub_length, units[k].seed,
-          [&](std::span<const probe::ProbeResult> batch) {
-            if (sink != nullptr) sink->on_results(k, batch);
-          });
-      if (sink != nullptr) sink->on_unit_end(k);
-      if (recorder != nullptr) {
-        recorder->end("sweep.unit");
-        recorder->counter("sweep.responses",
-                          static_cast<std::int64_t>(
-                              prober.counters().received - before.received));
-      }
-
-      UnitOutcome& outcome = report.units[k];
-      outcome.sent = prober.counters().sent - before.sent;
-      outcome.responded = prober.counters().received - before.received;
-      outcome.shard = s;
-      outcome.start = plan.unit_start(k);
-    }
-
-    state.counters = prober.counters();
-    state.stats = net_ctx.stats;
-  };
-
   // One worker per shard; a single shard runs inline on the calling
   // thread (the serial fallback — no spawn/join overhead when the clamp
   // or the request leaves us with one effective worker).
-  run_shards(threads, run_shard);
+  run_shards(threads,
+             [&sweep, &sinks](unsigned s) { sweep.run_shard(s, sinks[s]); });
 
-  // Deterministic merge, shard order == unit order == serial order.
-  for (unsigned s = 0; s < threads; ++s) {
-    report.counters.sent += shards[s].counters.sent;
-    report.counters.received += shards[s].counters.received;
-    report.net_stats.merge(shards[s].stats);
-    if (options.merge_registry != nullptr) {
-      options.merge_registry->merge_counters_from(shards[s].registry);
-    }
-    if (options.trace != nullptr) {
-      char lane[32];
-      std::snprintf(lane, sizeof lane, "sweep shard %u", s);
-      options.trace->drain(lane, *shards[s].recorder);
-    }
-  }
-  internet.absorb_stats(report.net_stats);
-
-  clock.advance_to(plan.end_time());
-  report.end = clock.now();
-  return report;
+  return sweep.finish();
 }
 
 }  // namespace scent::engine

@@ -1,10 +1,10 @@
 #include "engine/parallel.h"
 
-#include <exception>
+#include <cstdio>
 #include <thread>
-#include <vector>
 
 #include "engine/sweep.h"
+#include "pipeline/pipeline.h"
 
 namespace scent::engine {
 
@@ -30,22 +30,16 @@ void run_shards(unsigned shards, const std::function<void(unsigned)>& body) {
     body(0);
     return;
   }
-  std::vector<std::exception_ptr> errors(shards);
-  std::vector<std::thread> workers;
-  workers.reserve(shards);
+  // One pipeline stage per shard: same execution shape as before (one
+  // thread each, inline when single), and the executor's stage-order
+  // error rule reproduces the old "lowest-index shard's exception wins".
+  pipeline::Pipeline p;
   for (unsigned s = 0; s < shards; ++s) {
-    workers.emplace_back([&errors, &body, s] {
-      try {
-        body(s);
-      } catch (...) {
-        errors[s] = std::current_exception();
-      }
-    });
+    char name[24];
+    std::snprintf(name, sizeof name, "shard %u", s);
+    p.add_stage(name, [&body, s] { body(s); });
   }
-  for (auto& worker : workers) worker.join();
-  for (const auto& error : errors) {
-    if (error) std::rethrow_exception(error);
-  }
+  p.run();
 }
 
 }  // namespace scent::engine

@@ -1,0 +1,75 @@
+#include "pipeline/pipeline.h"
+
+#include <thread>
+#include <utility>
+
+#include "trace/recorder.h"
+
+namespace scent::pipeline {
+
+void Pipeline::add_stage(std::string name, std::function<void()> body) {
+  stages_.push_back(Stage{std::move(name), std::move(body)});
+}
+
+void Pipeline::on_cancel(std::function<void()> hook) {
+  cancel_hooks_.push_back(std::move(hook));
+}
+
+void Pipeline::fire_cancel() {
+  std::call_once(cancel_once_, [this] {
+    for (const auto& hook : cancel_hooks_) hook();
+  });
+}
+
+void Pipeline::run() {
+  metrics_.clear();
+  metrics_.resize(stages_.size());
+  for (std::size_t i = 0; i < stages_.size(); ++i) {
+    metrics_[i].name = stages_[i].name;
+  }
+  if (stages_.empty()) return;
+
+  std::vector<std::exception_ptr> errors(stages_.size());
+  const auto run_stage = [this, &errors](std::size_t i) {
+    const std::uint64_t start = trace::TraceRecorder::now_wall_ns();
+    try {
+      stages_[i].body();
+    } catch (const PipelineCancelled&) {
+      errors[i] = std::current_exception();
+      metrics_[i].failed = true;
+      metrics_[i].cancelled = true;
+      fire_cancel();
+    } catch (...) {
+      errors[i] = std::current_exception();
+      metrics_[i].failed = true;
+      fire_cancel();
+    }
+    metrics_[i].wall_ns = trace::TraceRecorder::now_wall_ns() - start;
+  };
+
+  if (stages_.size() == 1) {
+    run_stage(0);
+  } else {
+    std::vector<std::thread> workers;
+    workers.reserve(stages_.size());
+    for (std::size_t i = 0; i < stages_.size(); ++i) {
+      workers.emplace_back([&run_stage, i] { run_stage(i); });
+    }
+    for (auto& worker : workers) worker.join();
+  }
+
+  // First real failure in stage order wins; cancellations only surface
+  // when nothing else went wrong (see the header).
+  std::exception_ptr first_cancelled;
+  for (std::size_t i = 0; i < stages_.size(); ++i) {
+    if (!errors[i]) continue;
+    if (metrics_[i].cancelled) {
+      if (!first_cancelled) first_cancelled = errors[i];
+      continue;
+    }
+    std::rethrow_exception(errors[i]);
+  }
+  if (first_cancelled) std::rethrow_exception(first_cancelled);
+}
+
+}  // namespace scent::pipeline

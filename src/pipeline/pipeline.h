@@ -1,0 +1,91 @@
+// pipeline.h - the stage executor: named concurrent stages, one failure
+// policy, deterministic error propagation.
+//
+// A Pipeline is a set of named stages (plain callables) that run
+// concurrently, one thread per stage, connected by whatever BoundedQueues
+// the caller threads through their closures — the executor does not know
+// or care about the dataflow topology, only about lifecycle:
+//
+//   * run() starts every stage, joins every stage, and only then returns
+//     or throws. A single-stage pipeline runs inline on the calling
+//     thread (the serial reference path — no spawn/join overhead), which
+//     keeps run_shards' one-shard fast path intact now that it is built
+//     on this executor.
+//
+//   * The first stage to throw trips the cancel hooks (registered via
+//     on_cancel, typically "close every queue in the topology"), so
+//     stages blocked in push()/pop() observe end-of-stream and unwind
+//     instead of deadlocking against a dead peer.
+//
+//   * After the join, the first *failed* stage in stage order decides the
+//     exception run() rethrows — deterministic no matter which thread
+//     lost the race. Stages that unwound with PipelineCancelled (the
+//     "my queue was closed under me" signal) are only reported if no
+//     stage failed for a real reason: cancellation is a consequence of
+//     the first failure, not a cause.
+//
+// Stage wall times and failure flags are kept per stage (metrics()) so
+// callers can fold stage latencies into telemetry after the join.
+#pragma once
+
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace scent::pipeline {
+
+/// Thrown by stage bodies when their queue closes under them mid-stream —
+/// the cooperative "another stage failed, stop working" unwind. run()
+/// never reports it while any stage holds a real exception.
+struct PipelineCancelled : std::exception {
+  [[nodiscard]] const char* what() const noexcept override {
+    return "pipeline stage cancelled";
+  }
+};
+
+struct StageMetrics {
+  std::string name;
+  std::uint64_t wall_ns = 0;
+  bool failed = false;     ///< Threw anything, including PipelineCancelled.
+  bool cancelled = false;  ///< The exception was PipelineCancelled.
+};
+
+class Pipeline {
+ public:
+  /// Adds a stage; stages start in add order and errors rethrow in add
+  /// order, so add producers before their consumers when the distinction
+  /// matters (a producer's failure then wins over the drain it starved).
+  void add_stage(std::string name, std::function<void()> body);
+
+  /// Registers a hook fired exactly once, from the first failing stage's
+  /// thread, before run() returns. Hooks must be safe to call while other
+  /// stages are still running — closing BoundedQueues is the intended use.
+  void on_cancel(std::function<void()> hook);
+
+  /// Runs every stage to completion (see the file comment). Safe to call
+  /// once per Pipeline instance.
+  void run();
+
+  /// Per-stage wall times and failure flags, valid after run().
+  [[nodiscard]] const std::vector<StageMetrics>& metrics() const noexcept {
+    return metrics_;
+  }
+
+ private:
+  struct Stage {
+    std::string name;
+    std::function<void()> body;
+  };
+
+  void fire_cancel();
+
+  std::vector<Stage> stages_;
+  std::vector<std::function<void()>> cancel_hooks_;
+  std::vector<StageMetrics> metrics_;
+  std::once_flag cancel_once_;
+};
+
+}  // namespace scent::pipeline

@@ -1,0 +1,154 @@
+// queue.h - bounded blocking queues: the pipeline's only shared state.
+//
+// A BoundedQueue<T> connects exactly one producing stage to one consuming
+// stage (SPSC in every topology the tree builds today, though nothing here
+// assumes it — the lock covers arbitrary producers/consumers). Capacity is
+// the backpressure contract: push() blocks while the queue is full, so a
+// fast producer can run at most `capacity` items ahead of its consumer and
+// the memory in flight stays bounded no matter how lopsided the stages
+// are. Wall-clock then tracks the slowest stage instead of the sum of
+// stages, which is the whole point of the pipeline (DESIGN.md §5i).
+//
+// Shutdown is cooperative: close() wakes every blocked thread; after it,
+// push() refuses new items (returns false) and pop() drains whatever is
+// still buffered before returning false. A producer closes its output
+// queue when it finishes (or unwinds), which is how "end of stream"
+// propagates down a stage chain without sentinel items.
+//
+// The queue keeps its own ledger — items through, time spent blocked on
+// either side, high-water depth — so the executor can fold stall time and
+// queue depth into telemetry without instrumenting the hot path twice.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <utility>
+
+#include "trace/recorder.h"
+
+namespace scent::pipeline {
+
+/// Counters a queue accumulates over its lifetime; see BoundedQueue::stats.
+struct QueueStats {
+  std::uint64_t pushed = 0;         ///< Items accepted by push().
+  std::uint64_t popped = 0;         ///< Items handed out by pop().
+  std::uint64_t push_stall_ns = 0;  ///< Wall time producers spent blocked.
+  std::uint64_t pop_stall_ns = 0;   ///< Wall time consumers spent blocked.
+  std::uint64_t high_water = 0;     ///< Maximum buffered depth ever seen.
+};
+
+template <typename T>
+class BoundedQueue {
+ public:
+  /// A zero capacity is promoted to one — a rendezvous of size 0 would
+  /// deadlock a blocking push against a blocking pop.
+  explicit BoundedQueue(std::size_t capacity)
+      : capacity_(capacity == 0 ? 1 : capacity) {}
+
+  BoundedQueue(const BoundedQueue&) = delete;
+  BoundedQueue& operator=(const BoundedQueue&) = delete;
+
+  /// Blocks while full. True once the item is enqueued; false if the queue
+  /// was closed (the item is dropped — the stream is over).
+  bool push(T item) {
+    std::unique_lock<std::mutex> lock{mutex_};
+    if (items_.size() >= capacity_ && !closed_) {
+      const std::uint64_t start = trace::TraceRecorder::now_wall_ns();
+      not_full_.wait(lock,
+                     [this] { return items_.size() < capacity_ || closed_; });
+      stats_.push_stall_ns += trace::TraceRecorder::now_wall_ns() - start;
+    }
+    if (closed_) return false;
+    items_.push_back(std::move(item));
+    ++stats_.pushed;
+    if (items_.size() > stats_.high_water) stats_.high_water = items_.size();
+    lock.unlock();
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Non-blocking push; false when full or closed (item is left intact in
+  /// the caller's hands only conceptually — it is moved-from on success).
+  bool try_push(T& item) {
+    std::unique_lock<std::mutex> lock{mutex_};
+    if (closed_ || items_.size() >= capacity_) return false;
+    items_.push_back(std::move(item));
+    ++stats_.pushed;
+    if (items_.size() > stats_.high_water) stats_.high_water = items_.size();
+    lock.unlock();
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Blocks while empty and open. True with `out` filled; false once the
+  /// queue is closed *and* drained — the consumer's end-of-stream signal.
+  bool pop(T& out) {
+    std::unique_lock<std::mutex> lock{mutex_};
+    if (items_.empty() && !closed_) {
+      const std::uint64_t start = trace::TraceRecorder::now_wall_ns();
+      not_empty_.wait(lock, [this] { return !items_.empty() || closed_; });
+      stats_.pop_stall_ns += trace::TraceRecorder::now_wall_ns() - start;
+    }
+    if (items_.empty()) return false;
+    out = std::move(items_.front());
+    items_.pop_front();
+    ++stats_.popped;
+    lock.unlock();
+    not_full_.notify_one();
+    return true;
+  }
+
+  /// Non-blocking pop; false when nothing is buffered.
+  bool try_pop(T& out) {
+    std::unique_lock<std::mutex> lock{mutex_};
+    if (items_.empty()) return false;
+    out = std::move(items_.front());
+    items_.pop_front();
+    ++stats_.popped;
+    lock.unlock();
+    not_full_.notify_one();
+    return true;
+  }
+
+  /// Ends the stream: wakes every blocked thread, makes push() refuse and
+  /// lets pop() drain the remainder. Idempotent and safe from any thread —
+  /// including the executor's cancel path while stages are still blocked.
+  void close() {
+    {
+      const std::lock_guard<std::mutex> lock{mutex_};
+      closed_ = true;
+    }
+    not_full_.notify_all();
+    not_empty_.notify_all();
+  }
+
+  [[nodiscard]] bool closed() const {
+    const std::lock_guard<std::mutex> lock{mutex_};
+    return closed_;
+  }
+
+  [[nodiscard]] std::size_t size() const {
+    const std::lock_guard<std::mutex> lock{mutex_};
+    return items_.size();
+  }
+
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+
+  [[nodiscard]] QueueStats stats() const {
+    const std::lock_guard<std::mutex> lock{mutex_};
+    return stats_;
+  }
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::condition_variable not_full_;
+  std::condition_variable not_empty_;
+  std::deque<T> items_;
+  QueueStats stats_;
+  bool closed_ = false;
+};
+
+}  // namespace scent::pipeline

@@ -1,0 +1,552 @@
+// Streamed-scheduler determinism suite (TSan leg: names start with
+// "Pipeline").
+//
+// The §5i contract: SweepOptions::pipeline / CampaignOptions::pipeline is
+// purely a wall-clock knob. At every thread count, the streamed scheduler
+// must reproduce the barrier scheduler's corpus byte for byte — every
+// observation field, the snapshot writer's encoded bytes, the fused
+// analysis AggregateTable, the day accounting, and the sweep lanes'
+// virtual-timestamp trace streams. Each cell is checked against a
+// barrier threads=1 reference built from an independently constructed
+// identical world.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <iterator>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "analysis/engine.h"
+#include "core/bootstrap.h"
+#include "core/campaign.h"
+#include "core/observation.h"
+#include "core/sweep_ingest.h"
+#include "corpus/snapshot.h"
+#include "engine/sweep.h"
+#include "netbase/prefix.h"
+#include "probe/prober.h"
+#include "sim/scenario.h"
+#include "sim/sim_time.h"
+#include "trace/recorder.h"
+
+namespace scent {
+namespace {
+
+#if defined(__SANITIZE_THREAD__)
+constexpr bool kTsan = true;
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+constexpr bool kTsan = true;
+#else
+constexpr bool kTsan = false;
+#endif
+#else
+constexpr bool kTsan = false;
+#endif
+
+struct TempDir {
+  std::string path;
+  explicit TempDir(const std::string& tag) {
+    path = std::string{::testing::TempDir()} + "/scent_pipe_" + tag + "_" +
+           std::to_string(::getpid());
+    std::filesystem::remove_all(path);
+    std::filesystem::create_directories(path);
+  }
+  ~TempDir() {
+    std::error_code ec;
+    std::filesystem::remove_all(path, ec);
+  }
+};
+
+std::vector<char> file_bytes(const std::string& path) {
+  std::ifstream in{path, std::ios::binary};
+  EXPECT_TRUE(in.good()) << path;
+  return std::vector<char>{std::istreambuf_iterator<char>{in},
+                           std::istreambuf_iterator<char>{}};
+}
+
+void expect_same_corpus(const core::ObservationStore& want,
+                        const core::ObservationStore& got) {
+  ASSERT_EQ(want.size(), got.size());
+  const auto& a = want.all();
+  const auto& b = got.all();
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(a[i].target, b[i].target) << "observation " << i;
+    ASSERT_EQ(a[i].response, b[i].response) << "observation " << i;
+    ASSERT_EQ(a[i].type, b[i].type) << "observation " << i;
+    ASSERT_EQ(a[i].code, b[i].code) << "observation " << i;
+    ASSERT_EQ(a[i].time, b[i].time) << "observation " << i;
+  }
+  EXPECT_EQ(want.unique_responses(), got.unique_responses());
+  EXPECT_EQ(want.unique_eui64_iids(), got.unique_eui64_iids());
+}
+
+/// Field-by-field AggregateTable equality, including device iteration
+/// order (MAC first-sighting order) and per-AS span order (first-
+/// attribution order) — the properties the shard merge must preserve.
+void expect_same_table(const analysis::AggregateTable& want,
+                       const analysis::AggregateTable& got) {
+  EXPECT_EQ(want.rows_scanned, got.rows_scanned);
+  EXPECT_EQ(want.eui_rows, got.eui_rows);
+  ASSERT_EQ(want.devices.size(), got.devices.size());
+  auto it_want = want.devices.begin();
+  auto it_got = got.devices.begin();
+  for (; it_want != want.devices.end(); ++it_want, ++it_got) {
+    ASSERT_EQ(it_want->first, it_got->first) << "device order diverged";
+    const analysis::DeviceAggregate& a = it_want->second;
+    const analysis::DeviceAggregate& b = it_got->second;
+    EXPECT_EQ(a.oui, b.oui);
+    EXPECT_EQ(a.observations, b.observations);
+    EXPECT_EQ(a.target_lo, b.target_lo);
+    EXPECT_EQ(a.target_hi, b.target_hi);
+    EXPECT_EQ(a.response_lo, b.response_lo);
+    EXPECT_EQ(a.response_hi, b.response_hi);
+    EXPECT_EQ(a.first_day, b.first_day);
+    EXPECT_EQ(a.last_day, b.last_day);
+    EXPECT_EQ(a.day_bits, b.day_bits);
+    ASSERT_EQ(a.sightings.size(), b.sightings.size());
+    for (std::size_t i = 0; i < a.sightings.size(); ++i) {
+      EXPECT_EQ(a.sightings[i].day, b.sightings[i].day);
+      EXPECT_EQ(a.sightings[i].network, b.sightings[i].network);
+    }
+    ASSERT_EQ(a.per_as.size(), b.per_as.size());
+    for (std::size_t i = 0; i < a.per_as.size(); ++i) {
+      EXPECT_EQ(a.per_as[i].asn, b.per_as[i].asn) << "span order diverged";
+      EXPECT_EQ(a.per_as[i].target_lo, b.per_as[i].target_lo);
+      EXPECT_EQ(a.per_as[i].target_hi, b.per_as[i].target_hi);
+      EXPECT_EQ(a.per_as[i].response_lo, b.per_as[i].response_lo);
+      EXPECT_EQ(a.per_as[i].response_hi, b.per_as[i].response_hi);
+      EXPECT_EQ(a.per_as[i].observations, b.per_as[i].observations);
+      EXPECT_TRUE(a.per_as[i].days == b.per_as[i].days);
+    }
+  }
+  ASSERT_EQ(want.as_rollups.size(), got.as_rollups.size());
+  for (std::size_t i = 0; i < want.as_rollups.size(); ++i) {
+    EXPECT_EQ(want.as_rollups[i].asn, got.as_rollups[i].asn);
+    EXPECT_EQ(want.as_rollups[i].devices, got.as_rollups[i].devices);
+    EXPECT_EQ(want.as_rollups[i].observations,
+              got.as_rollups[i].observations);
+  }
+}
+
+/// The trace determinism key: everything but wall_ns, concatenated over
+/// every lane whose name starts with `prefix`, in drain order.
+using VirtualEvent =
+    std::tuple<std::string, trace::EventType, std::int64_t, std::int64_t>;
+
+std::vector<VirtualEvent> virtual_stream(const trace::TraceCollector& collector,
+                                         std::string_view prefix) {
+  std::vector<VirtualEvent> out;
+  for (const auto& lane : collector.lanes()) {
+    if (lane.name.rfind(prefix, 0) != 0) continue;
+    for (const auto& e : lane.events) {
+      out.emplace_back(std::string{e.name}, e.type, e.virtual_us, e.value);
+    }
+  }
+  return out;
+}
+
+bool has_lane(const trace::TraceCollector& collector, std::string_view name) {
+  for (const auto& lane : collector.lanes()) {
+    if (lane.name == name) return true;
+  }
+  return false;
+}
+
+// ---------------------------------------------------------------------------
+// Sweep-level: one sweep with the full fan-out, every consumer compared.
+
+struct SweptDay {
+  core::ObservationStore store;
+  analysis::AggregateTable table;
+  container::FlatSet<net::MacAddress, net::MacAddressHash> macs;
+  std::vector<char> snapshot_bytes;
+  std::size_t progress_calls = 0;
+  std::size_t final_rows = 0;
+  trace::TraceCollector collector{1 << 12};
+};
+
+std::vector<engine::SweepUnit> tiny_units(const sim::PaperWorld& world,
+                                          std::size_t count) {
+  const auto& pool = world.internet.provider(world.versatel).pools()[0];
+  std::vector<engine::SweepUnit> units;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const net::Prefix p48{
+        pool.config().prefix.subnet(48, net::Uint128{i % 4}).base(), 48};
+    units.push_back({p48, 56, 0x5CE7 + i});
+  }
+  return units;
+}
+
+std::unique_ptr<SweptDay> sweep_once(bool pipelined, unsigned threads,
+                                     std::uint32_t queue_capacity,
+                                     std::uint32_t batch_rows,
+                                     const std::string& tag) {
+  sim::PaperWorld world = sim::make_tiny_world(0x9A9A, 48);
+  sim::VirtualClock clock{sim::hours(12)};
+  probe::ProberOptions prober_options;
+  prober_options.wire_mode = false;
+  prober_options.packets_per_second = 1000000;
+
+  auto day = std::make_unique<SweptDay>();
+  engine::SweepOptions options;
+  options.threads = threads;
+  options.oversubscribe = true;
+  options.pipeline = pipelined;
+  options.queue_capacity = queue_capacity;
+  options.batch_rows = batch_rows;
+  options.trace = &day->collector;
+
+  corpus::SnapshotWriter snapshot;
+  core::SweepAnalysis analysis;
+  analysis.bgp = &world.internet.bgp();
+  analysis.options.threads = threads;
+  analysis.options.oversubscribe = true;
+
+  core::SweepFanout fanout;
+  fanout.snapshot = &snapshot;
+  fanout.analysis = &analysis;
+  fanout.macs = &day->macs;
+  fanout.on_progress = [&day](std::size_t rows) {
+    ++day->progress_calls;
+    day->final_rows = rows;
+  };
+
+  const auto units = tiny_units(world, 12);
+  core::sweep_into_store(world.internet, clock, units, prober_options,
+                         options, day->store, fanout);
+  day->table = std::move(analysis.table);
+
+  TempDir dir{tag};
+  const std::string snap_path = dir.path + "/day.snap";
+  EXPECT_TRUE(snapshot.write(snap_path));
+  day->snapshot_bytes = file_bytes(snap_path);
+  EXPECT_EQ(day->collector.total_dropped(), 0u);
+  return day;
+}
+
+TEST(PipelineEquivalence, StreamedSweepFanoutMatchesBarrierAtAnyThreadCount) {
+  const auto reference = sweep_once(false, 1, 16, 4096, "ref");
+  ASSERT_GT(reference->store.size(), 0u);
+  ASSERT_GT(reference->table.devices.size(), 0u);
+  ASSERT_FALSE(reference->macs.empty());
+  EXPECT_EQ(reference->progress_calls, 1u);  // barrier: once, post-merge
+  EXPECT_EQ(reference->final_rows, reference->store.size());
+  const auto reference_sweep =
+      virtual_stream(reference->collector, "sweep shard");
+  ASSERT_FALSE(reference_sweep.empty());
+
+  for (const unsigned threads : {1u, 2u, 4u, 8u}) {
+    SCOPED_TRACE(testing::Message() << "pipeline threads=" << threads);
+    const auto streamed = sweep_once(true, threads, 4, 256,
+                                     "pipe" + std::to_string(threads));
+    expect_same_corpus(reference->store, streamed->store);
+    EXPECT_EQ(reference->snapshot_bytes, streamed->snapshot_bytes);
+    expect_same_table(reference->table, streamed->table);
+    EXPECT_EQ(reference->macs.size(), streamed->macs.size());
+    for (const auto& mac : reference->macs) {
+      EXPECT_TRUE(streamed->macs.contains(mac));
+    }
+    // The drain reports cumulative rows batch by batch; the final call
+    // must account for every row exactly once.
+    EXPECT_GE(streamed->progress_calls, 1u);
+    EXPECT_EQ(streamed->final_rows, reference->store.size());
+    // "sweep shard s" lanes replay the serial virtual schedule unchanged;
+    // the streamed scheduler adds its own stage lanes alongside them.
+    EXPECT_EQ(virtual_stream(streamed->collector, "sweep shard"),
+              reference_sweep);
+    EXPECT_TRUE(has_lane(streamed->collector, "pipeline ingest"));
+    EXPECT_TRUE(has_lane(streamed->collector, "pipeline shard 0"));
+  }
+}
+
+TEST(PipelineEquivalence, TinyQueuesAndBatchesStillBitIdentical) {
+  // Worst-case backpressure: 1-slot queues, 1-row batches. Every handoff
+  // blocks; the bytes must not care.
+  const auto reference = sweep_once(false, 1, 16, 4096, "ref2");
+  const auto streamed = sweep_once(true, 4, 1, 1, "tiny");
+  expect_same_corpus(reference->store, streamed->store);
+  EXPECT_EQ(reference->snapshot_bytes, streamed->snapshot_bytes);
+  expect_same_table(reference->table, streamed->table);
+}
+
+// ---------------------------------------------------------------------------
+// Campaign-level: full bootstrap + checkpointed campaign, streamed vs
+// barrier, across worlds x seeds x thread counts.
+
+enum class Scenario { kPaperWorld, kChurn };
+
+sim::Internet make_world(Scenario scenario, std::uint64_t seed) {
+  if (scenario == Scenario::kPaperWorld) {
+    sim::PaperWorldOptions options;
+    options.seed = seed;
+    options.tail_as_count = 2;
+    // No TSan shrink here: below scale 0.05 the bootstrap's rotating /48s
+    // can rotate empty by campaign time (seed 0x11 yields a zero-response
+    // campaign at 0.03). TSan cost is bounded by the seed/thread/day
+    // shrink instead.
+    options.scale = 0.05;
+    options.devices_per_tail_pool = 16;
+    options.versatel_pool_count = 2;
+    options.inject_pathologies = true;
+    return std::move(sim::make_paper_world(options).internet);
+  }
+  // Same churn world as the engine equivalence suite: a stride-rotator and
+  // a static allocator with mid-campaign service churn.
+  sim::WorldBuilder builder{seed};
+  {
+    sim::ProviderSpec spec;
+    spec.asn = 65201;
+    spec.name = "PipeRotator";
+    spec.country = "DE";
+    spec.advertisement = *net::Prefix::parse("2001:3333::/32");
+    spec.vendors = {{net::Oui{0x3810d5}, 1.0}};
+    sim::PoolSpec pool;
+    pool.pool_length = 48;
+    pool.allocation_length = 56;
+    pool.rotation.kind = sim::RotationPolicy::Kind::kStride;
+    pool.rotation.stride = 97;
+    pool.device_count = 200;
+    spec.pools = {pool};
+    spec.eui64_fraction = 0.9;
+    spec.churn_fraction = 0.35;
+    builder.add_provider(spec);
+  }
+  {
+    sim::ProviderSpec spec;
+    spec.asn = 65202;
+    spec.name = "PipeStatic";
+    spec.country = "VN";
+    spec.advertisement = *net::Prefix::parse("2001:4444::/32");
+    spec.vendors = {{net::Oui{0x98f428}, 1.0}};
+    sim::PoolSpec pool;
+    pool.pool_length = 48;
+    pool.allocation_length = 60;
+    pool.device_count = kTsan ? 400 : 1000;
+    spec.pools = {pool};
+    spec.eui64_fraction = 0.8;
+    spec.churn_fraction = 0.5;
+    builder.add_provider(spec);
+  }
+  return builder.take();
+}
+
+struct CampaignRun {
+  core::BootstrapResult boot;
+  core::CampaignResult campaign;
+  std::vector<std::string> chain_files;       ///< Sorted file names.
+  std::vector<std::vector<char>> chain_bytes; ///< Bytes per chain file.
+};
+
+CampaignRun run_campaign_world(Scenario scenario, std::uint64_t seed,
+                               unsigned threads, bool pipelined,
+                               const std::string& dir_tag) {
+  sim::Internet internet = make_world(scenario, seed);
+  sim::VirtualClock clock{sim::hours(10)};
+  probe::ProberOptions prober_options;
+  prober_options.wire_mode = false;
+  prober_options.packets_per_second = 2000000;
+  probe::Prober prober{internet, clock, prober_options};
+
+  CampaignRun run;
+  core::BootstrapOptions boot;
+  boot.seed = seed ^ 0xF00D;
+  boot.probes_per_48 = 4;
+  boot.threads = threads;
+  boot.oversubscribe = true;
+  boot.pipeline = pipelined;
+  boot.queue_capacity = 4;
+  run.boot = core::run_bootstrap(internet, clock, prober, boot);
+
+  TempDir dir{dir_tag};
+  core::CampaignOptions campaign;
+  campaign.days = kTsan ? 2 : 3;
+  campaign.seed = seed ^ 0xCA3B;
+  campaign.threads = threads;
+  campaign.oversubscribe = true;
+  campaign.pipeline = pipelined;
+  campaign.queue_capacity = 4;
+  campaign.checkpoint_dir = dir.path;
+  run.campaign = core::run_campaign(internet, clock, prober,
+                                    run.boot.rotating_48s, campaign);
+  EXPECT_TRUE(run.campaign.checkpoint_ok);
+
+  for (const auto& entry : std::filesystem::directory_iterator(dir.path)) {
+    run.chain_files.push_back(entry.path().filename().string());
+  }
+  std::sort(run.chain_files.begin(), run.chain_files.end());
+  for (const auto& name : run.chain_files) {
+    run.chain_bytes.push_back(file_bytes(dir.path + "/" + name));
+  }
+  return run;
+}
+
+void expect_same_campaign(const CampaignRun& want, const CampaignRun& got) {
+  EXPECT_EQ(want.boot.rotating_48s, got.boot.rotating_48s);
+  EXPECT_EQ(want.boot.probes_sent, got.boot.probes_sent);
+  EXPECT_EQ(want.boot.unique_iids, got.boot.unique_iids);
+  expect_same_corpus(want.boot.observations, got.boot.observations);
+
+  EXPECT_EQ(want.campaign.probes_sent, got.campaign.probes_sent);
+  EXPECT_EQ(want.campaign.responses, got.campaign.responses);
+  EXPECT_EQ(want.campaign.allocation_length_by_as,
+            got.campaign.allocation_length_by_as);
+  ASSERT_EQ(want.campaign.daily.size(), got.campaign.daily.size());
+  for (std::size_t d = 0; d < want.campaign.daily.size(); ++d) {
+    EXPECT_EQ(want.campaign.daily[d].probes, got.campaign.daily[d].probes);
+    EXPECT_EQ(want.campaign.daily[d].responses,
+              got.campaign.daily[d].responses);
+    EXPECT_EQ(want.campaign.daily[d].unique_eui64_iids,
+              got.campaign.daily[d].unique_eui64_iids);
+  }
+  expect_same_corpus(want.campaign.observations, got.campaign.observations);
+
+  // The on-disk snapshot chain + manifest: byte-identical, file by file.
+  ASSERT_EQ(want.chain_files, got.chain_files);
+  for (std::size_t i = 0; i < want.chain_files.size(); ++i) {
+    EXPECT_EQ(want.chain_bytes[i], got.chain_bytes[i])
+        << "chain file " << want.chain_files[i];
+  }
+}
+
+TEST(PipelineEquivalence, StreamedCampaignMatchesBarrierAcrossWorldsAndSeeds) {
+  const std::vector<std::uint64_t> seeds =
+      kTsan ? std::vector<std::uint64_t>{0x11}
+            : std::vector<std::uint64_t>{0x11, 0x22, 0x33};
+  const std::vector<unsigned> thread_counts =
+      kTsan ? std::vector<unsigned>{2, 8}
+            : std::vector<unsigned>{1, 2, 4, 8};
+
+  for (const Scenario scenario : {Scenario::kPaperWorld, Scenario::kChurn}) {
+    for (const std::uint64_t seed : seeds) {
+      SCOPED_TRACE(testing::Message()
+                   << (scenario == Scenario::kPaperWorld ? "paper_world"
+                                                         : "churn")
+                   << " seed=0x" << std::hex << seed);
+      const CampaignRun reference =
+          run_campaign_world(scenario, seed, 1, false, "ref");
+      ASSERT_FALSE(reference.boot.rotating_48s.empty());
+      ASSERT_GT(reference.campaign.observations.size(), 0u);
+
+      for (const unsigned threads : thread_counts) {
+        SCOPED_TRACE(testing::Message() << "threads=" << threads);
+        const CampaignRun streamed = run_campaign_world(
+            scenario, seed, threads, true, "p" + std::to_string(threads));
+        expect_same_campaign(reference, streamed);
+      }
+    }
+  }
+}
+
+TEST(PipelineEquivalence, MidDayAbortResumesBitIdentically) {
+  // Kill a streamed campaign while day 1 is mid-drain (nothing about the
+  // day committed yet), resume from the surviving chain, and demand the
+  // final corpus + chain match an uninterrupted run. The §5f contract's
+  // mid-day half: a partially drained day leaves no trace.
+  const std::uint64_t seed = 0x77;
+  const unsigned threads = kTsan ? 2 : 4;
+
+  sim::Internet aborted_world = make_world(Scenario::kChurn, seed);
+  sim::VirtualClock aborted_clock{sim::hours(10)};
+  probe::ProberOptions prober_options;
+  prober_options.wire_mode = false;
+  prober_options.packets_per_second = 2000000;
+
+  core::BootstrapOptions boot;
+  boot.seed = seed ^ 0xF00D;
+  boot.probes_per_48 = 4;
+  boot.threads = threads;
+  boot.oversubscribe = true;
+  boot.pipeline = true;
+
+  TempDir dir{"abort"};
+  core::CampaignOptions campaign;
+  campaign.days = 3;
+  campaign.seed = seed ^ 0xCA3B;
+  campaign.threads = threads;
+  campaign.oversubscribe = true;
+  campaign.pipeline = true;
+  campaign.queue_capacity = 2;
+  campaign.checkpoint_dir = dir.path;
+
+  struct MidDayAbort : std::runtime_error {
+    MidDayAbort() : std::runtime_error{"mid-day abort"} {}
+  };
+
+  std::vector<net::Prefix> targets;
+  {
+    probe::Prober prober{aborted_world, aborted_clock, prober_options};
+    const auto booted =
+        core::run_bootstrap(aborted_world, aborted_clock, prober, boot);
+    targets = booted.rotating_48s;
+    ASSERT_FALSE(targets.empty());
+
+    // The campaign's absolute day index depends on how far bootstrap
+    // advanced the clock; abort relative to the first day seen.
+    core::CampaignOptions abort_options = campaign;
+    std::int64_t first_seen = -1;
+    abort_options.on_day_progress = [&first_seen](std::int64_t day,
+                                                  std::size_t rows) {
+      if (first_seen < 0) first_seen = day;
+      if (day > first_seen && rows > 0) throw MidDayAbort{};
+    };
+    EXPECT_THROW(core::run_campaign(aborted_world, aborted_clock, prober,
+                                    targets, abort_options),
+                 MidDayAbort);
+  }
+  // Day 0 committed before the abort; day 1 must not have.
+  ASSERT_TRUE(std::filesystem::exists(dir.path + "/day_0000.snap"));
+  ASSERT_FALSE(std::filesystem::exists(dir.path + "/day_0001.snap"));
+
+  // Resume in a fresh process-equivalent: new world, new clock, same dir.
+  core::CampaignResult resumed;
+  {
+    sim::Internet world = make_world(Scenario::kChurn, seed);
+    sim::VirtualClock clock{sim::hours(10)};
+    probe::Prober prober{world, clock, prober_options};
+    const auto booted = core::run_bootstrap(world, clock, prober, boot);
+    ASSERT_EQ(booted.rotating_48s, targets);
+    resumed = core::run_campaign(world, clock, prober, targets, campaign);
+  }
+  EXPECT_EQ(resumed.resumed_days, 1u);
+
+  // Uninterrupted reference, own directory.
+  TempDir whole_dir{"whole"};
+  core::CampaignResult whole;
+  {
+    sim::Internet world = make_world(Scenario::kChurn, seed);
+    sim::VirtualClock clock{sim::hours(10)};
+    probe::Prober prober{world, clock, prober_options};
+    const auto booted = core::run_bootstrap(world, clock, prober, boot);
+    core::CampaignOptions whole_options = campaign;
+    whole_options.checkpoint_dir = whole_dir.path;
+    whole = core::run_campaign(world, clock, prober, targets, whole_options);
+  }
+
+  expect_same_corpus(whole.observations, resumed.observations);
+  EXPECT_EQ(whole.allocation_length_by_as, resumed.allocation_length_by_as);
+  ASSERT_EQ(whole.daily.size(), resumed.daily.size());
+  for (std::size_t d = 0; d < whole.daily.size(); ++d) {
+    EXPECT_EQ(whole.daily[d].probes, resumed.daily[d].probes);
+    EXPECT_EQ(whole.daily[d].unique_eui64_iids,
+              resumed.daily[d].unique_eui64_iids);
+  }
+  for (const auto& entry :
+       std::filesystem::directory_iterator(whole_dir.path)) {
+    const std::string name = entry.path().filename().string();
+    EXPECT_EQ(file_bytes(whole_dir.path + "/" + name),
+              file_bytes(dir.path + "/" + name))
+        << "chain file " << name;
+  }
+}
+
+}  // namespace
+}  // namespace scent

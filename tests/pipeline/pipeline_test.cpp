@@ -1,0 +1,191 @@
+// Stage-executor unit suite (TSan leg: names start with "Pipeline").
+//
+// Lifecycle contract of pipeline::Pipeline: stages run concurrently and
+// all join before run() returns; the first failure fires the cancel hooks
+// exactly once; after the join the first *non-cancelled* failure in stage
+// order decides the rethrown exception, with PipelineCancelled surfacing
+// only when nothing real went wrong.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <stdexcept>
+#include <thread>
+
+#include "pipeline/pipeline.h"
+#include "pipeline/queue.h"
+
+namespace scent::pipeline {
+namespace {
+
+TEST(PipelineExecutor, RunsEveryStageAndRecordsMetrics) {
+  Pipeline p;
+  std::atomic<int> ran{0};
+  p.add_stage("a", [&] { ++ran; });
+  p.add_stage("b", [&] { ++ran; });
+  p.add_stage("c", [&] { ++ran; });
+  p.run();
+  EXPECT_EQ(ran.load(), 3);
+  ASSERT_EQ(p.metrics().size(), 3u);
+  EXPECT_EQ(p.metrics()[0].name, "a");
+  EXPECT_EQ(p.metrics()[2].name, "c");
+  for (const StageMetrics& m : p.metrics()) {
+    EXPECT_FALSE(m.failed);
+    EXPECT_FALSE(m.cancelled);
+  }
+}
+
+TEST(PipelineExecutor, SingleStageRunsInlineOnCallingThread) {
+  Pipeline p;
+  const std::thread::id caller = std::this_thread::get_id();
+  std::thread::id stage_thread;
+  p.add_stage("only", [&] { stage_thread = std::this_thread::get_id(); });
+  p.run();
+  EXPECT_EQ(stage_thread, caller);
+}
+
+TEST(PipelineExecutor, StagesRunConcurrently) {
+  // Two stages that can only complete together: a rendezvous through a
+  // queue in each direction. Serial execution would deadlock; the test
+  // completing at all is the assertion.
+  Pipeline p;
+  BoundedQueue<int> ping{1};
+  BoundedQueue<int> pong{1};
+  p.add_stage("ping", [&] {
+    ASSERT_TRUE(ping.push(1));
+    int got = 0;
+    ASSERT_TRUE(pong.pop(got));
+    EXPECT_EQ(got, 2);
+  });
+  p.add_stage("pong", [&] {
+    int got = 0;
+    ASSERT_TRUE(ping.pop(got));
+    EXPECT_EQ(got, 1);
+    ASSERT_TRUE(pong.push(2));
+  });
+  p.run();
+}
+
+TEST(PipelineExecutor, FirstFailureFiresCancelHooksExactlyOnce) {
+  Pipeline p;
+  std::atomic<int> fired{0};
+  p.on_cancel([&] { ++fired; });
+  p.on_cancel([&] { ++fired; });
+  p.add_stage("fail1", [] { throw std::runtime_error{"one"}; });
+  p.add_stage("fail2", [] { throw std::runtime_error{"two"}; });
+  EXPECT_THROW(p.run(), std::runtime_error);
+  // Both hooks ran, but the pair fired once despite two failing stages.
+  EXPECT_EQ(fired.load(), 2);
+}
+
+TEST(PipelineExecutor, RethrowsFirstFailureInStageOrderNotTimeOrder) {
+  // The later-added stage fails immediately; the earlier one fails after a
+  // delay. Stage order must still decide the exception.
+  Pipeline p;
+  p.add_stage("slow-loser", [] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    throw std::runtime_error{"first-in-stage-order"};
+  });
+  p.add_stage("fast-loser", [] { throw std::logic_error{"first-in-time"}; });
+  try {
+    p.run();
+    FAIL() << "expected a throw";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "first-in-stage-order");
+  }
+  EXPECT_TRUE(p.metrics()[0].failed);
+  EXPECT_TRUE(p.metrics()[1].failed);
+}
+
+TEST(PipelineExecutor, CancelledStagesDoNotMaskTheRealError) {
+  // Consumer blocks on a queue the failing producer never feeds; the
+  // cancel hook closes it, the consumer unwinds with PipelineCancelled —
+  // and run() still reports the producer's error even though the consumer
+  // (stage 0, earlier in stage order) also "failed".
+  Pipeline p;
+  BoundedQueue<int> q{1};
+  p.on_cancel([&] { q.close(); });
+  p.add_stage("consumer", [&] {
+    int out = 0;
+    if (!q.pop(out)) throw PipelineCancelled{};
+  });
+  p.add_stage("producer", [] { throw std::runtime_error{"real"}; });
+  try {
+    p.run();
+    FAIL() << "expected a throw";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "real");
+  }
+  EXPECT_TRUE(p.metrics()[0].cancelled);
+  EXPECT_TRUE(p.metrics()[1].failed);
+  EXPECT_FALSE(p.metrics()[1].cancelled);
+}
+
+TEST(PipelineExecutor, PureCancellationSurfacesWhenNothingElseFailed) {
+  Pipeline p;
+  p.add_stage("cancelled", [] { throw PipelineCancelled{}; });
+  p.add_stage("fine", [] {});
+  EXPECT_THROW(p.run(), PipelineCancelled);
+  EXPECT_TRUE(p.metrics()[0].cancelled);
+  EXPECT_FALSE(p.metrics()[1].failed);
+}
+
+TEST(PipelineExecutor, ChainMovesDataEndToEnd) {
+  // A miniature of the sweep topology: producer -> transform -> sink over
+  // tiny queues, each producing stage closing its output on exit.
+  Pipeline p;
+  BoundedQueue<int> a{2};
+  BoundedQueue<int> b{2};
+  p.on_cancel([&] {
+    a.close();
+    b.close();
+  });
+  constexpr int kItems = 200;
+  long long sum = 0;
+  p.add_stage("produce", [&] {
+    for (int i = 1; i <= kItems; ++i) ASSERT_TRUE(a.push(i));
+    a.close();
+  });
+  p.add_stage("double", [&] {
+    int v = 0;
+    while (a.pop(v)) ASSERT_TRUE(b.push(2 * v));
+    b.close();
+  });
+  p.add_stage("sum", [&] {
+    int v = 0;
+    while (b.pop(v)) sum += v;
+  });
+  p.run();
+  EXPECT_EQ(sum, 2LL * kItems * (kItems + 1) / 2);
+  for (const StageMetrics& m : p.metrics()) EXPECT_FALSE(m.failed);
+}
+
+TEST(PipelineExecutor, FailingConsumerUnblocksBackpressuredProducer) {
+  // Producer outruns a 1-slot queue and blocks; the consumer dies. The
+  // cancel hook closes the queue, push() returns false, the producer
+  // unwinds with PipelineCancelled, and the consumer's real error wins —
+  // the no-deadlock half of the failure policy.
+  Pipeline p;
+  BoundedQueue<int> q{1};
+  p.on_cancel([&] { q.close(); });
+  p.add_stage("producer", [&] {
+    for (int i = 0; i < 1000000; ++i) {
+      if (!q.push(i)) throw PipelineCancelled{};
+    }
+  });
+  p.add_stage("consumer", [&] {
+    int out = 0;
+    ASSERT_TRUE(q.pop(out));
+    throw std::runtime_error{"consumer died"};
+  });
+  try {
+    p.run();
+    FAIL() << "expected a throw";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "consumer died");
+  }
+  EXPECT_TRUE(p.metrics()[0].cancelled);
+}
+
+}  // namespace
+}  // namespace scent::pipeline
