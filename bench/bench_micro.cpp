@@ -206,6 +206,17 @@ struct BenchReport {
   std::size_t snapshot_file_bytes = 0;
   double snapshot_save_mrps = 0;  // million rows/sec, append+write
   double snapshot_load_mrps = 0;  // million rows/sec, open+read_store
+  std::size_t snapshot_v2_rows = 0;
+  std::size_t snapshot_v1_file_bytes = 0;   // frozen-layout baseline
+  std::size_t snapshot_v2_file_bytes = 0;
+  double snapshot_v2_bytes_per_row = 0;
+  double snapshot_v2_ratio = 0;             // v1 bytes / v2 bytes
+  double snapshot_v2_save_mrps = 0;         // encode+write, all threads
+  double snapshot_v2_load_mrps = 0;         // lazy 4-column read, all threads
+  std::size_t snapshot_v2_blocks = 0;       // per column section
+  std::size_t snapshot_v2_blocks_skipped = 0;  // by the window probe
+  bool snapshot_v2_floor_enforced = false;  // save/load floors need threads
+  bool snapshot_v2_ok = false;
   unsigned diff_days = 0;
   double diff_full_ms = 0;
   double diff_incremental_ms = 0;
@@ -880,6 +891,162 @@ bool check_corpus_guards(BenchReport& report) {
   if (!io_ok) std::printf("corpus guard: snapshot I/O FAILED\n");
   report.corpus_ok = io_ok && save_ok && load_ok && diff_ok;
   return report.corpus_ok;
+}
+
+std::vector<unsigned char> slurp_file(const std::string& path) {
+  std::vector<unsigned char> bytes;
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return bytes;
+  unsigned char buf[1 << 16];
+  std::size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) {
+    bytes.insert(bytes.end(), buf, buf + n);
+  }
+  std::fclose(f);
+  return bytes;
+}
+
+/// Enforces the snapshot-v2 floors on the same 1M-row campaign-shaped
+/// corpus the corpus guard uses: >= 3x smaller files than the frozen v1
+/// layout, >= 5M rows/s save (encode + write) and >= 10M rows/s lazy
+/// four-column load, byte-identical output at 1 vs 8 writer threads, and
+/// block-skipping row-window reads that return exactly the full-read slice
+/// while leaving non-overlapping blocks untouched.
+bool check_snapshot_v2_guards(BenchReport& report) {
+  constexpr std::size_t kRows = 1 << 20;
+  const auto stream = make_ingest_stream(0xC0, kRows);
+  core::ObservationStore store;
+  for (const auto& obs : stream) store.add(obs);
+
+  // The v1 baseline needs no file: the frozen layout's size is a closed
+  // form of the row/pair counts.
+  corpus::SnapshotWriter v1_writer;
+  v1_writer.set_format_version(corpus::kSnapshotFormatV1);
+  v1_writer.append(store);
+  const std::uint64_t v1_bytes = v1_writer.encoded_size();
+
+  const std::string path = bench_tmp_path("scent_bench_snapshot_v2.snap");
+  bool io_ok = true;
+  corpus::SnapshotWriter writer;
+  writer.set_threads(0);  // hardware concurrency
+  writer.append(store);
+  double save_rate = 0;
+  for (int trial = 0; trial < 3; ++trial) {  // best-of-3
+    const auto start = std::chrono::steady_clock::now();
+    io_ok = writer.write(path) && io_ok;
+    save_rate = std::max(save_rate, kRows / seconds_since(start));
+  }
+  const std::uint64_t v2_bytes = writer.encoded_size();
+
+  // Lazy load: the four row columns, no store replay (read_store is the
+  // corpus guard's metric; this one isolates decode + I/O).
+  double load_rate = 0;
+  for (int trial = 0; trial < 3; ++trial) {
+    const auto start = std::chrono::steady_clock::now();
+    corpus::SnapshotReader reader;
+    reader.set_threads(0);
+    io_ok = reader.open(path) && io_ok;
+    std::vector<net::Ipv6Address> targets;
+    std::vector<net::Ipv6Address> responses;
+    std::vector<std::uint16_t> type_codes;
+    std::vector<sim::TimePoint> times;
+    io_ok = reader.read_targets(targets) && reader.read_responses(responses) &&
+            reader.read_type_codes(type_codes) && reader.read_times(times) &&
+            targets.size() == kRows && times.size() == kRows && io_ok;
+    benchmark::DoNotOptimize(targets);
+    benchmark::DoNotOptimize(responses);
+    benchmark::DoNotOptimize(type_codes);
+    benchmark::DoNotOptimize(times);
+    load_rate = std::max(load_rate, kRows / seconds_since(start));
+  }
+
+  // Determinism: 1 writer thread and 8 writer threads must emit the same
+  // bytes (blocks are fixed row partitions encoded independently).
+  const std::string serial_path =
+      bench_tmp_path("scent_bench_snapshot_v2_t1.snap");
+  corpus::SnapshotWriter serial_writer;
+  serial_writer.set_threads(1);
+  serial_writer.append(store);
+  io_ok = serial_writer.write(serial_path) && io_ok;
+  corpus::SnapshotWriter eight_writer;
+  eight_writer.set_threads(8);
+  eight_writer.append(store);
+  io_ok = eight_writer.write(path) && io_ok;
+  const bool stable = slurp_file(serial_path) == slurp_file(path);
+  std::remove(serial_path.c_str());
+
+  // Block-skip probe: a mid-corpus window must equal the full-read slice
+  // and must have skipped the blocks it does not overlap.
+  bool window_ok = true;
+  std::uint64_t blocks_skipped = 0;
+  {
+    corpus::SnapshotReader full;
+    std::vector<net::Ipv6Address> all;
+    window_ok = full.open(path) && full.read_responses(all) && window_ok;
+    constexpr std::uint64_t kFirst = 400000;
+    constexpr std::uint64_t kCount = 200000;
+    corpus::SnapshotReader windowed;
+    std::vector<net::Ipv6Address> slice;
+    window_ok = windowed.open(path) &&
+                windowed.read_responses(slice, kFirst, kCount) && window_ok;
+    window_ok = window_ok && slice.size() == kCount &&
+                std::equal(slice.begin(), slice.end(), all.begin() + kFirst);
+    blocks_skipped = windowed.blocks_skipped();
+    window_ok = window_ok && blocks_skipped > 0;
+  }
+  std::remove(path.c_str());
+
+  const double ratio =
+      v2_bytes > 0 ? static_cast<double>(v1_bytes) / v2_bytes : 0;
+  report.snapshot_v2_rows = kRows;
+  report.snapshot_v1_file_bytes = v1_bytes;
+  report.snapshot_v2_file_bytes = v2_bytes;
+  report.snapshot_v2_bytes_per_row = static_cast<double>(v2_bytes) / kRows;
+  report.snapshot_v2_ratio = ratio;
+  report.snapshot_v2_save_mrps = save_rate / 1e6;
+  report.snapshot_v2_load_mrps = load_rate / 1e6;
+  report.snapshot_v2_blocks =
+      (kRows + corpus::kSnapshotBlockElements - 1) /
+      corpus::kSnapshotBlockElements;
+  report.snapshot_v2_blocks_skipped = blocks_skipped;
+
+  const bool ratio_ok = ratio >= 3.0;
+  const bool save_ok = save_rate >= 5e6;
+  const bool load_ok = load_rate >= 1e7;
+  // The compression, determinism and window-equality floors hold on any
+  // host; the save/load throughput floors assume the parallel block codec
+  // actually has cores to fan out over, so — like the sweep and pipeline
+  // scaling guards — they turn advisory below 8 hardware threads.
+  report.snapshot_v2_floor_enforced = report.hardware_threads >= 8;
+  std::printf(
+      "snapshot v2 guard (%zu rows): %zu -> %zu bytes = %.2fx smaller "
+      "(floor 3x), %.1f B/row %s\n",
+      kRows, static_cast<std::size_t>(v1_bytes),
+      static_cast<std::size_t>(v2_bytes), ratio,
+      report.snapshot_v2_bytes_per_row, ratio_ok ? "OK" : "FAILED");
+  if (report.snapshot_v2_floor_enforced) {
+    std::printf(
+        "snapshot v2 guard: save %.1fM rows/s (floor 5M), lazy load %.1fM "
+        "rows/s (floor 10M) %s\n",
+        save_rate / 1e6, load_rate / 1e6,
+        save_ok && load_ok ? "OK" : "FAILED");
+  } else {
+    std::printf(
+        "snapshot v2 guard: save %.1fM rows/s, lazy load %.1fM rows/s "
+        "(%u hardware threads < 8: 5M/10M floors not enforced)\n",
+        save_rate / 1e6, load_rate / 1e6, report.hardware_threads);
+  }
+  std::printf(
+      "snapshot v2 guard: bytes %s at 1 vs 8 threads, window read %s "
+      "(%zu blocks skipped)\n",
+      stable ? "identical" : "DIVERGED",
+      window_ok ? "matches full slice" : "MISMATCH",
+      static_cast<std::size_t>(blocks_skipped));
+  if (!io_ok) std::printf("snapshot v2 guard: snapshot I/O FAILED\n");
+  report.snapshot_v2_ok =
+      io_ok && ratio_ok && stable && window_ok &&
+      (!report.snapshot_v2_floor_enforced || (save_ok && load_ok));
+  return report.snapshot_v2_ok;
 }
 
 // ---------------------------------------------------------------------------
@@ -1647,6 +1814,25 @@ void write_report_json(const BenchReport& r, bool guards_ok) {
                r.snapshot_load_mrps, r.diff_days, r.diff_full_ms,
                r.diff_incremental_ms, r.diff_speedup);
   std::fprintf(f,
+               "  \"snapshot_v2\": {\n"
+               "    \"rows\": %zu,\n"
+               "    \"v1_file_bytes\": %zu,\n"
+               "    \"file_bytes\": %zu,\n"
+               "    \"bytes_per_row\": %.2f,\n"
+               "    \"compression_ratio\": %.2f,\n"
+               "    \"save_mrows_per_s\": %.2f,\n"
+               "    \"load_mrows_per_s\": %.2f,\n"
+               "    \"blocks\": %zu,\n"
+               "    \"blocks_skipped\": %zu,\n"
+               "    \"floor_enforced\": %s\n"
+               "  },\n",
+               r.snapshot_v2_rows, r.snapshot_v1_file_bytes,
+               r.snapshot_v2_file_bytes, r.snapshot_v2_bytes_per_row,
+               r.snapshot_v2_ratio, r.snapshot_v2_save_mrps,
+               r.snapshot_v2_load_mrps, r.snapshot_v2_blocks,
+               r.snapshot_v2_blocks_skipped,
+               r.snapshot_v2_floor_enforced ? "true" : "false");
+  std::fprintf(f,
                "  \"sweep_scaling\": {\n"
                "    \"probes\": %zu,\n"
                "    \"serial_mops\": %.3f,\n"
@@ -1756,6 +1942,7 @@ int main(int argc, char** argv) {
   const bool pipeline_ok = check_pipeline_scaling(report);
   const bool ingest_ok = check_ingest_guard(report);
   const bool corpus_ok = check_corpus_guards(report);
+  const bool snapshot_v2_ok = check_snapshot_v2_guards(report);
   const bool analysis_ok = check_analysis_guard(report);
   measure_container_stats(report);
 
@@ -1773,6 +1960,13 @@ int main(int argc, char** argv) {
                   "1.3x-vs-barrier floors need 8",
                   report.hardware_threads);
   }
+  char snapshot_v2_skip[112] = "";
+  if (!report.snapshot_v2_floor_enforced) {
+    std::snprintf(snapshot_v2_skip, sizeof(snapshot_v2_skip),
+                  "host has %u hardware threads; the 5M/10M rows/s "
+                  "save/load floors need 8 (3x ratio still enforced)",
+                  report.hardware_threads);
+  }
   report.guard_status = {
       {"telemetry", telemetry_ok, true, 1, ""},
       {"trace", trace_ok, true, 1, ""},
@@ -1782,10 +1976,13 @@ int main(int argc, char** argv) {
        pipeline_skip},
       {"ingest", ingest_ok, true, 1, ""},
       {"corpus", corpus_ok, true, 1, ""},
+      {"snapshot_v2", snapshot_v2_ok, report.snapshot_v2_floor_enforced, 8,
+       snapshot_v2_skip},
       {"analysis", analysis_ok, true, 1, ""},
   };
   const bool guards_ok = telemetry_ok && trace_ok && scaling_ok &&
-                         pipeline_ok && ingest_ok && corpus_ok && analysis_ok;
+                         pipeline_ok && ingest_ok && corpus_ok &&
+                         snapshot_v2_ok && analysis_ok;
   write_report_json(report, guards_ok);
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;

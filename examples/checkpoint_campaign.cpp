@@ -12,6 +12,10 @@
 //   --pipeline            streamed scheduler (bounded queues, §5i);
 //                         bit-identical corpus, snapshots and digest
 //   --queue-capacity=N    queue depth (batches) for --pipeline
+//   --snapshot-version=V  on-disk snapshot format for the day snapshots:
+//                         2 (default, block-compressed) or 1 (frozen v1).
+//                         Resume auto-detects per file, so a chain may mix
+//                         versions across kills
 //   --days=N              campaign length (default 6)
 //   --kill-after-day=K    simulate a crash: exit hard with status 42 (no
 //                         cleanup, like a kill -9) right after day K
@@ -116,6 +120,7 @@ int main(int argc, char** argv) {
   options.threads = cli.threads;
   options.pipeline = cli.pipeline;
   options.queue_capacity = cli.queue_capacity;
+  options.snapshot_version = cli.snapshot_version;
   options.checkpoint_dir = cli.out_dir;
   options.registry = &registry;
   options.journal = &journal;
@@ -168,6 +173,22 @@ int main(int argc, char** argv) {
               result.observations.size());
   std::printf("corpus digest: %016llx\n",
               static_cast<unsigned long long>(digest));
+  // The persistence funnel: what this run wrote (v-version snapshots, total
+  // on-disk bytes) and what the resume replay read (v2 block skip counters;
+  // both zero for an unresumed run or an all-v1 chain).
+  const std::uint64_t snap_bytes = static_cast<std::uint64_t>(
+      registry.gauge("corpus.snapshot_bytes").value());
+  const unsigned written_days = days - result.resumed_days;
+  std::printf("snapshot funnel: v%u x %u days, %llu bytes on disk (%llu "
+              "B/day), replay blocks read/skipped: %lld/%lld\n",
+              cli.snapshot_version, written_days,
+              static_cast<unsigned long long>(snap_bytes),
+              static_cast<unsigned long long>(
+                  written_days > 0 ? snap_bytes / written_days : 0),
+              static_cast<long long>(
+                  registry.gauge("corpus.blocks_read").value()),
+              static_cast<long long>(
+                  registry.gauge("corpus.blocks_skipped").value()));
   std::printf("snapshots: %s/day_0000.snap .. day_%04u.snap + manifest.txt\n",
               cli.out_dir.c_str(), days - 1);
   return result.checkpoint_ok ? 0 : 1;

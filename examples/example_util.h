@@ -8,6 +8,9 @@
 //                    concurrently with probing; bit-identical results.
 //   --queue-capacity=N  bounded-queue depth, in observation batches, for
 //                    --pipeline (default 16).
+//   --snapshot-version=V  on-disk snapshot format for examples that write
+//                    snapshots: 2 (default, block-compressed) or 1 (the
+//                    frozen uncompressed layout). Readers auto-detect.
 //   --out-dir=DIR    where journals, snapshots and other artifacts land
 //                    (created if needed; default "." — never a hardcoded
 //                    file name in the repo root).
@@ -31,6 +34,7 @@ struct Cli {
   unsigned threads = 1;
   bool pipeline = false;
   unsigned queue_capacity = 16;
+  unsigned snapshot_version = 2;
   std::string out_dir = ".";
   std::string trace_out;  ///< Empty = tracing off.
 
@@ -47,6 +51,9 @@ struct Cli {
       } else if (std::strncmp(argv[i], "--queue-capacity=", 17) == 0) {
         cli.queue_capacity =
             static_cast<unsigned>(std::strtoul(argv[i] + 17, nullptr, 10));
+      } else if (std::strncmp(argv[i], "--snapshot-version=", 19) == 0) {
+        cli.snapshot_version =
+            static_cast<unsigned>(std::strtoul(argv[i] + 19, nullptr, 10));
       } else if (std::strncmp(argv[i], "--out-dir=", 10) == 0) {
         cli.out_dir = argv[i] + 10;
       } else if (std::strncmp(argv[i], "--trace-out=", 12) == 0) {

@@ -40,6 +40,7 @@ DIRECTION_RULES = [
     ("overhead_pct", "down"),
     ("_ms", "down"),
     ("bytes_per_obs", "down"),
+    ("bytes_per_row", "down"),
     ("sample_ns", "down"),
     ("batch_ns", "down"),
     ("file_bytes", "down"),
@@ -47,6 +48,7 @@ DIRECTION_RULES = [
     ("mrows_per_s", "up"),
     ("speedup", "up"),
     ("reduction_pct", "up"),
+    ("compression_ratio", "up"),
 ]
 
 # Metrics summarized into each history line: one headline number per
@@ -56,6 +58,10 @@ HEADLINE = [
     "analysis.fused_ms",
     "corpus.save_mrows_per_s",
     "corpus.load_mrows_per_s",
+    "snapshot_v2.bytes_per_row",
+    "snapshot_v2.compression_ratio",
+    "snapshot_v2.save_mrows_per_s",
+    "snapshot_v2.load_mrows_per_s",
     "telemetry.overhead_pct",
     "trace.idle_overhead_pct",
     "trace.enabled_overhead_pct",
@@ -140,6 +146,20 @@ def main():
         entries = report.get("guards", {}).get("entries", [])
         return {e["name"] for e in entries
                 if isinstance(e, dict) and "name" in e}
+
+    # Absolute throughput, always printed: the delta loop above only speaks
+    # in ratios (and only for moves outside the band), which buried the
+    # corpus guard's measured rates entirely on quiet runs.
+    def fmt(path, unit=""):
+        value = fresh_metrics.get(path)
+        return "n/a" if value is None else f"{value:.1f}{unit}"
+
+    print(f"  corpus: save {fmt('corpus.save_mrows_per_s')} / "
+          f"load {fmt('corpus.load_mrows_per_s')} M rows/s; "
+          f"snapshot_v2: save {fmt('snapshot_v2.save_mrows_per_s')} / "
+          f"load {fmt('snapshot_v2.load_mrows_per_s')} M rows/s, "
+          f"{fmt('snapshot_v2.bytes_per_row')} B/row "
+          f"({fmt('snapshot_v2.compression_ratio', 'x')} vs v1)")
 
     missing_guards = sorted(guard_names(baseline) - guard_names(fresh))
     for name in missing_guards:

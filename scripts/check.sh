@@ -21,6 +21,9 @@
 # The checkpoint/resume leg kills a checkpointed campaign mid-flight and
 # asserts the resumed run's digest and on-disk snapshot chain are
 # byte-identical to an uninterrupted run, at 1 and 4 threads (§5f).
+# The snapshot v1<->v2 leg kills a campaign writing the frozen v1 format
+# and resumes it writing v2, asserting the mixed-version chain converges
+# on the uninterrupted digest (readers auto-detect per file, §5j).
 # The pipeline-equivalence leg reruns the campaign through the streamed
 # scheduler (--pipeline, §5i) and compares digests and snapshot chains
 # byte-for-byte against barrier mode at 1 and 8 threads, then kills a
@@ -140,6 +143,45 @@ for t in 1 4; do
   done
   echo "  threads $t: digest $resumed, 6-day chain byte-identical OK"
 done
+
+echo "== snapshot v1<->v2: mixed-version chain resumes to the same digest =="
+# A campaign written in the frozen v1 format, killed after day 2, then
+# resumed by a build writing v2 (the default): the chain on disk mixes
+# versions — days 0-2 stay v1, days 3-5 land as v2 — and the resumed
+# digest must equal an uninterrupted all-v2 run's. The reader auto-detects
+# per file, so this is exactly the upgrade-mid-campaign path.
+rm -rf "$resume_tmp/mixed" "$resume_tmp/mixed_whole"
+mkdir -p "$resume_tmp/mixed" "$resume_tmp/mixed_whole"
+set +e
+./build/examples/checkpoint_campaign --days=6 --threads=4 \
+  --snapshot-version=1 --kill-after-day=2 --out-dir="$resume_tmp/mixed" \
+  >/dev/null
+status=$?
+set -e
+if [[ "$status" -ne 42 ]]; then
+  echo "checkpoint_campaign: expected kill-hook exit 42, got $status" >&2
+  exit 1
+fi
+mixed=$(./build/examples/checkpoint_campaign --days=6 --threads=4 \
+  --snapshot-version=2 --digest-only --out-dir="$resume_tmp/mixed")
+whole=$(./build/examples/checkpoint_campaign --days=6 --threads=4 \
+  --digest-only --out-dir="$resume_tmp/mixed_whole")
+if [[ "$mixed" != "$whole" ]]; then
+  echo "mixed-version resume digest mismatch: $mixed != $whole" >&2
+  exit 1
+fi
+SCENT_MIXED_DIR="$resume_tmp/mixed" python3 - <<'PYEOF'
+import os, struct
+chain_dir = os.environ["SCENT_MIXED_DIR"]
+for day, want in [(0, 1), (1, 1), (2, 1), (3, 2), (4, 2), (5, 2)]:
+    with open(f"{chain_dir}/day_{day:04d}.snap", "rb") as f:
+        magic = f.read(8)
+        assert magic == b"SCNTSNAP", f"day {day}: bad magic {magic!r}"
+        version = struct.unpack("<I", f.read(4))[0]
+    assert version == want, f"day {day}: format v{version}, want v{want}"
+print("  chain genuinely mixed: days 0-2 v1, days 3-5 v2")
+PYEOF
+echo "  mixed v1/v2 chain: digest $mixed matches uninterrupted OK"
 
 echo "== pipeline-equivalence: streamed vs barrier byte-identical =="
 pipe_tmp=$(mktemp -d)

@@ -64,7 +64,10 @@ void ChainInput::scan(std::size_t begin, std::size_t end, bool want_targets,
   if (begin >= end) return;
   // Columns re-read per scan call: each shard owns its own reader and
   // buffers, so concurrent scans share nothing. Only files straddling a
-  // shard boundary are read twice.
+  // shard boundary are read twice. Reads are row-window reads: a v2 file
+  // decodes (and CRC-verifies) only the blocks overlapping [begin, end),
+  // counting the rest into blocks_skipped(); v1 falls back to whole-column
+  // reads internally.
   std::vector<net::Ipv6Address> targets;
   std::vector<net::Ipv6Address> responses;
   std::vector<sim::TimePoint> times;
@@ -74,26 +77,36 @@ void ChainInput::scan(std::size_t begin, std::size_t end, bool want_targets,
     if (file_end <= begin) continue;
     if (file.first_row >= end) break;
 
+    const std::size_t lo = std::max(begin, file.first_row) - file.first_row;
+    const std::size_t hi = std::min(end, file_end) - file.first_row;
     corpus::SnapshotReader reader;
+    // Failure granularity follows the integrity unit: structural damage
+    // (header, v2 block directories) fails open() for every shard, and a
+    // v1 payload flip fails every shard's whole-column read — the file
+    // contributes no rows at any thread count. A v2 payload flip is only
+    // seen by shards whose windows overlap the damaged block; each drops
+    // its whole window for this file (rows-visited may then differ by
+    // shard layout — the price of not re-reading clean blocks to verify
+    // ones no shard was asked for). Either way the file counts failed.
     const bool ok = reader.open(file.path) &&
-                    reader.read_responses(responses) &&
-                    reader.read_times(times) &&
-                    (!want_targets || reader.read_targets(targets));
-    if (!ok) {
-      // Deterministic failure: every shard overlapping this file takes
-      // this branch, so the visited row set is thread-count independent.
+                    reader.read_responses(responses, lo, hi - lo) &&
+                    reader.read_times(times, lo, hi - lo) &&
+                    (!want_targets || reader.read_targets(targets, lo, hi - lo));
+    blocks_read_.fetch_add(reader.blocks_read(), std::memory_order_relaxed);
+    blocks_skipped_.fetch_add(reader.blocks_skipped(),
+                              std::memory_order_relaxed);
+    // The size check guards against a file that shrank since construction
+    // (range reads clamp rather than fail).
+    if (!ok || responses.size() != hi - lo) {
       read_failed_[f].store(true, std::memory_order_relaxed);
       continue;
     }
 
-    const std::size_t lo = std::max(begin, file.first_row) - file.first_row;
-    const std::size_t hi = std::min(end, file_end) - file.first_row;
     fn(file.first_row + lo,
-       want_targets
-           ? std::span<const net::Ipv6Address>{targets}.subspan(lo, hi - lo)
-           : std::span<const net::Ipv6Address>{},
-       std::span<const net::Ipv6Address>{responses}.subspan(lo, hi - lo),
-       std::span<const sim::TimePoint>{times}.subspan(lo, hi - lo));
+       want_targets ? std::span<const net::Ipv6Address>{targets}
+                    : std::span<const net::Ipv6Address>{},
+       std::span<const net::Ipv6Address>{responses},
+       std::span<const sim::TimePoint>{times});
   }
 }
 

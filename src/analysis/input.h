@@ -107,6 +107,16 @@ class ChainInput final : public AnalysisInput {
 
   [[nodiscard]] std::size_t failed_files() const noexcept override;
 
+  /// Snapshot blocks decoded / skipped by row-window predicates across all
+  /// scan() calls so far (v2 files only; v1 files have no blocks). Stable
+  /// once every scan has returned.
+  [[nodiscard]] std::uint64_t blocks_read() const noexcept {
+    return blocks_read_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t blocks_skipped() const noexcept {
+    return blocks_skipped_.load(std::memory_order_relaxed);
+  }
+
  private:
   struct File {
     std::string path;
@@ -118,8 +128,10 @@ class ChainInput final : public AnalysisInput {
   std::size_t rows_ = 0;
   std::size_t failed_open_ = 0;
   /// Set (racily but monotonically) by whichever scan first sees a file's
-  /// column read fail; reads are deterministic so every shard agrees.
+  /// window read fail; see the failure-granularity note in scan().
   std::unique_ptr<std::atomic<bool>[]> read_failed_;
+  mutable std::atomic<std::uint64_t> blocks_read_{0};
+  mutable std::atomic<std::uint64_t> blocks_skipped_{0};
 };
 
 }  // namespace scent::analysis

@@ -55,6 +55,8 @@ struct ResumeState {
   std::uint64_t probes = 0;        ///< Restored probe/response totals —
   std::uint64_t responses = 0;     ///< the prober's counters died with the
                                    ///< interrupted process.
+  std::uint64_t blocks_read = 0;   ///< v2 snapshot blocks decoded/skipped
+  std::uint64_t blocks_skipped = 0;///< across the replayed chain.
 };
 
 /// Replays a prior checkpoint into `result`. Returns nullopt — with
@@ -83,6 +85,9 @@ std::optional<ResumeState> replay_checkpoint(
     const corpus::CheckpointDay& record = prior.days[day];
     corpus::SnapshotReader reader;
     reader.set_trace(recorder, read_sketch);
+    // Replay is a full-corpus load; fan v2 block decode across the sweep
+    // worker count (a wall-clock knob — decoded rows are identical).
+    reader.set_threads(options.threads);
     const std::size_t before = result.observations.size();
     if (!reader.open(options.checkpoint_dir + "/" + record.snapshot_file) ||
         reader.rows() != record.rows ||
@@ -90,6 +95,8 @@ std::optional<ResumeState> replay_checkpoint(
       result = CampaignResult{};
       return std::nullopt;
     }
+    state.blocks_read += reader.blocks_read();
+    state.blocks_skipped += reader.blocks_skipped();
     if (result.observations.size() - before != record.rows) {
       result = CampaignResult{};
       return std::nullopt;
@@ -157,6 +164,8 @@ CampaignResult run_campaign(sim::Internet& internet, sim::VirtualClock& clock,
   unsigned start_day = 0;
   std::uint64_t restored_probes = 0;
   std::uint64_t restored_responses = 0;
+  std::uint64_t blocks_read = 0;
+  std::uint64_t blocks_skipped = 0;
   corpus::CampaignCheckpoint manifest;
   if (checkpointing) {
     if (const auto prior = corpus::load_checkpoint(options.checkpoint_dir)) {
@@ -168,6 +177,8 @@ CampaignResult run_campaign(sim::Internet& internet, sim::VirtualClock& clock,
         first_day = resumed->first_day;
         restored_probes = resumed->probes;
         restored_responses = resumed->responses;
+        blocks_read = resumed->blocks_read;
+        blocks_skipped = resumed->blocks_skipped;
         if (start_day > 0) {
           clock.advance_to(resumed->clock_cursor);
           manifest.days.assign(prior->days.begin(),
@@ -245,6 +256,10 @@ CampaignResult run_campaign(sim::Internet& internet, sim::VirtualClock& clock,
     }
 
     corpus::SnapshotWriter day_snapshot;
+    day_snapshot.set_format_version(options.snapshot_version);
+    // Block compression fans across the sweep worker count; the emitted
+    // bytes are identical at any value (the v2 determinism contract).
+    day_snapshot.set_threads(options.threads);
     day_snapshot.set_trace(recorder.get(), write_sketch);
     const std::size_t day_obs_begin = result.observations.size();
     analysis::AnalysisOptions analysis_options;
@@ -410,6 +425,8 @@ CampaignResult run_campaign(sim::Internet& internet, sim::VirtualClock& clock,
       reg.gauge("corpus.snapshot_rows")
           .set_u64(result.observations.size());
       reg.gauge("corpus.snapshot_bytes").set_u64(snapshot_bytes);
+      reg.gauge("corpus.blocks_read").set_u64(blocks_read);
+      reg.gauge("corpus.blocks_skipped").set_u64(blocks_skipped);
     }
   }
   return result;

@@ -74,6 +74,12 @@ struct CampaignOptions {
   /// and the campaign starts over.
   std::string checkpoint_dir;
 
+  /// Snapshot format for the day snapshots this run writes: 2 (default,
+  /// block-compressed) or 1 (the frozen uncompressed layout). Resume is
+  /// version-agnostic — the reader auto-detects per file — so a chain may
+  /// mix versions across a resume (e.g. old v1 days + new v2 days).
+  std::uint32_t snapshot_version = 2;
+
   /// Optional telemetry sinks. With a registry, every day runs under
   /// nested spans ("campaign/day/sweep", ".../ingest", ".../alloc_infer")
   /// and campaign totals land in `campaign.*` gauges; with a journal, one

@@ -4,6 +4,8 @@
 #include <cstring>
 
 #include "corpus/crc32c.h"
+#include "corpus/encoding.h"
+#include "engine/parallel.h"
 #include "netbase/eui64.h"
 
 namespace scent::corpus {
@@ -13,9 +15,16 @@ constexpr char kMagic[8] = {'S', 'C', 'N', 'T', 'S', 'N', 'A', 'P'};
 constexpr std::uint32_t kSectionCount = 5;
 /// Fixed header (24) + section table (24 per section) + header CRC (4).
 constexpr std::uint64_t kHeaderSize = 24 + kSectionCount * 24 + 4;
-/// Chunk size for streamed encode/decode. A multiple of every element
+/// Chunk size for streamed v1 encode/decode. A multiple of every element
 /// width (16, 2, 8, 32), so elements never straddle chunk boundaries.
 constexpr std::size_t kChunkBytes = std::size_t{1} << 18;
+/// v2 block-directory entry: payload offset (8) + element count (4) +
+/// payload bytes (4) + payload CRC (4) + min/max stats (8 + 8).
+constexpr std::size_t kDirEntryBytes = 36;
+/// Reader-side sanity cap on a directory entry's element count. The writer
+/// emits kSnapshotBlockElements; anything far past it is a forged index,
+/// rejected before it can size an allocation.
+constexpr std::uint64_t kMaxBlockElements = std::uint64_t{1} << 22;
 
 /// RAII stdio handle (same discipline as core/io.cpp: no iostreams on data
 /// paths, close() reports buffered-write failures).
@@ -98,7 +107,7 @@ void store_address(unsigned char* p, net::Ipv6Address a) noexcept {
   }
 }
 
-/// Accumulates encoded bytes and hands out full chunks.
+/// Accumulates encoded bytes and hands out full chunks (v1 write path).
 template <typename Emit>
 class ChunkBuffer {
  public:
@@ -124,6 +133,171 @@ class ChunkBuffer {
   std::vector<unsigned char> buf_;
   std::size_t used_ = 0;
 };
+
+// ---------------------------------------------------------------------------
+// v2 per-column block codecs (DESIGN.md §5j). Every encoder appends one
+// block's payload for `n` elements; every decoder consumes it back from a
+// cursor, bounds-checked, and the caller requires the cursor to land exactly
+// on the block end. Blocks share no state: each stream's "previous value"
+// seeds at zero per block, which is what makes blocks skippable and
+// parallel-codable.
+
+/// Addresses: sorted network dictionary (delta varints — /64-clustered
+/// columns have few distinct networks per 64Ki rows), then one dictionary
+/// index varint per element, then the iid stream as zigzag deltas (EUI-64
+/// iids repeat and sequential probe iids step by one, so deltas stay short).
+/// Returns {min, max} network for the block's directory stats.
+std::pair<std::uint64_t, std::uint64_t> encode_addresses(
+    const net::Ipv6Address* a, std::size_t n,
+    std::vector<unsigned char>& out) {
+  std::vector<std::uint64_t> dict;
+  dict.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) dict.push_back(a[i].network());
+  std::sort(dict.begin(), dict.end());
+  dict.erase(std::unique(dict.begin(), dict.end()), dict.end());
+
+  put_varint(out, dict.size());
+  std::uint64_t prev = 0;
+  for (const std::uint64_t d : dict) {
+    put_varint(out, d - prev);
+    prev = d;
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto it =
+        std::lower_bound(dict.begin(), dict.end(), a[i].network());
+    put_varint(out, static_cast<std::uint64_t>(it - dict.begin()));
+  }
+  std::uint64_t prev_iid = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    put_delta(out, a[i].iid(), prev_iid);
+    prev_iid = a[i].iid();
+  }
+  return {dict.front(), dict.back()};
+}
+
+[[nodiscard]] bool decode_addresses(const unsigned char** cursor,
+                                    const unsigned char* end, std::size_t n,
+                                    net::Ipv6Address* out) {
+  std::uint64_t dict_count = 0;
+  if (!get_varint(cursor, end, dict_count)) return false;
+  // Distinct networks cannot exceed elements; a forged count larger than
+  // that (or than the remaining payload, one byte per entry minimum) is
+  // rejected before it can size the dictionary.
+  if (dict_count == 0 || dict_count > n) return false;
+  std::vector<std::uint64_t> dict;
+  dict.reserve(static_cast<std::size_t>(dict_count));
+  std::uint64_t prev = 0;
+  for (std::uint64_t i = 0; i < dict_count; ++i) {
+    std::uint64_t delta = 0;
+    if (!get_varint(cursor, end, delta)) return false;
+    prev += delta;
+    dict.push_back(prev);
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    std::uint64_t idx = 0;
+    if (!get_varint(cursor, end, idx)) return false;
+    if (idx >= dict_count) return false;
+    out[i] = net::Ipv6Address{dict[static_cast<std::size_t>(idx)], 0};
+  }
+  std::uint64_t prev_iid = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!get_delta(cursor, end, prev_iid, prev_iid)) return false;
+    out[i] = out[i].with_iid(prev_iid);
+  }
+  return true;
+}
+
+/// type+code: run-length {value, run} varint pairs — a sweep is almost
+/// entirely echo replies, so a 64Ki block is typically a handful of runs.
+/// Returns {min, max} packed value.
+std::pair<std::uint64_t, std::uint64_t> encode_type_codes(
+    const std::uint16_t* tc, std::size_t n, std::vector<unsigned char>& out) {
+  std::uint16_t min_v = tc[0];
+  std::uint16_t max_v = tc[0];
+  std::size_t i = 0;
+  while (i < n) {
+    const std::uint16_t v = tc[i];
+    std::size_t j = i + 1;
+    while (j < n && tc[j] == v) ++j;
+    put_varint(out, v);
+    put_varint(out, j - i);
+    min_v = std::min(min_v, v);
+    max_v = std::max(max_v, v);
+    i = j;
+  }
+  return {min_v, max_v};
+}
+
+[[nodiscard]] bool decode_type_codes(const unsigned char** cursor,
+                                     const unsigned char* end, std::size_t n,
+                                     std::uint16_t* out) {
+  std::size_t produced = 0;
+  while (produced < n) {
+    std::uint64_t v = 0;
+    std::uint64_t run = 0;
+    if (!get_varint(cursor, end, v)) return false;
+    if (v > 0xffff) return false;
+    if (!get_varint(cursor, end, run)) return false;
+    if (run == 0 || run > n - produced) return false;
+    for (std::uint64_t k = 0; k < run; ++k) {
+      out[produced++] = static_cast<std::uint16_t>(v);
+    }
+  }
+  return true;
+}
+
+/// Times: run-length-encoded deltas — {zigzag delta, run} pairs where every
+/// element in a run advances by the same step. Sweep timestamps are
+/// monotone with near-constant spacing, so whole blocks collapse to a few
+/// pairs. Returns {min, max} time (as u64 bit patterns of the i64 values;
+/// compared as i64 when aggregated).
+std::pair<std::uint64_t, std::uint64_t> encode_times(
+    const sim::TimePoint* t, std::size_t n, std::vector<unsigned char>& out) {
+  std::int64_t min_v = static_cast<std::int64_t>(t[0]);
+  std::int64_t max_v = min_v;
+  std::uint64_t prev = 0;
+  std::size_t i = 0;
+  while (i < n) {
+    const auto vi = static_cast<std::uint64_t>(t[i]);
+    const std::uint64_t delta = vi - prev;
+    std::uint64_t cur = vi;
+    std::size_t j = i + 1;
+    while (j < n && static_cast<std::uint64_t>(t[j]) - cur == delta) {
+      cur += delta;
+      ++j;
+    }
+    put_varint(out, zigzag_encode(static_cast<std::int64_t>(delta)));
+    put_varint(out, j - i);
+    for (std::size_t k = i; k < j; ++k) {
+      const auto v = static_cast<std::int64_t>(t[k]);
+      min_v = std::min(min_v, v);
+      max_v = std::max(max_v, v);
+    }
+    prev = cur;
+    i = j;
+  }
+  return {static_cast<std::uint64_t>(min_v), static_cast<std::uint64_t>(max_v)};
+}
+
+[[nodiscard]] bool decode_times(const unsigned char** cursor,
+                                const unsigned char* end, std::size_t n,
+                                sim::TimePoint* out) {
+  std::uint64_t prev = 0;
+  std::size_t produced = 0;
+  while (produced < n) {
+    std::uint64_t raw = 0;
+    std::uint64_t run = 0;
+    if (!get_varint(cursor, end, raw)) return false;
+    const auto delta = static_cast<std::uint64_t>(zigzag_decode(raw));
+    if (!get_varint(cursor, end, run)) return false;
+    if (run == 0 || run > n - produced) return false;
+    for (std::uint64_t k = 0; k < run; ++k) {
+      prev += delta;
+      out[produced++] = static_cast<sim::TimePoint>(prev);
+    }
+  }
+  return true;
+}
 
 }  // namespace
 
@@ -156,6 +330,7 @@ void SnapshotWriter::append(net::Ipv6Address target, net::Ipv6Address response,
   type_codes_.push_back(type_code);
   times_.push_back(time);
   if (net::is_eui64(response)) eui_pairs_[target] = response;
+  cached_v2_size_.reset();
 }
 
 void SnapshotWriter::append(const core::ObservationStore& store) {
@@ -170,6 +345,7 @@ void SnapshotWriter::append(const core::ObservationStore& store) {
   for (std::size_t i = 0; i < responses.size(); ++i) {
     if (net::is_eui64(responses[i])) eui_pairs_[targets[i]] = responses[i];
   }
+  cached_v2_size_.reset();
 }
 
 void SnapshotWriter::append(const core::ObservationStore::View& view) {
@@ -184,6 +360,12 @@ void SnapshotWriter::clear() {
   type_codes_.clear();
   times_.clear();
   eui_pairs_.clear();
+  cached_v2_size_.reset();
+}
+
+void SnapshotWriter::set_format_version(std::uint32_t version) noexcept {
+  if (version != kSnapshotFormatV1 && version != kSnapshotFormatV2) return;
+  version_ = version;
 }
 
 template <typename Emit>
@@ -217,12 +399,173 @@ void SnapshotWriter::emit_section(std::uint32_t id, Emit&& emit) const {
   out.flush();
 }
 
-std::uint64_t SnapshotWriter::encoded_size() const noexcept {
-  const std::uint64_t n = rows();
-  return kHeaderSize + n * (16 + 16 + 2 + 8) + eui_pairs_.size() * 32;
+/// One fully encoded v2 file, minus the fixed header: per-section block
+/// payloads plus the serialized directories and their CRCs.
+struct SnapshotWriter::EncodedV2 {
+  struct Block {
+    std::vector<unsigned char> bytes;
+    std::uint32_t elements = 0;
+    std::uint32_t crc = 0;
+    std::uint64_t min_stat = 0;
+    std::uint64_t max_stat = 0;
+  };
+  struct Section {
+    std::vector<Block> blocks;
+    std::vector<unsigned char> dir;
+    std::uint64_t payload_bytes = 0;
+  };
+  std::array<Section, kSectionCount> sections{};
+  std::array<std::uint32_t, kSectionCount> dir_crcs{};
+  std::array<std::uint64_t, kSectionCount> sizes{};
+  std::uint64_t total_size = 0;
+};
+
+void SnapshotWriter::encode_v2(EncodedV2& out) const {
+  // The eui_pairs section encodes as two address sub-streams, so the
+  // FlatMap's key/value sequences are materialized once, in stored order.
+  std::vector<net::Ipv6Address> pair_targets;
+  std::vector<net::Ipv6Address> pair_responses;
+  pair_targets.reserve(eui_pairs_.size());
+  pair_responses.reserve(eui_pairs_.size());
+  for (const auto& [target, response] : eui_pairs_) {
+    pair_targets.push_back(target);
+    pair_responses.push_back(response);
+  }
+
+  const std::size_t counts[kSectionCount] = {
+      targets_.size(), responses_.size(), type_codes_.size(), times_.size(),
+      pair_targets.size()};
+
+  struct BlockTask {
+    std::uint32_t sec = 0;
+    std::size_t block = 0;
+  };
+  std::vector<BlockTask> tasks;
+  for (std::uint32_t s = 0; s < kSectionCount; ++s) {
+    const std::size_t blocks =
+        (counts[s] + kSnapshotBlockElements - 1) / kSnapshotBlockElements;
+    out.sections[s].blocks.resize(blocks);
+    for (std::size_t b = 0; b < blocks; ++b) tasks.push_back({s, b});
+  }
+
+  const auto encode_block = [&](const BlockTask& task) {
+    const std::size_t first = task.block * kSnapshotBlockElements;
+    const std::size_t n =
+        std::min(kSnapshotBlockElements, counts[task.sec] - first);
+    EncodedV2::Block& blk = out.sections[task.sec].blocks[task.block];
+    std::pair<std::uint64_t, std::uint64_t> stats{0, 0};
+    switch (task.sec) {
+      case 0:
+        stats = encode_addresses(targets_.data() + first, n, blk.bytes);
+        break;
+      case 1:
+        stats = encode_addresses(responses_.data() + first, n, blk.bytes);
+        break;
+      case 2:
+        stats = encode_type_codes(type_codes_.data() + first, n, blk.bytes);
+        break;
+      case 3:
+        stats = encode_times(times_.data() + first, n, blk.bytes);
+        break;
+      case 4:
+        // Target stream then response stream, back to back; stats follow
+        // the targets (the rotation diff's skip key is the target network).
+        stats = encode_addresses(pair_targets.data() + first, n, blk.bytes);
+        encode_addresses(pair_responses.data() + first, n, blk.bytes);
+        break;
+      default:
+        break;
+    }
+    blk.elements = static_cast<std::uint32_t>(n);
+    blk.min_stat = stats.first;
+    blk.max_stat = stats.second;
+    blk.crc = crc32c(blk.bytes.data(), blk.bytes.size());
+  };
+
+  // Blocks are fixed row partitions encoded with per-block state, so any
+  // assignment of blocks to workers produces the same bytes — threads are
+  // purely a wall-clock knob.
+  const unsigned workers = std::min<unsigned>(
+      engine::effective_threads(threads_, /*oversubscribe=*/false),
+      static_cast<unsigned>(std::max<std::size_t>(tasks.size(), 1)));
+  engine::run_shards(workers, [&](unsigned shard) {
+    const engine::RowRange range =
+        engine::shard_rows(tasks.size(), workers, shard);
+    for (std::size_t i = range.begin; i < range.end; ++i) {
+      encode_block(tasks[i]);
+    }
+  });
+
+  out.total_size = kHeaderSize;
+  for (std::uint32_t s = 0; s < kSectionCount; ++s) {
+    EncodedV2::Section& sec = out.sections[s];
+    sec.dir.resize(4 + sec.blocks.size() * kDirEntryBytes);
+    store_u32(sec.dir.data(), static_cast<std::uint32_t>(sec.blocks.size()));
+    std::uint64_t offset = 0;
+    for (std::size_t b = 0; b < sec.blocks.size(); ++b) {
+      const EncodedV2::Block& blk = sec.blocks[b];
+      unsigned char* entry = sec.dir.data() + 4 + b * kDirEntryBytes;
+      store_u64(entry, offset);
+      store_u32(entry + 8, blk.elements);
+      store_u32(entry + 12, static_cast<std::uint32_t>(blk.bytes.size()));
+      store_u32(entry + 16, blk.crc);
+      store_u64(entry + 20, blk.min_stat);
+      store_u64(entry + 28, blk.max_stat);
+      offset += blk.bytes.size();
+    }
+    sec.payload_bytes = offset;
+    out.dir_crcs[s] = crc32c(sec.dir.data(), sec.dir.size());
+    out.sizes[s] = sec.dir.size() + sec.payload_bytes;
+    out.total_size += out.sizes[s];
+  }
+}
+
+namespace {
+
+/// Assembles the shared fixed header + section table + header CRC.
+std::vector<unsigned char> build_header(
+    std::uint32_t version, std::uint64_t rows,
+    const std::uint64_t (&sizes)[kSectionCount],
+    const std::uint32_t (&crcs)[kSectionCount]) {
+  std::vector<unsigned char> header(kHeaderSize);
+  std::memcpy(header.data(), kMagic, sizeof kMagic);
+  store_u32(header.data() + 8, version);
+  store_u64(header.data() + 12, rows);
+  store_u32(header.data() + 20, kSectionCount);
+  std::uint64_t offset = kHeaderSize;
+  for (std::uint32_t id = 1; id <= kSectionCount; ++id) {
+    unsigned char* entry = header.data() + 24 + (id - 1) * 24;
+    store_u32(entry, id);
+    store_u64(entry + 4, offset);
+    store_u64(entry + 12, sizes[id - 1]);
+    store_u32(entry + 20, crcs[id - 1]);
+    offset += sizes[id - 1];
+  }
+  store_u32(header.data() + kHeaderSize - 4,
+            crc32c(header.data(), kHeaderSize - 4));
+  return header;
+}
+
+}  // namespace
+
+std::uint64_t SnapshotWriter::encoded_size() const {
+  if (version_ == kSnapshotFormatV1) {
+    const std::uint64_t n = rows();
+    return kHeaderSize + n * (16 + 16 + 2 + 8) + eui_pairs_.size() * 32;
+  }
+  if (!cached_v2_size_.has_value()) {
+    EncodedV2 encoded;
+    encode_v2(encoded);
+    cached_v2_size_ = encoded.total_size;
+  }
+  return *cached_v2_size_;
 }
 
 bool SnapshotWriter::write(const std::string& path) const {
+  return version_ == kSnapshotFormatV1 ? write_v1(path) : write_v2(path);
+}
+
+bool SnapshotWriter::write_v1(const std::string& path) const {
   File file{path, "wb"};
   if (!file) return false;
 
@@ -241,23 +584,8 @@ bool SnapshotWriter::write(const std::string& path) const {
     crcs[id - 1] = crc.value();
   }
 
-  std::vector<unsigned char> header(kHeaderSize);
-  std::memcpy(header.data(), kMagic, sizeof kMagic);
-  store_u32(header.data() + 8, kSnapshotFormatVersion);
-  store_u64(header.data() + 12, n);
-  store_u32(header.data() + 20, kSectionCount);
-  std::uint64_t offset = kHeaderSize;
-  for (std::uint32_t id = 1; id <= kSectionCount; ++id) {
-    unsigned char* entry = header.data() + 24 + (id - 1) * 24;
-    store_u32(entry, id);
-    store_u64(entry + 4, offset);
-    store_u64(entry + 12, sizes[id - 1]);
-    store_u32(entry + 20, crcs[id - 1]);
-    offset += sizes[id - 1];
-  }
-  store_u32(header.data() + kHeaderSize - 4,
-            crc32c(header.data(), kHeaderSize - 4));
-
+  const std::vector<unsigned char> header =
+      build_header(kSnapshotFormatV1, n, sizes, crcs);
   bool ok =
       std::fwrite(header.data(), 1, header.size(), file.handle) ==
       header.size();
@@ -267,6 +595,41 @@ bool SnapshotWriter::write(const std::string& path) const {
     emit_section(id, [&](const unsigned char* p, std::size_t len) {
       ok = std::fwrite(p, 1, len, file.handle) == len && ok;
     });
+  }
+  return file.close() && ok;
+}
+
+bool SnapshotWriter::write_v2(const std::string& path) const {
+  EncodedV2 encoded;
+  encode_v2(encoded);
+  cached_v2_size_ = encoded.total_size;
+
+  File file{path, "wb"};
+  if (!file) return false;
+
+  std::uint64_t sizes[kSectionCount];
+  std::uint32_t crcs[kSectionCount];
+  for (std::uint32_t s = 0; s < kSectionCount; ++s) {
+    sizes[s] = encoded.sizes[s];
+    crcs[s] = encoded.dir_crcs[s];
+  }
+  const std::vector<unsigned char> header =
+      build_header(kSnapshotFormatV2, rows(), sizes, crcs);
+  bool ok =
+      std::fwrite(header.data(), 1, header.size(), file.handle) ==
+      header.size();
+  for (std::uint32_t s = 0; s < kSectionCount; ++s) {
+    const trace::ScopedSample sample{trace_recorder_, trace_sketch_,
+                                     "snapshot.section_write"};
+    const EncodedV2::Section& sec = encoded.sections[s];
+    ok = std::fwrite(sec.dir.data(), 1, sec.dir.size(), file.handle) ==
+             sec.dir.size() &&
+         ok;
+    for (const EncodedV2::Block& blk : sec.blocks) {
+      ok = std::fwrite(blk.bytes.data(), 1, blk.bytes.size(), file.handle) ==
+               blk.bytes.size() &&
+           ok;
+    }
   }
   return file.close() && ok;
 }
@@ -293,15 +656,85 @@ const SnapshotReader::Section* SnapshotReader::section(
 }
 
 std::uint64_t SnapshotReader::eui_pair_count() const noexcept {
+  if (version_ == kSnapshotFormatV2) return block_dirs_[5].total_elements;
   const Section* s = section(5);
   return s == nullptr ? 0 : s->size / 32;
+}
+
+bool SnapshotReader::parse_block_dir(std::uint32_t id) {
+  const Section& s = sections_[id];
+  BlockDir& dir = block_dirs_[id];
+  if (s.size < 4) return fail(SnapshotError::kBadLayout);
+  if (std::fseek(file_, static_cast<long>(s.offset), SEEK_SET) != 0) {
+    return fail(SnapshotError::kReadFailed);
+  }
+  unsigned char count_bytes[4];
+  if (std::fread(count_bytes, 1, sizeof count_bytes, file_) !=
+      sizeof count_bytes) {
+    return fail(SnapshotError::kReadFailed);
+  }
+  const std::uint32_t block_count = load_u32(count_bytes);
+  if (block_count > (s.size - 4) / kDirEntryBytes) {
+    return fail(SnapshotError::kBadLayout);
+  }
+  const std::uint64_t dir_bytes = 4 + std::uint64_t{block_count} *
+                                          kDirEntryBytes;
+  std::vector<unsigned char> raw(static_cast<std::size_t>(dir_bytes));
+  std::memcpy(raw.data(), count_bytes, sizeof count_bytes);
+  if (block_count > 0 &&
+      std::fread(raw.data() + 4, 1, raw.size() - 4, file_) != raw.size() - 4) {
+    return fail(SnapshotError::kReadFailed);
+  }
+  // The section-table crc covers the directory: a damaged block index is
+  // caught here, at open, before any payload byte is trusted.
+  if (crc32c(raw.data(), raw.size()) != s.crc) {
+    return fail(SnapshotError::kCorruptSection);
+  }
+
+  dir.entries.clear();
+  dir.entries.reserve(block_count);
+  dir.payload_base = s.offset + dir_bytes;
+  dir.total_elements = 0;
+  std::uint64_t expected_offset = 0;
+  for (std::uint32_t b = 0; b < block_count; ++b) {
+    const unsigned char* e = raw.data() + 4 + std::size_t{b} * kDirEntryBytes;
+    BlockEntry entry;
+    entry.payload_offset = load_u64(e);
+    entry.elements = load_u32(e + 8);
+    entry.payload_bytes = load_u32(e + 12);
+    entry.crc = load_u32(e + 16);
+    entry.min_stat = load_u64(e + 20);
+    entry.max_stat = load_u64(e + 28);
+    entry.first_element = dir.total_elements;
+    // Blocks are contiguous in directory order; any other offset pattern
+    // is a forged index. Element counts are bounded so a crafted entry
+    // cannot size an absurd allocation.
+    if (entry.payload_offset != expected_offset || entry.elements == 0 ||
+        entry.elements > kMaxBlockElements || entry.payload_bytes == 0) {
+      return fail(SnapshotError::kBadLayout);
+    }
+    expected_offset += entry.payload_bytes;
+    dir.total_elements += entry.elements;
+    dir.entries.push_back(entry);
+  }
+  if (dir_bytes + expected_offset != s.size) {
+    return fail(SnapshotError::kBadLayout);
+  }
+  if (id != 5 && dir.total_elements != rows_) {
+    return fail(SnapshotError::kBadLayout);
+  }
+  return true;
 }
 
 bool SnapshotReader::open(const std::string& path) {
   close();
   error_ = SnapshotError::kNone;
+  version_ = 0;
   rows_ = 0;
   sections_ = {};
+  block_dirs_ = {};
+  blocks_read_ = 0;
+  blocks_skipped_ = 0;
 
   file_ = std::fopen(path.c_str(), "rb");
   if (file_ == nullptr) return fail(SnapshotError::kOpenFailed);
@@ -322,13 +755,14 @@ bool SnapshotReader::open(const std::string& path) {
   if (std::memcmp(fixed, kMagic, sizeof kMagic) != 0) {
     return fail(SnapshotError::kBadMagic);
   }
-  if (load_u32(fixed + 8) != kSnapshotFormatVersion) {
+  version_ = load_u32(fixed + 8);
+  if (version_ != kSnapshotFormatV1 && version_ != kSnapshotFormatV2) {
     return fail(SnapshotError::kBadVersion);
   }
   rows_ = load_u64(fixed + 12);
   const std::uint32_t section_count = load_u32(fixed + 20);
-  // Sanity bound on the table size; a v1 writer emits exactly 5 sections,
-  // but unknown extra sections are tolerated (see header comment).
+  // Sanity bound on the table size; a writer emits exactly 5 sections, but
+  // unknown extra sections are tolerated (see header comment).
   if (section_count < kSectionCount || section_count > 64) {
     return fail(SnapshotError::kBadLayout);
   }
@@ -366,17 +800,27 @@ bool SnapshotReader::open(const std::string& path) {
     sections_[id] = s;
   }
 
-  // All v1 sections are required, and the column sections must be exactly
-  // rows * width (the eui_pairs section is derived, so only pair-aligned).
+  // All sections are required in both versions.
   if (rows_ > ~std::uint64_t{0} / 16) return fail(SnapshotError::kBadLayout);
   for (std::uint32_t id = 1; id <= kMaxSectionId; ++id) {
-    const Section* s = section(id);
-    if (s == nullptr) return fail(SnapshotError::kBadLayout);
-    if (id == 5) {
-      if (s->size % 32 != 0) return fail(SnapshotError::kBadLayout);
-    } else if (s->size != rows_ * element_width(id)) {
-      return fail(SnapshotError::kBadLayout);
+    if (section(id) == nullptr) return fail(SnapshotError::kBadLayout);
+  }
+  if (version_ == kSnapshotFormatV1) {
+    // v1 column sections must be exactly rows * width (the eui_pairs
+    // section is derived, so only pair-aligned).
+    for (std::uint32_t id = 1; id <= kMaxSectionId; ++id) {
+      const Section* s = section(id);
+      if (id == 5) {
+        if (s->size % 32 != 0) return fail(SnapshotError::kBadLayout);
+      } else if (s->size != rows_ * element_width(id)) {
+        return fail(SnapshotError::kBadLayout);
+      }
     }
+    return true;
+  }
+  // v2: parse and validate every section's block directory up front.
+  for (std::uint32_t id = 1; id <= kMaxSectionId; ++id) {
+    if (!parse_block_dir(id)) return false;
   }
   return true;
 }
@@ -410,59 +854,289 @@ bool SnapshotReader::read_section(std::uint32_t id, Visit&& visit) {
   return true;
 }
 
-bool SnapshotReader::read_targets(std::vector<net::Ipv6Address>& out) {
+template <typename T, typename DecodeBlock>
+bool SnapshotReader::read_blocks(std::uint32_t id, std::uint64_t first,
+                                 std::uint64_t count, std::vector<T>& out,
+                                 DecodeBlock&& decode) {
   out.clear();
-  out.reserve(rows_);
-  const bool ok = read_section(1, [&out](const unsigned char* p,
-                                         std::size_t len) {
-    for (std::size_t i = 0; i < len; i += 16) out.push_back(load_address(p + i));
+  if (file_ == nullptr) return false;  // preserves the original error
+  const BlockDir& dir = block_dirs_[id];
+  if (count == 0) {
+    blocks_skipped_ += dir.entries.size();
+    return true;
+  }
+  const trace::ScopedSample sample{trace_recorder_, trace_sketch_,
+                                   "snapshot.section_read"};
+
+  // Overlapping block range [b0, b1) for elements [first, first + count).
+  const auto begin = dir.entries.begin();
+  const auto end = dir.entries.end();
+  const std::size_t b0 = static_cast<std::size_t>(
+      std::upper_bound(begin, end, first,
+                       [](std::uint64_t v, const BlockEntry& e) {
+                         return v < e.first_element;
+                       }) -
+      begin - 1);
+  const std::size_t b1 = static_cast<std::size_t>(
+      std::lower_bound(begin, end, first + count,
+                       [](const BlockEntry& e, std::uint64_t v) {
+                         return e.first_element < v;
+                       }) -
+      begin);
+  const std::size_t nblocks = b1 - b0;
+  blocks_read_ += nblocks;
+  blocks_skipped_ += dir.entries.size() - nblocks;
+
+  // One sequential I/O pass over the covering byte range, then per-block
+  // CRC + decode fan out across threads into disjoint output slices.
+  const std::uint64_t rel_begin = dir.entries[b0].payload_offset;
+  const std::uint64_t rel_end =
+      dir.entries[b1 - 1].payload_offset + dir.entries[b1 - 1].payload_bytes;
+  std::vector<unsigned char> buf(static_cast<std::size_t>(rel_end - rel_begin));
+  if (std::fseek(file_,
+                 static_cast<long>(dir.payload_base + rel_begin),
+                 SEEK_SET) != 0) {
+    return fail(SnapshotError::kReadFailed);
+  }
+  if (std::fread(buf.data(), 1, buf.size(), file_) != buf.size()) {
+    return fail(SnapshotError::kReadFailed);
+  }
+
+  const std::uint64_t covered_first = dir.entries[b0].first_element;
+  const std::uint64_t covered_count = dir.entries[b1 - 1].first_element +
+                                      dir.entries[b1 - 1].elements -
+                                      covered_first;
+  const bool exact = covered_first == first && covered_count == count;
+  std::vector<T> scratch;
+  if (exact) {
+    out.resize(static_cast<std::size_t>(count));
+  } else {
+    scratch.resize(static_cast<std::size_t>(covered_count));
+  }
+  T* const dst = exact ? out.data() : scratch.data();
+
+  std::vector<SnapshotError> block_errors(nblocks, SnapshotError::kNone);
+  const unsigned workers = std::min<unsigned>(
+      engine::effective_threads(threads_, /*oversubscribe=*/false),
+      static_cast<unsigned>(nblocks));
+  engine::run_shards(workers, [&](unsigned shard) {
+    const engine::RowRange range = engine::shard_rows(nblocks, workers, shard);
+    for (std::size_t i = range.begin; i < range.end; ++i) {
+      const BlockEntry& blk = dir.entries[b0 + i];
+      const unsigned char* payload =
+          buf.data() + (blk.payload_offset - rel_begin);
+      if (crc32c(payload, blk.payload_bytes) != blk.crc) {
+        block_errors[i] = SnapshotError::kCorruptSection;
+        continue;
+      }
+      const unsigned char* cursor = payload;
+      const unsigned char* payload_end = payload + blk.payload_bytes;
+      // A CRC-valid block whose content decodes inconsistently (forged
+      // dictionary index, run overflow, trailing bytes) is corruption too.
+      if (!decode(&cursor, payload_end, blk.elements,
+                  dst + (blk.first_element - covered_first)) ||
+          cursor != payload_end) {
+        block_errors[i] = SnapshotError::kCorruptSection;
+      }
+    }
   });
-  if (!ok) out.clear();
-  return ok;
+  for (const SnapshotError e : block_errors) {
+    if (e != SnapshotError::kNone) {
+      out.clear();
+      return fail(e);
+    }
+  }
+
+  if (!exact) {
+    const auto skip = static_cast<std::size_t>(first - covered_first);
+    out.assign(scratch.begin() + static_cast<std::ptrdiff_t>(skip),
+               scratch.begin() +
+                   static_cast<std::ptrdiff_t>(skip + count));
+  }
+  return true;
+}
+
+bool SnapshotReader::read_targets(std::vector<net::Ipv6Address>& out) {
+  return read_targets(out, 0, rows_);
 }
 
 bool SnapshotReader::read_responses(std::vector<net::Ipv6Address>& out) {
-  out.clear();
-  out.reserve(rows_);
-  const bool ok = read_section(2, [&out](const unsigned char* p,
-                                         std::size_t len) {
-    for (std::size_t i = 0; i < len; i += 16) out.push_back(load_address(p + i));
-  });
-  if (!ok) out.clear();
-  return ok;
+  return read_responses(out, 0, rows_);
 }
 
 bool SnapshotReader::read_type_codes(std::vector<std::uint16_t>& out) {
-  out.clear();
-  out.reserve(rows_);
-  const bool ok =
-      read_section(3, [&out](const unsigned char* p, std::size_t len) {
-        for (std::size_t i = 0; i < len; i += 2) out.push_back(load_u16(p + i));
-      });
-  if (!ok) out.clear();
-  return ok;
+  return read_type_codes(out, 0, rows_);
 }
 
 bool SnapshotReader::read_times(std::vector<sim::TimePoint>& out) {
-  out.clear();
-  out.reserve(rows_);
+  return read_times(out, 0, rows_);
+}
+
+namespace {
+
+/// Clamps a requested row window to [0, total).
+void clamp_window(std::uint64_t total, std::uint64_t& first,
+                  std::uint64_t& count) noexcept {
+  first = std::min(first, total);
+  count = std::min(count, total - first);
+}
+
+}  // namespace
+
+template <typename T>
+bool SnapshotReader::read_column(std::uint32_t id, std::uint64_t first,
+                                 std::uint64_t count, std::vector<T>& out) {
+  // v1 has one whole-section CRC — there is no way to verify a window
+  // without reading the section — so a range read is a full read + slice
+  // (the documented v1 semantics; no skipping, counters stay zero).
+  std::vector<T> all;
+  all.reserve(static_cast<std::size_t>(rows_));
+  const std::uint64_t width = element_width(id);
   const bool ok =
-      read_section(4, [&out](const unsigned char* p, std::size_t len) {
-        for (std::size_t i = 0; i < len; i += 8) {
-          out.push_back(static_cast<sim::TimePoint>(load_u64(p + i)));
+      read_section(id, [&all, width](const unsigned char* p, std::size_t len) {
+        for (std::size_t i = 0; i < len; i += width) {
+          if constexpr (std::is_same_v<T, net::Ipv6Address>) {
+            all.push_back(load_address(p + i));
+          } else if constexpr (std::is_same_v<T, std::uint16_t>) {
+            all.push_back(load_u16(p + i));
+          } else {
+            all.push_back(static_cast<T>(load_u64(p + i)));
+          }
         }
       });
-  if (!ok) out.clear();
-  return ok;
+  if (!ok) {
+    out.clear();
+    return false;
+  }
+  if (first == 0 && count == all.size()) {
+    out = std::move(all);
+  } else {
+    out.assign(all.begin() + static_cast<std::ptrdiff_t>(first),
+               all.begin() + static_cast<std::ptrdiff_t>(first + count));
+  }
+  return true;
+}
+
+bool SnapshotReader::read_targets(std::vector<net::Ipv6Address>& out,
+                                  std::uint64_t first, std::uint64_t count) {
+  clamp_window(rows_, first, count);
+  if (version_ == kSnapshotFormatV2) {
+    return read_blocks(1, first, count, out,
+                       [](const unsigned char** cursor,
+                          const unsigned char* end, std::size_t n,
+                          net::Ipv6Address* dst) {
+                         return decode_addresses(cursor, end, n, dst);
+                       });
+  }
+  return read_column(1, first, count, out);
+}
+
+bool SnapshotReader::read_responses(std::vector<net::Ipv6Address>& out,
+                                    std::uint64_t first, std::uint64_t count) {
+  clamp_window(rows_, first, count);
+  if (version_ == kSnapshotFormatV2) {
+    return read_blocks(2, first, count, out,
+                       [](const unsigned char** cursor,
+                          const unsigned char* end, std::size_t n,
+                          net::Ipv6Address* dst) {
+                         return decode_addresses(cursor, end, n, dst);
+                       });
+  }
+  return read_column(2, first, count, out);
+}
+
+bool SnapshotReader::read_type_codes(std::vector<std::uint16_t>& out,
+                                     std::uint64_t first,
+                                     std::uint64_t count) {
+  clamp_window(rows_, first, count);
+  if (version_ == kSnapshotFormatV2) {
+    return read_blocks(3, first, count, out,
+                       [](const unsigned char** cursor,
+                          const unsigned char* end, std::size_t n,
+                          std::uint16_t* dst) {
+                         return decode_type_codes(cursor, end, n, dst);
+                       });
+  }
+  return read_column(3, first, count, out);
+}
+
+bool SnapshotReader::read_times(std::vector<sim::TimePoint>& out,
+                                std::uint64_t first, std::uint64_t count) {
+  clamp_window(rows_, first, count);
+  if (version_ == kSnapshotFormatV2) {
+    return read_blocks(4, first, count, out,
+                       [](const unsigned char** cursor,
+                          const unsigned char* end, std::size_t n,
+                          sim::TimePoint* dst) {
+                         return decode_times(cursor, end, n, dst);
+                       });
+  }
+  return read_column(4, first, count, out);
+}
+
+std::optional<std::pair<sim::TimePoint, sim::TimePoint>>
+SnapshotReader::time_range() const noexcept {
+  if (version_ != kSnapshotFormatV2) return std::nullopt;
+  const BlockDir& dir = block_dirs_[4];
+  if (dir.entries.empty()) return std::nullopt;
+  auto min_t = static_cast<std::int64_t>(dir.entries.front().min_stat);
+  auto max_t = static_cast<std::int64_t>(dir.entries.front().max_stat);
+  for (const BlockEntry& e : dir.entries) {
+    min_t = std::min(min_t, static_cast<std::int64_t>(e.min_stat));
+    max_t = std::max(max_t, static_cast<std::int64_t>(e.max_stat));
+  }
+  return std::make_pair(static_cast<sim::TimePoint>(min_t),
+                        static_cast<sim::TimePoint>(max_t));
 }
 
 bool SnapshotReader::for_each_eui_pair(
     const std::function<void(net::Ipv6Address, net::Ipv6Address)>& fn) {
-  return read_section(5, [&fn](const unsigned char* p, std::size_t len) {
-    for (std::size_t i = 0; i < len; i += 32) {
-      fn(load_address(p + i), load_address(p + i + 16));
+  if (version_ != kSnapshotFormatV2) {
+    return read_section(5, [&fn](const unsigned char* p, std::size_t len) {
+      for (std::size_t i = 0; i < len; i += 32) {
+        fn(load_address(p + i), load_address(p + i + 16));
+      }
+    });
+  }
+  if (file_ == nullptr) return false;  // preserves the original error
+  const BlockDir& dir = block_dirs_[5];
+  if (dir.entries.empty()) return true;
+  const trace::ScopedSample sample{trace_recorder_, trace_sketch_,
+                                   "snapshot.section_read"};
+  // Streamed: one block of pairs in memory at a time, in stored order.
+  std::vector<unsigned char> buf;
+  std::vector<net::Ipv6Address> pair_targets;
+  std::vector<net::Ipv6Address> pair_responses;
+  for (const BlockEntry& blk : dir.entries) {
+    buf.resize(blk.payload_bytes);
+    if (std::fseek(file_,
+                   static_cast<long>(dir.payload_base + blk.payload_offset),
+                   SEEK_SET) != 0) {
+      return fail(SnapshotError::kReadFailed);
     }
-  });
+    if (std::fread(buf.data(), 1, buf.size(), file_) != buf.size()) {
+      return fail(SnapshotError::kReadFailed);
+    }
+    if (crc32c(buf.data(), buf.size()) != blk.crc) {
+      return fail(SnapshotError::kCorruptSection);
+    }
+    pair_targets.resize(blk.elements);
+    pair_responses.resize(blk.elements);
+    const unsigned char* cursor = buf.data();
+    const unsigned char* payload_end = buf.data() + buf.size();
+    if (!decode_addresses(&cursor, payload_end, blk.elements,
+                          pair_targets.data()) ||
+        !decode_addresses(&cursor, payload_end, blk.elements,
+                          pair_responses.data()) ||
+        cursor != payload_end) {
+      return fail(SnapshotError::kCorruptSection);
+    }
+    ++blocks_read_;
+    for (std::uint32_t i = 0; i < blk.elements; ++i) {
+      fn(pair_targets[i], pair_responses[i]);
+    }
+  }
+  return true;
 }
 
 bool SnapshotReader::read_into(core::ObservationStore& store) {
