@@ -49,6 +49,7 @@ DIRECTION_RULES = [
     ("speedup", "up"),
     ("reduction_pct", "up"),
     ("compression_ratio", "up"),
+    ("queries_per_s", "up"),
 ]
 
 # Metrics summarized into each history line: one headline number per
@@ -67,6 +68,8 @@ HEADLINE = [
     "trace.enabled_overhead_pct",
     "sweep_scaling.serial_mops",
     "containers.flat_insert_mops",
+    "serve.delta_speedup",
+    "serve.queries_per_s",
 ]
 
 

@@ -29,13 +29,18 @@
 # byte-for-byte against barrier mode at 1 and 8 threads, then kills a
 # pipelined run mid-day (--kill-mid-day, exit 43, nothing durable for that
 # day) and asserts the resume still converges on the barrier digest.
+# The serve leg (§5k) kills a campaign that is maintaining a live ServeTable
+# mid-chain, resumes it through the streamed scheduler at a different thread
+# count, and asserts the resumed table's version digest — every maintained
+# field plus both published windows — equals an uninterrupted run's.
 # The ASan/UBSan pass rebuilds everything with
 # -fsanitize=address,undefined into build-sanitize/ and reruns the test suite
 # under it. The TSan pass rebuilds into build-tsan/ with -fsanitize=thread and
-# runs every Engine- and Pipeline-prefixed suite — the sharded executor, the
-# bounded-queue/stage primitives, the streamed-scheduler determinism matrix,
-# and the fused analysis engine's serial/parallel equivalence matrix — under
-# ThreadSanitizer.
+# runs every Engine-, Pipeline- and Serve-prefixed suite — the sharded
+# executor, the bounded-queue/stage primitives, the streamed-scheduler
+# determinism matrix, the fused analysis engine's serial/parallel
+# equivalence matrix, and the ServeTable's epoch-slot publication rail
+# under concurrent readers — under ThreadSanitizer.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -239,14 +244,43 @@ for f in "$pipe_tmp"/barrier/day_*.snap "$pipe_tmp/barrier/manifest.txt"; do
 done
 echo "  mid-day kill (exit 43) + resume: digest $resumed, chain matches OK"
 
+echo "== serve: killed campaign resumes to an identical ServeTable =="
+serve_tmp=$(mktemp -d)
+trap 'rm -rf "$bench_tmp" "$resume_tmp" "$pipe_tmp" "$serve_tmp"' EXIT
+mkdir -p "$serve_tmp/killed" "$serve_tmp/whole"
+# Kill the serving campaign right after day 2's checkpoint (the in-memory
+# ServeTable dies with the process), then resume: the fresh table replays
+# the restored days as deltas and must serve exactly what a never-killed
+# run serves — even though the resume switches to the streamed scheduler
+# at a different thread count.
+set +e
+./build/examples/serve_tracker --days=5 --threads=2 --kill-after-day=2 \
+  --out-dir="$serve_tmp/killed" >/dev/null
+status=$?
+set -e
+if [[ "$status" -ne 42 ]]; then
+  echo "serve_tracker: expected kill-hook exit 42, got $status" >&2
+  exit 1
+fi
+resumed=$(./build/examples/serve_tracker --days=5 --threads=4 --pipeline \
+  --digest-only --out-dir="$serve_tmp/killed")
+whole=$(./build/examples/serve_tracker --days=5 --threads=2 \
+  --digest-only --out-dir="$serve_tmp/whole")
+if [[ "$resumed" != "$whole" ]]; then
+  echo "serve digest mismatch after kill+resume: $resumed != $whole" >&2
+  exit 1
+fi
+echo "  kill (exit 42) + pipelined resume: serve digest $resumed OK"
+
 echo "== sanitizer: ASan+UBSan build + ctest (build-sanitize/) =="
 cmake -B build-sanitize -S . -DSCENT_SANITIZE=address,undefined >/dev/null
 cmake --build build-sanitize -j"$jobs"
 (cd build-sanitize && ctest --output-on-failure -j"$jobs")
 
-echo "== sanitizer: TSan build + engine/pipeline tests (build-tsan/) =="
+echo "== sanitizer: TSan build + engine/pipeline/serve tests (build-tsan/) =="
 cmake -B build-tsan -S . -DSCENT_SANITIZE=thread >/dev/null
-cmake --build build-tsan -j"$jobs" --target engine_tests --target pipeline_tests
-(cd build-tsan && ctest --output-on-failure -R '^(Engine|Pipeline)' -j"$jobs")
+cmake --build build-tsan -j"$jobs" --target engine_tests \
+  --target pipeline_tests --target serve_tests
+(cd build-tsan && ctest --output-on-failure -R '^(Engine|Pipeline|Serve)' -j"$jobs")
 
 echo "== all checks passed =="

@@ -308,6 +308,31 @@ AggregateTable Accumulator::finish() && {
   return out;
 }
 
+AggregateTable Accumulator::materialize() const {
+  // The copying twin of finish(): same insertion order, same first_span +
+  // overflow concatenation, same rollup build — so the produced table is
+  // field-for-field what finish() would return — but the scan records stay
+  // behind for the next delta to merge into.
+  AggregateTable out = table_;
+  out.devices.reserve(devices_.size());
+  for (const auto& [mac, scan_dev] : devices_) {
+    const auto [entry, fresh] = out.devices.try_emplace(mac);
+    assert(fresh);
+    (void)fresh;
+    DeviceAggregate& dev = entry->second;
+    dev = scan_dev.dev;
+    if (scan_dev.first_span.ad != nullptr) {
+      dev.per_as.reserve(1 + scan_dev.overflow.size());
+      dev.per_as.push_back(scan_dev.first_span);
+      for (const PerAsSpan& span : scan_dev.overflow) {
+        dev.per_as.push_back(span);
+      }
+    }
+  }
+  if (bgp_ != nullptr) build_rollups(out);
+  return out;
+}
+
 void note_table_metrics(const AggregateTable& table,
                         telemetry::Registry* registry) {
   if (registry == nullptr) return;

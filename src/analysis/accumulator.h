@@ -81,6 +81,26 @@ class Accumulator {
   /// attributed. The accumulator is spent afterwards.
   [[nodiscard]] AggregateTable finish() &&;
 
+  /// Copy-unwraps into the public table — field-for-field what finish()
+  /// would return — while leaving the accumulator intact, so further rows
+  /// (the serve layer's next-day delta) can still be merged in. This is
+  /// how ServeTable publishes an immutable TableVersion per delta without
+  /// spending its maintained state.
+  [[nodiscard]] AggregateTable materialize() const;
+
+  /// The in-progress window snapshots, options.windows order. Exposed so
+  /// delta builders can lift a finished window out of a spent scan;
+  /// analyze() leaves them in place for finish() to move out.
+  [[nodiscard]] std::vector<core::Snapshot>& window_snapshots() noexcept {
+    return table_.window_snapshots;
+  }
+
+  /// Drops the shared-cache binding (which points into the driving scan's
+  /// stack frame). A detached accumulator remains fully usable — further
+  /// accumulate calls fall back to the private lazy cache, and merge /
+  /// materialize / finish never consult a cache at all.
+  void detach_shared_cache() noexcept { shared_cache_ = nullptr; }
+
   [[nodiscard]] std::uint64_t rows_scanned() const noexcept {
     return table_.rows_scanned;
   }

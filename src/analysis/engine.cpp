@@ -22,9 +22,9 @@ struct ShardTrace {
 
 }  // namespace
 
-AggregateTable analyze(const AnalysisInput& input, const routing::BgpTable* bgp,
-                       const AnalysisOptions& options,
-                       telemetry::Registry* registry) {
+FusedScan scan_fused(const AnalysisInput& input, const routing::BgpTable* bgp,
+                     const AnalysisOptions& options,
+                     telemetry::Registry* registry) {
   telemetry::Span span{registry, "analysis.scan"};
 
   // Window snapshots replay <target, response> pairs, so the target
@@ -83,14 +83,12 @@ AggregateTable analyze(const AnalysisInput& input, const routing::BgpTable* bgp,
     shard_trace[s].scan_ns = trace::TraceRecorder::now_wall_ns() - scan_start;
   });
 
-  // Phase 3 (serial): merge in shard order == row order == serial order,
-  // then unwrap into the public table.
+  // Phase 3 (serial): merge in shard order == row order == serial order.
+  // The unwrap into the public table is the caller's: analyze() finishes
+  // immediately, the serve layer keeps accumulating deltas first.
   for (unsigned s = 1; s < threads; ++s) {
     shards[0].merge_from(std::move(shards[s]));
   }
-  AggregateTable out = std::move(shards[0]).finish();
-  out.threads_used = threads;
-  out.failed_files = input.failed_files();
 
   // Trace lanes and the scan-latency sketch fold in at the same merge
   // point as the tables, in the same shard order.
@@ -105,6 +103,23 @@ AggregateTable analyze(const AnalysisInput& input, const routing::BgpTable* bgp,
     }
   }
 
+  FusedScan out;
+  // The shared cache lives on this stack frame; the returned accumulator
+  // must not keep pointing at it.
+  shards[0].detach_shared_cache();
+  out.accumulator = std::move(shards[0]);
+  out.threads_used = threads;
+  out.failed_files = input.failed_files();
+  return out;
+}
+
+AggregateTable analyze(const AnalysisInput& input, const routing::BgpTable* bgp,
+                       const AnalysisOptions& options,
+                       telemetry::Registry* registry) {
+  FusedScan scan = scan_fused(input, bgp, options, registry);
+  AggregateTable out = std::move(scan.accumulator).finish();
+  out.threads_used = scan.threads_used;
+  out.failed_files = scan.failed_files;
   note_table_metrics(out, registry);
   return out;
 }

@@ -30,6 +30,7 @@
 #include <optional>
 #include <vector>
 
+#include "analysis/accumulator.h"
 #include "analysis/aggregate.h"
 #include "analysis/input.h"
 #include "core/observation.h"
@@ -82,6 +83,26 @@ struct AnalysisOptions {
   /// in the "analysis.scan_ns" quantile sketch.
   trace::TraceCollector* trace = nullptr;
 };
+
+/// A fused pass left in accumulator form: the merged (shard-order) result
+/// of phases 1-3 before the finish() unwrap. analyze() is exactly
+/// scan_fused(...) + finish(); the serve layer instead keeps the
+/// accumulator alive — a full-corpus scan IS "build version 0" of the
+/// same code path each day's delta-apply then extends (DESIGN.md §5k).
+struct FusedScan {
+  Accumulator accumulator;
+  unsigned threads_used = 1;
+  std::size_t failed_files = 0;
+};
+
+/// Phases 1-3 of the fused pass (prime, sharded scan, shard-order merge),
+/// without the unwrap. The returned accumulator is detached from the
+/// scan's shared attribution cache and safe to keep, merge from, and
+/// materialize long after this call returns.
+[[nodiscard]] FusedScan scan_fused(const AnalysisInput& input,
+                                   const routing::BgpTable* bgp,
+                                   const AnalysisOptions& options = {},
+                                   telemetry::Registry* registry = nullptr);
 
 /// One fused pass over `input`. `bgp` may be null when options.attribute
 /// is false. With a registry, runs under an "analysis.scan" span and

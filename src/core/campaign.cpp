@@ -11,6 +11,7 @@
 #include "corpus/checkpoint.h"
 #include "corpus/snapshot.h"
 #include "engine/sweep.h"
+#include "serve/serve_table.h"
 #include "sim/rng.h"
 #include "telemetry/span.h"
 
@@ -185,6 +186,23 @@ CampaignResult run_campaign(sim::Internet& internet, sim::VirtualClock& clock,
                                prior->days.begin() + start_day);
           manifest.allocation_length_by_as = prior->allocation_length_by_as;
         }
+        // Serve resume: re-apply the restored days as deltas, one per
+        // day, in day order — only now that the whole replay validated
+        // (a failed replay restarts the campaign, and must not leave
+        // half a chain applied). Each day's rows sit at a known offset:
+        // the chain records per-day row counts and replay appended them
+        // in order into an initially-empty store.
+        if (options.serve != nullptr && start_day > 0) {
+          std::size_t row = 0;
+          for (unsigned d = 0; d < start_day; ++d) {
+            const corpus::CheckpointDay& record = prior->days[d];
+            options.serve->apply(
+                analysis::StoreInput{result.observations, row,
+                                     row + record.rows},
+                record.day);
+            row += record.rows;
+          }
+        }
         if (options.journal != nullptr && start_day > 0) {
           options.journal->event(
               "campaign_resumed",
@@ -268,6 +286,9 @@ CampaignResult run_campaign(sim::Internet& internet, sim::VirtualClock& clock,
     analysis_options.collect_sightings = false;
     analysis_options.trace = options.trace;
     SweepAnalysis day0_analysis;
+    SweepServe sweep_serve;
+    sweep_serve.table = options.serve;
+    sweep_serve.day = abs_day;
     {
       telemetry::Span sweep_span{options.registry, "sweep"};
       const trace::ScopedSample sweep_sample{
@@ -281,6 +302,7 @@ CampaignResult run_campaign(sim::Internet& internet, sim::VirtualClock& clock,
         SweepFanout fanout;
         fanout.snapshot = snapshot;
         fanout.macs = &day_macs;
+        if (options.serve != nullptr) fanout.serve = &sweep_serve;
         if (day == 0) {
           day0_analysis.bgp = &internet.bgp();
           day0_analysis.options = analysis_options;
@@ -297,9 +319,12 @@ CampaignResult run_campaign(sim::Internet& internet, sim::VirtualClock& clock,
                              sweep_options, result.observations, fanout);
         prober.accumulate_counters(ingest.counters);
       } else {
+        SweepFanout fanout;
+        fanout.snapshot = snapshot;
+        if (options.serve != nullptr) fanout.serve = &sweep_serve;
         const SweepIngest ingest =
             sweep_into_store(internet, clock, day_units, prober.options(),
-                             sweep_options, result.observations, snapshot);
+                             sweep_options, result.observations, fanout);
         prober.accumulate_counters(ingest.counters);
       }
     }

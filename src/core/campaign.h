@@ -26,6 +26,10 @@
 #include "telemetry/metrics.h"
 #include "trace/recorder.h"
 
+namespace scent::serve {
+class ServeTable;
+}  // namespace scent::serve
+
 namespace scent::core {
 
 struct DaySummary;
@@ -95,6 +99,17 @@ struct CampaignOptions {
   /// data plane. With a registry, per-day stage wall latencies also land
   /// in campaign.*_ns quantile sketches.
   trace::TraceCollector* trace = nullptr;
+
+  /// Optional serve sink (DESIGN.md §5k): each swept day is applied to
+  /// this table as one AggregateDelta and published as the next
+  /// TableVersion — riding the probe shards under the streamed scheduler,
+  /// scanned post-merge behind the barrier, identically either way. On
+  /// resume, the replayed days are re-applied as deltas from the restored
+  /// snapshot chain (after the whole replay validates) before live days
+  /// continue, so a killed-and-resumed campaign's ServeTable answers
+  /// queries identically to an uninterrupted run's. Reader threads may
+  /// query the table concurrently for the campaign's whole lifetime.
+  serve::ServeTable* serve = nullptr;
 
   /// Invoked after each day is fully committed (summary recorded and, when
   /// checkpointing, its snapshot + manifest durably written). Drives the

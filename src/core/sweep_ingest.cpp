@@ -13,6 +13,8 @@
 #include "netbase/eui64.h"
 #include "pipeline/pipeline.h"
 #include "pipeline/queue.h"
+#include "serve/delta.h"
+#include "serve/serve_table.h"
 #include "trace/recorder.h"
 
 namespace scent::core {
@@ -131,6 +133,7 @@ class PipelineShardSink final : public engine::UnitSink {
       : out_(out), batch_rows_(batch_rows == 0 ? 1 : batch_rows) {}
 
   void set_accumulator(analysis::Accumulator* acc) { acc_ = acc; }
+  void set_delta(serve::DeltaShard* delta) { delta_ = delta; }
   void enable_trace(std::size_t recorder_capacity) {
     recorder_ = std::make_unique<trace::TraceRecorder>(recorder_capacity);
   }
@@ -180,6 +183,12 @@ class PipelineShardSink final : public engine::UnitSink {
       acc_->accumulate(0, pending_.targets, pending_.responses,
                        pending_.times);
     }
+    if (delta_ != nullptr) {
+      // The serve delta's day window is row-index-free (the whole day is
+      // one window), so it rides the stream where engine windows cannot.
+      delta_->accumulate(pending_.targets, pending_.responses,
+                         pending_.times);
+    }
     auto batch = std::make_shared<ObservationBatch>(std::move(pending_));
     pending_ = ObservationBatch{};
     ++batches_;
@@ -189,6 +198,7 @@ class PipelineShardSink final : public engine::UnitSink {
   BatchQueue* out_;
   const std::size_t batch_rows_;
   analysis::Accumulator* acc_ = nullptr;
+  serve::DeltaShard* delta_ = nullptr;
   ObservationBatch pending_;
   std::size_t unit_ = 0;
   std::uint64_t batches_ = 0;
@@ -246,11 +256,24 @@ SweepIngest sweep_streamed(sim::Internet& internet, sim::VirtualClock& clock,
                                 fanout.analysis->bgp, nullptr);
     }
   }
+  // Serve deltas accumulate in-shard exactly like the fused analysis; the
+  // shard-order merge after the join makes them the streamed twin of the
+  // barrier path's post-merge scan_delta.
+  const bool want_serve =
+      fanout.serve != nullptr && fanout.serve->table != nullptr;
+  std::vector<serve::DeltaShard> delta_shards;
+  if (want_serve) {
+    delta_shards.reserve(threads);
+    for (unsigned s = 0; s < threads; ++s) {
+      delta_shards.push_back(fanout.serve->table->make_shard());
+    }
+  }
   std::vector<PipelineShardSink> sinks;
   sinks.reserve(threads);
   for (unsigned s = 0; s < threads; ++s) {
     sinks.emplace_back(shard_queues[s].get(), options.batch_rows);
     if (fanout.analysis != nullptr) sinks[s].set_accumulator(&accumulators[s]);
+    if (want_serve) sinks[s].set_delta(&delta_shards[s]);
     if (options.trace != nullptr) {
       sinks[s].enable_trace(options.trace->recorder_capacity());
     }
@@ -400,6 +423,14 @@ SweepIngest sweep_streamed(sim::Internet& internet, sim::VirtualClock& clock,
                                  fanout.analysis->registry);
   }
 
+  // Serve delta: merge the probe shards' deltas in the same shard order
+  // and publish the day's version. Runs only after the sweep fully
+  // drained — an aborted sweep never reaches this point.
+  if (want_serve) {
+    fanout.serve->table->apply(fanout.serve->table->merge_shards(
+        std::move(delta_shards), fanout.serve->day));
+  }
+
   // Instrumentation merge: producer lanes/sketches in shard order, then
   // the drain-stage lanes, then the queue ledgers and stage wall times.
   std::uint64_t total_batches = 0;
@@ -521,6 +552,14 @@ SweepIngest sweep_barrier(sim::Internet& internet, sim::VirtualClock& clock,
         fanout.analysis->registry);
   }
   if (fanout.on_progress) fanout.on_progress(store.size() - appended_begin);
+  // Serve delta over the appended rows — after on_progress, so an
+  // aborting progress hook leaves the ServeTable on its previous version
+  // under either scheduler.
+  if (fanout.serve != nullptr && fanout.serve->table != nullptr) {
+    fanout.serve->table->apply(
+        analysis::StoreInput{store, appended_begin, store.size()},
+        fanout.serve->day);
+  }
   return ingest;
 }
 

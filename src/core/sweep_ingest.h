@@ -46,6 +46,10 @@ namespace scent::corpus {
 class SnapshotWriter;
 }  // namespace scent::corpus
 
+namespace scent::serve {
+class ServeTable;
+}  // namespace scent::serve
+
 namespace scent::core {
 
 /// One sweep unit's ledger after ingest.
@@ -77,6 +81,18 @@ struct SweepAnalysis {
   analysis::AggregateTable table;  ///< Out: filled by sweep_into_store.
 };
 
+/// A serve-sink request riding along with a sweep: the swept rows become
+/// one AggregateDelta applied to `table` as day `day` — scanned post-merge
+/// behind the barrier, accumulated inside each probe shard when streaming
+/// (serve::DeltaShards merged in shard order) — identical either way to
+/// table->apply(StoreInput over the appended rows, day). The apply (and
+/// hence the version publish) happens only after the sweep fully drains;
+/// an aborted sweep leaves the ServeTable on its previous version.
+struct SweepServe {
+  serve::ServeTable* table = nullptr;
+  std::int64_t day = 0;
+};
+
 /// Optional consumers fanned out from one sweep's observation stream.
 /// All of them see exactly the rows this sweep appends, in serial order,
 /// under either scheduler.
@@ -88,6 +104,9 @@ struct SweepFanout {
   /// Collect the distinct embedded MACs among the swept rows (the
   /// campaign's per-day unique-IID accounting).
   container::FlatSet<net::MacAddress, net::MacAddressHash>* macs = nullptr;
+  /// Apply the swept rows as one day's delta to a maintained ServeTable
+  /// (the campaign's serve sink).
+  const SweepServe* serve = nullptr;
   /// Progress hook: called with the cumulative number of swept rows that
   /// have fully drained (streamed: after each batch clears the last drain
   /// stage; barrier: once, after the merge). Runs on a drain thread in

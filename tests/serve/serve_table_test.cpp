@@ -1,0 +1,195 @@
+// Unit tests for ServeTable's versioning contract: nothing before the
+// first apply, 1-based version numbering with day stamps and window
+// chaining, bootstrap-equals-analyze (a full scan IS version 0's delta),
+// immutability of held versions across slot-ring laps, and the implicit
+// TableVersion -> AggregateTable& conversion the derive.h reports ride.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "analysis/derive.h"
+#include "analysis/engine.h"
+#include "analysis/input.h"
+#include "serve/serve_table.h"
+
+#include "serve_test_util.h"
+
+namespace scent::serve {
+namespace {
+
+using test::append_day;
+using test::expect_same_table;
+using test::make_bgp;
+
+TEST(ServeTable, NoVersionBeforeFirstApply) {
+  const routing::BgpTable bgp = make_bgp();
+  ServeOptions options;
+  options.bgp = &bgp;
+  const ServeTable table{options};
+  EXPECT_EQ(table.current(), nullptr);
+  EXPECT_EQ(table.versions_published(), 0u);
+  EXPECT_EQ(table.reads(), 0u);
+}
+
+TEST(ServeTable, BootstrapFullScanEqualsAnalyze) {
+  const routing::BgpTable bgp = make_bgp();
+  core::ObservationStore store;
+  for (std::int64_t day = 0; day < 8; ++day) {
+    append_day(store, 0xB007, day, 400);
+  }
+
+  ServeOptions options;
+  options.bgp = &bgp;
+  ServeTable table{options};
+  table.apply(analysis::StoreInput{store}, 7);
+
+  const auto version = table.current();
+  ASSERT_NE(version, nullptr);
+  EXPECT_EQ(version->version, 1u);
+  EXPECT_EQ(version->day, 7);
+  EXPECT_EQ(version->delta_rows, store.size());
+
+  const analysis::AggregateTable fresh = analysis::analyze(store, &bgp);
+  expect_same_table(fresh, version->table);
+
+  // The bootstrap's day window covers all its rows — identical to asking
+  // analyze for a whole-corpus RowWindow.
+  analysis::AnalysisOptions window_options;
+  window_options.windows = {analysis::RowWindow{0, store.size()}};
+  const analysis::AggregateTable with_window =
+      analysis::analyze(store, &bgp, window_options);
+  ASSERT_EQ(with_window.window_snapshots.size(), 1u);
+  EXPECT_EQ(version->day_window.map(), with_window.window_snapshots[0].map());
+  EXPECT_TRUE(version->prev_window.map().empty());
+}
+
+TEST(ServeTable, VersionNumberingDayStampsAndWindowChaining) {
+  const routing::BgpTable bgp = make_bgp();
+  core::ObservationStore store;
+  ServeOptions options;
+  options.bgp = &bgp;
+  ServeTable table{options};
+
+  core::Snapshot::Map previous_day_map;
+  for (std::int64_t day = 0; day < 5; ++day) {
+    const std::size_t begin = store.size();
+    append_day(store, 0x5E0, day, 300);
+    table.apply(analysis::StoreInput{store, begin, store.size()}, day);
+
+    const auto version = table.current();
+    ASSERT_NE(version, nullptr);
+    EXPECT_EQ(version->version, static_cast<std::uint64_t>(day) + 1);
+    EXPECT_EQ(version->day, day);
+    EXPECT_EQ(version->delta_rows, store.size() - begin);
+    EXPECT_EQ(version->prev_window.map(), previous_day_map);
+    previous_day_map = version->day_window.map();
+  }
+  EXPECT_EQ(table.versions_published(), 5u);
+}
+
+TEST(ServeTable, EmptyDeltaPublishesUnchangedTable) {
+  const routing::BgpTable bgp = make_bgp();
+  core::ObservationStore store;
+  append_day(store, 0xE4, 0, 250);
+
+  ServeOptions options;
+  options.bgp = &bgp;
+  ServeTable table{options};
+  table.apply(analysis::StoreInput{store}, 0);
+  const auto before = table.current();
+  ASSERT_NE(before, nullptr);
+
+  const core::ObservationStore empty;
+  table.apply(analysis::StoreInput{empty}, 1);
+  const auto after = table.current();
+  ASSERT_NE(after, nullptr);
+  EXPECT_EQ(after->version, 2u);
+  EXPECT_EQ(after->day, 1);
+  EXPECT_EQ(after->delta_rows, 0u);
+  expect_same_table(before->table, after->table);
+  EXPECT_TRUE(after->day_window.map().empty());
+  EXPECT_EQ(after->prev_window.map(), before->day_window.map());
+}
+
+TEST(ServeTable, HeldVersionSurvivesSlotRingLaps) {
+  const routing::BgpTable bgp = make_bgp();
+  core::ObservationStore store;
+  ServeOptions options;
+  options.bgp = &bgp;
+  ServeTable table{options};
+
+  const std::size_t first_begin = store.size();
+  append_day(store, 0x1A9, 0, 200);
+  table.apply(analysis::StoreInput{store, first_begin, store.size()}, 0);
+  const std::shared_ptr<const TableVersion> held = table.current();
+  ASSERT_NE(held, nullptr);
+  const std::size_t held_devices = held->table.devices.size();
+  const std::uint64_t held_rows = held->table.rows_scanned;
+
+  // Lap the 8-slot ring twice over: the writer recycles version 1's slot
+  // (and every other) while we keep the shared_ptr pinned.
+  for (std::int64_t day = 1; day <= 20; ++day) {
+    const std::size_t begin = store.size();
+    append_day(store, 0x1A9, day, 200);
+    table.apply(analysis::StoreInput{store, begin, store.size()}, day);
+  }
+
+  EXPECT_EQ(held->version, 1u);
+  EXPECT_EQ(held->table.devices.size(), held_devices);
+  EXPECT_EQ(held->table.rows_scanned, held_rows);
+  const auto latest = table.current();
+  ASSERT_NE(latest, nullptr);
+  EXPECT_EQ(latest->version, 21u);
+  EXPECT_GT(latest->table.rows_scanned, held->table.rows_scanned);
+}
+
+TEST(ServeTable, TableVersionConvertsForDeriveReports) {
+  const routing::BgpTable bgp = make_bgp();
+  core::ObservationStore store;
+  for (std::int64_t day = 0; day < 6; ++day) {
+    append_day(store, 0xDE4, day, 350);
+  }
+
+  ServeOptions options;
+  options.bgp = &bgp;
+  ServeTable table{options};
+  table.apply(analysis::StoreInput{store}, 5);
+  const auto version = table.current();
+  ASSERT_NE(version, nullptr);
+
+  const analysis::AggregateTable fresh = analysis::analyze(store, &bgp);
+  EXPECT_EQ(analysis::allocation_median(*version),
+            analysis::allocation_median(fresh));
+  EXPECT_EQ(analysis::pool_median(*version), analysis::pool_median(fresh));
+  EXPECT_EQ(analysis::allocation_medians_by_as(*version),
+            analysis::allocation_medians_by_as(fresh));
+  ASSERT_FALSE(version->table.devices.empty());
+  const net::MacAddress mac = version->table.devices.begin()->first;
+  EXPECT_EQ(analysis::pool_length_for(*version, mac),
+            analysis::pool_length_for(fresh, mac));
+  const auto sightings = analysis::sightings_of(*version, mac);
+  const auto fresh_sightings = analysis::sightings_of(fresh, mac);
+  ASSERT_EQ(sightings.size(), fresh_sightings.size());
+  for (std::size_t i = 0; i < sightings.size(); ++i) {
+    EXPECT_EQ(sightings[i].day, fresh_sightings[i].day);
+    EXPECT_EQ(sightings[i].network, fresh_sightings[i].network);
+  }
+}
+
+TEST(ServeTable, ReadsCounterTracksAcquisitions) {
+  const routing::BgpTable bgp = make_bgp();
+  core::ObservationStore store;
+  append_day(store, 0xC0, 0, 100);
+
+  ServeOptions options;
+  options.bgp = &bgp;
+  ServeTable table{options};
+  table.apply(analysis::StoreInput{store}, 0);
+  EXPECT_EQ(table.reads(), 0u);
+  for (int i = 0; i < 5; ++i) ASSERT_NE(table.current(), nullptr);
+  EXPECT_EQ(table.reads(), 5u);
+}
+
+}  // namespace
+}  // namespace scent::serve

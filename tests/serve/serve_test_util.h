@@ -1,0 +1,145 @@
+// serve_test_util.h - shared fixtures for the serve suites: a day-ordered
+// synthetic corpus (each day's rows are one delta), the full AggregateTable
+// field-for-field comparison, and the TSan-detection constant the matrix
+// shrinkers key off.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "analysis/aggregate.h"
+#include "core/observation.h"
+#include "netbase/eui64.h"
+#include "routing/bgp_table.h"
+#include "sim/rng.h"
+#include "sim/sim_time.h"
+
+namespace scent::serve::test {
+
+#if defined(__SANITIZE_THREAD__)
+inline constexpr bool kTsan = true;
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+inline constexpr bool kTsan = true;
+#else
+inline constexpr bool kTsan = false;
+#endif
+#else
+inline constexpr bool kTsan = false;
+#endif
+
+/// Nested announcements plus unannounced space, so delta attribution hits
+/// the cached, more-specific and null paths (same table the engine
+/// equivalence suite uses).
+inline routing::BgpTable make_bgp() {
+  routing::BgpTable bgp;
+  bgp.announce({*net::Prefix::parse("2001:db8::/32"), 65001, "DE", "RotorDE"});
+  bgp.announce(
+      {*net::Prefix::parse("2001:db8:4400::/40"), 65003, "DE", "CarveOut"});
+  bgp.announce({*net::Prefix::parse("2003:e200::/32"), 65002, "VN", "StatVN"});
+  return bgp;
+}
+
+/// Appends one campaign day of synthetic observations to `store` — devices
+/// that roam across ASes, privacy-addressed rows, and unrouted space.
+/// Days must be appended in ascending order: the serve contract (like the
+/// engine's shard merge) is that later rows arrive after earlier ones.
+inline void append_day(core::ObservationStore& store, std::uint64_t seed,
+                       std::int64_t day, std::size_t rows) {
+  sim::Rng rng{sim::mix64(seed, static_cast<std::uint64_t>(day))};
+  const std::uint64_t as_base[3] = {0x20010db800000000ULL,
+                                    0x20010db844000000ULL,
+                                    0x2003e20000000000ULL};
+  for (std::size_t i = 0; i < rows; ++i) {
+    const std::uint64_t device = rng.below(48);
+    const net::MacAddress mac{0x3810d5000000ULL + device};
+    const std::uint64_t as_pick =
+        device % 4 == 0 ? rng.below(3) : device % 3;
+    const std::uint64_t network =
+        as_base[as_pick] |
+        ((device * 7 + static_cast<std::uint64_t>(day)) % 256) << 8;
+
+    core::Observation obs;
+    obs.target = net::Ipv6Address{network, 0xbeef0000ULL + i};
+    if (rng.chance(0.15)) {
+      const std::uint64_t net2 =
+          rng.chance(0.5) ? network : 0x2a00000000000000ULL | (device << 8);
+      obs.response = net::Ipv6Address{net2, rng.next() | 0x0400000000000000ULL};
+    } else {
+      obs.response = net::Ipv6Address{network, net::mac_to_eui64(mac)};
+    }
+    obs.type = wire::Icmpv6Type::kEchoReply;
+    obs.code = 0;
+    obs.time = sim::days(day) + static_cast<std::int64_t>(i % 1000);
+    store.add(obs);
+  }
+}
+
+/// Field-for-field table equality — the §5k acceptance bar. threads_used
+/// is execution metadata and deliberately not compared. `same_bgp` is
+/// false when the two tables attributed against different BgpTable
+/// instances (e.g. two campaign fixtures): PerAsSpan::ad then points into
+/// different allocations, so null-ness is compared instead of identity
+/// (asn, country and name equality are asserted either way).
+inline void expect_same_table(const analysis::AggregateTable& want,
+                              const analysis::AggregateTable& got,
+                              bool same_bgp = true) {
+  EXPECT_EQ(want.rows_scanned, got.rows_scanned);
+  EXPECT_EQ(want.eui_rows, got.eui_rows);
+  EXPECT_EQ(want.failed_files, got.failed_files);
+
+  ASSERT_EQ(want.devices.size(), got.devices.size());
+  for (std::size_t i = 0; i < want.devices.size(); ++i) {
+    const auto& [mac_a, dev_a] = want.devices.begin()[i];
+    const auto& [mac_b, dev_b] = got.devices.begin()[i];
+    ASSERT_EQ(mac_a, mac_b) << "device slot " << i;
+    EXPECT_EQ(dev_a.oui, dev_b.oui);
+    EXPECT_EQ(dev_a.observations, dev_b.observations);
+    EXPECT_EQ(dev_a.target_lo, dev_b.target_lo);
+    EXPECT_EQ(dev_a.target_hi, dev_b.target_hi);
+    EXPECT_EQ(dev_a.response_lo, dev_b.response_lo);
+    EXPECT_EQ(dev_a.response_hi, dev_b.response_hi);
+    EXPECT_EQ(dev_a.first_day, dev_b.first_day);
+    EXPECT_EQ(dev_a.last_day, dev_b.last_day);
+    EXPECT_EQ(dev_a.day_bits, dev_b.day_bits);
+    ASSERT_EQ(dev_a.per_as.size(), dev_b.per_as.size()) << mac_a.to_string();
+    for (std::size_t k = 0; k < dev_a.per_as.size(); ++k) {
+      const analysis::PerAsSpan& a = dev_a.per_as[k];
+      const analysis::PerAsSpan& b = dev_b.per_as[k];
+      EXPECT_EQ(a.asn, b.asn);
+      if (same_bgp) {
+        EXPECT_EQ(a.ad, b.ad);
+      } else {
+        EXPECT_EQ(a.ad == nullptr, b.ad == nullptr);
+      }
+      EXPECT_EQ(a.target_lo, b.target_lo);
+      EXPECT_EQ(a.target_hi, b.target_hi);
+      EXPECT_EQ(a.response_lo, b.response_lo);
+      EXPECT_EQ(a.response_hi, b.response_hi);
+      EXPECT_EQ(a.observations, b.observations);
+      EXPECT_EQ(a.days, b.days);
+    }
+    ASSERT_EQ(dev_a.sightings.size(), dev_b.sightings.size());
+    for (std::size_t k = 0; k < dev_a.sightings.size(); ++k) {
+      EXPECT_EQ(dev_a.sightings[k].day, dev_b.sightings[k].day);
+      EXPECT_EQ(dev_a.sightings[k].network, dev_b.sightings[k].network);
+    }
+  }
+
+  ASSERT_EQ(want.as_rollups.size(), got.as_rollups.size());
+  for (std::size_t i = 0; i < want.as_rollups.size(); ++i) {
+    EXPECT_EQ(want.as_rollups[i].asn, got.as_rollups[i].asn);
+    EXPECT_EQ(want.as_rollups[i].country, got.as_rollups[i].country);
+    EXPECT_EQ(want.as_rollups[i].as_name, got.as_rollups[i].as_name);
+    EXPECT_EQ(want.as_rollups[i].observations, got.as_rollups[i].observations);
+    EXPECT_EQ(want.as_rollups[i].devices, got.as_rollups[i].devices);
+  }
+
+  ASSERT_EQ(want.window_snapshots.size(), got.window_snapshots.size());
+  for (std::size_t w = 0; w < want.window_snapshots.size(); ++w) {
+    EXPECT_EQ(want.window_snapshots[w].map(), got.window_snapshots[w].map());
+  }
+}
+
+}  // namespace scent::serve::test
