@@ -76,6 +76,7 @@ int main(int argc, char** argv) {
   using namespace scent;
 
   const examples::Cli cli = examples::Cli::parse(argc, argv);
+  if (const int rc = cli.require_out_dir()) return rc;
   unsigned days = 6;
   long kill_after_day = -1;
   long kill_mid_day = -1;

@@ -36,7 +36,8 @@ struct Cli {
   unsigned queue_capacity = 16;
   unsigned snapshot_version = 2;
   std::string out_dir = ".";
-  std::string trace_out;  ///< Empty = tracing off.
+  bool out_dir_ok = true;  ///< False when --out-dir could not be created.
+  std::string trace_out;   ///< Empty = tracing off.
 
   /// Parses the shared flags; unrecognized arguments are left for the
   /// example's own parsing.
@@ -64,8 +65,23 @@ struct Cli {
     if (cli.out_dir != ".") {
       std::error_code ec;
       std::filesystem::create_directories(cli.out_dir, ec);
+      // create_directories reports false-without-error when the directory
+      // already exists, so test existence, not the return value. An example
+      // that cannot land artifacts must fail loudly, not write nothing and
+      // exit 0 — main() checks require_out_dir() before doing any work.
+      cli.out_dir_ok = std::filesystem::is_directory(cli.out_dir, ec);
+      if (!cli.out_dir_ok) {
+        std::fprintf(stderr, "error: cannot create --out-dir=%s\n",
+                     cli.out_dir.c_str());
+      }
     }
     return cli;
+  }
+
+  /// Exit status for unusable --out-dir, or 0. Call first in main():
+  ///   if (int rc = cli.require_out_dir()) return rc;
+  [[nodiscard]] int require_out_dir() const noexcept {
+    return out_dir_ok ? 0 : 2;
   }
 
   /// Routes an artifact file name through the output directory.

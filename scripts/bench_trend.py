@@ -44,6 +44,10 @@ DIRECTION_RULES = [
     ("sample_ns", "down"),
     ("batch_ns", "down"),
     ("file_bytes", "down"),
+    ("spill_bytes", "down"),
+    ("peak_heap_bytes", "down"),
+    ("serial_s", "down"),
+    ("parallel8_s", "down"),
     ("mops", "up"),
     ("mrows_per_s", "up"),
     ("speedup", "up"),
@@ -68,8 +72,14 @@ HEADLINE = [
     "trace.enabled_overhead_pct",
     "sweep_scaling.serial_mops",
     "containers.flat_insert_mops",
+    "containers_50m.flat_insert_mops",
+    "containers_50m.flat_find_mops",
     "serve.delta_speedup",
     "serve.queries_per_s",
+    "join_scaling.serial_mrows_per_s",
+    "join_scaling.speedup_at_8",
+    "join_scaling.partitions",
+    "join_scaling.spill_bytes",
 ]
 
 
@@ -163,6 +173,10 @@ def main():
           f"load {fmt('snapshot_v2.load_mrows_per_s')} M rows/s, "
           f"{fmt('snapshot_v2.bytes_per_row')} B/row "
           f"({fmt('snapshot_v2.compression_ratio', 'x')} vs v1)")
+    print(f"  join: {fmt('join_scaling.serial_mrows_per_s')} M rows/s "
+          f"serial over {fmt('join_scaling.partitions')} partitions, "
+          f"{fmt('join_scaling.spill_bytes')} spill bytes, "
+          f"{fmt('join_scaling.blocks_pruned')} blocks pruned")
 
     missing_guards = sorted(guard_names(baseline) - guard_names(fresh))
     for name in missing_guards:

@@ -33,14 +33,18 @@
 # mid-chain, resumes it through the streamed scheduler at a different thread
 # count, and asserts the resumed table's version digest — every maintained
 # field plus both published windows — equals an uninterrupted run's.
+# The join leg (§5l) runs the partitioned out-of-core merge-join example at
+# different thread counts AND partition fan-outs and cmp's the emitted
+# dossier/timeline reports byte for byte.
 # The ASan/UBSan pass rebuilds everything with
 # -fsanitize=address,undefined into build-sanitize/ and reruns the test suite
 # under it. The TSan pass rebuilds into build-tsan/ with -fsanitize=thread and
-# runs every Engine-, Pipeline- and Serve-prefixed suite — the sharded
+# runs every Engine-, Pipeline-, Serve- and Join-prefixed suite — the sharded
 # executor, the bounded-queue/stage primitives, the streamed-scheduler
 # determinism matrix, the fused analysis engine's serial/parallel
-# equivalence matrix, and the ServeTable's epoch-slot publication rail
-# under concurrent readers — under ThreadSanitizer.
+# equivalence matrix, the ServeTable's epoch-slot publication rail under
+# concurrent readers, and the partitioned join's thread-count/fan-out
+# differential matrix — under ThreadSanitizer.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -272,15 +276,34 @@ if [[ "$resumed" != "$whole" ]]; then
 fi
 echo "  kill (exit 42) + pipelined resume: serve digest $resumed OK"
 
+echo "== join: dossier outputs byte-identical across threads and fan-out =="
+join_tmp=$(mktemp -d)
+trap 'rm -rf "$bench_tmp" "$resume_tmp" "$pipe_tmp" "$serve_tmp" "$join_tmp"' EXIT
+# The §5l merge contract: the partitioned out-of-core join must emit the
+# same bytes at any thread count AND any partition fan-out, so the two runs
+# deliberately differ in both.
+mkdir -p "$join_tmp/t1" "$join_tmp/t8"
+./build/examples/join_dossiers --threads=1 --partitions=8 \
+  --out-dir="$join_tmp/t1" >/dev/null
+./build/examples/join_dossiers --threads=8 --partitions=16 \
+  --out-dir="$join_tmp/t8" >/dev/null
+for f in dossiers.tsv timelines.tsv; do
+  if ! cmp -s "$join_tmp/t1/$f" "$join_tmp/t8/$f"; then
+    echo "join output differs (1 thr/8 parts vs 8 thr/16 parts): $f" >&2
+    exit 1
+  fi
+done
+echo "  dossiers.tsv + timelines.tsv: 1 thr/8 parts == 8 thr/16 parts OK"
+
 echo "== sanitizer: ASan+UBSan build + ctest (build-sanitize/) =="
 cmake -B build-sanitize -S . -DSCENT_SANITIZE=address,undefined >/dev/null
 cmake --build build-sanitize -j"$jobs"
 (cd build-sanitize && ctest --output-on-failure -j"$jobs")
 
-echo "== sanitizer: TSan build + engine/pipeline/serve tests (build-tsan/) =="
+echo "== sanitizer: TSan build + engine/pipeline/serve/join tests (build-tsan/) =="
 cmake -B build-tsan -S . -DSCENT_SANITIZE=thread >/dev/null
 cmake --build build-tsan -j"$jobs" --target engine_tests \
-  --target pipeline_tests --target serve_tests
-(cd build-tsan && ctest --output-on-failure -R '^(Engine|Pipeline|Serve)' -j"$jobs")
+  --target pipeline_tests --target serve_tests --target join_tests
+(cd build-tsan && ctest --output-on-failure -R '^(Engine|Pipeline|Serve|Join)' -j"$jobs")
 
 echo "== all checks passed =="

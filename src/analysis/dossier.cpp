@@ -1,0 +1,101 @@
+#include "analysis/dossier.h"
+
+#include <algorithm>
+#include <map>
+
+namespace scent::analysis {
+
+DeviceDossier make_dossier(net::MacAddress mac,
+                           std::span<const corpus::KeyedRecord> corpus_rows,
+                           std::span<const corpus::KeyedRecord> geo_rows) {
+  DeviceDossier dossier;
+  dossier.mac = mac;
+  dossier.sightings.reserve(corpus_rows.size());
+  for (const corpus::KeyedRecord& row : corpus_rows) {
+    dossier.sightings.push_back(
+        DossierSighting{.day = static_cast<std::int64_t>(row.c2),
+                        .network = row.c0,
+                        .asn = static_cast<std::uint32_t>(row.c1)});
+  }
+  std::sort(dossier.sightings.begin(), dossier.sightings.end());
+  dossier.sightings.erase(
+      std::unique(dossier.sightings.begin(), dossier.sightings.end()),
+      dossier.sightings.end());
+
+  dossier.anchors.reserve(geo_rows.size());
+  for (const corpus::KeyedRecord& row : geo_rows) {
+    dossier.anchors.push_back(
+        GeoAnchor{.day = static_cast<std::int64_t>(row.c2),
+                  .lat_udeg = unpack_lat(row.c0),
+                  .lon_udeg = unpack_lon(row.c0),
+                  .asn = static_cast<std::uint32_t>(row.c1)});
+  }
+  std::sort(dossier.anchors.begin(), dossier.anchors.end());
+  dossier.anchors.erase(
+      std::unique(dossier.anchors.begin(), dossier.anchors.end()),
+      dossier.anchors.end());
+  return dossier;
+}
+
+std::vector<MacReuse> cross_as_mac_reuse(const DossierTable& table) {
+  std::vector<MacReuse> out;
+  for (const DeviceDossier& dossier : table.rows()) {
+    if (dossier.sightings.empty()) continue;
+    MacReuse reuse;
+    reuse.mac = dossier.mac;
+    reuse.first_day = dossier.sightings.front().day;
+    reuse.last_day = dossier.sightings.front().day;
+    for (const DossierSighting& s : dossier.sightings) {
+      reuse.first_day = std::min(reuse.first_day, s.day);
+      reuse.last_day = std::max(reuse.last_day, s.day);
+      if (s.asn != 0) reuse.asns.push_back(s.asn);
+    }
+    std::sort(reuse.asns.begin(), reuse.asns.end());
+    reuse.asns.erase(std::unique(reuse.asns.begin(), reuse.asns.end()),
+                     reuse.asns.end());
+    if (reuse.asns.size() >= 2) out.push_back(std::move(reuse));
+  }
+  return out;
+}
+
+std::vector<ProviderSwitch> provider_switch_timeline(
+    const DossierTable& table) {
+  std::vector<ProviderSwitch> out;
+  for (const DeviceDossier& dossier : table.rows()) {
+    // Sightings are (day, network, asn)-sorted; walk them chronologically
+    // and record each day the attributed AS changes.
+    std::uint32_t current = 0;
+    for (const DossierSighting& s : dossier.sightings) {
+      if (s.asn == 0) continue;
+      if (current != 0 && s.asn != current) {
+        out.push_back(ProviderSwitch{
+            .mac = dossier.mac, .from_asn = current, .to_asn = s.asn,
+            .day = s.day});
+      }
+      current = s.asn;
+    }
+  }
+  return out;
+}
+
+std::vector<std::pair<std::string, std::uint64_t>> dossier_vendor_census(
+    const DossierTable& table, const oui::Registry& registry) {
+  std::map<std::string, std::uint64_t> counts;
+  for (const DeviceDossier& dossier : table.rows()) {
+    const auto vendor = registry.vendor(dossier.mac);
+    counts[vendor ? std::string(*vendor) : std::string("(unknown)")] += 1;
+  }
+  return {counts.begin(), counts.end()};
+}
+
+double anchored_fraction(const DossierTable& table) {
+  if (table.rows().empty()) return 0.0;
+  std::uint64_t anchored = 0;
+  for (const DeviceDossier& dossier : table.rows()) {
+    if (!dossier.anchors.empty()) ++anchored;
+  }
+  return static_cast<double>(anchored) /
+         static_cast<double>(table.rows().size());
+}
+
+}  // namespace scent::analysis

@@ -31,7 +31,9 @@
 #include <cassert>
 #include <cstddef>
 #include <cstdint>
+#include <cstring>
 #include <functional>
+#include <memory>
 #include <type_traits>
 #include <utility>
 #include <vector>
@@ -78,6 +80,28 @@ template <typename Slot, typename Key, typename KeyOf, typename Hash>
 class FlatTable {
  public:
   FlatTable() = default;
+
+  // The raw index buffer (see resize_table) costs the copy operations their
+  // = default: the bucket halves are duplicated by hand, memcpy'ing the
+  // index so uninitialized (never-read) entries stay untouched bytes.
+  FlatTable(const FlatTable& other)
+      : slots_(other.slots_),
+        tags_(other.tags_),
+        mask_(other.mask_),
+        hash_(other.hash_) {
+    copy_index_from(other);
+  }
+  FlatTable& operator=(const FlatTable& other) {
+    if (this == &other) return *this;
+    slots_ = other.slots_;
+    tags_ = other.tags_;
+    mask_ = other.mask_;
+    hash_ = other.hash_;
+    copy_index_from(other);
+    return *this;
+  }
+  FlatTable(FlatTable&&) noexcept = default;
+  FlatTable& operator=(FlatTable&&) noexcept = default;
 
   [[nodiscard]] std::size_t size() const noexcept { return slots_.size(); }
   [[nodiscard]] bool empty() const noexcept { return slots_.empty(); }
@@ -165,7 +189,7 @@ class FlatTable {
   [[nodiscard]] std::size_t memory_footprint() const noexcept {
     return slots_.capacity() * sizeof(Slot) +
            tags_.capacity() * sizeof(std::uint8_t) +
-           index_.capacity() * sizeof(std::uint32_t);
+           tags_.size() * sizeof(std::uint32_t);  // index_, one per bucket
   }
 
   static constexpr std::size_t npos = static_cast<std::size_t>(-1);
@@ -192,9 +216,26 @@ class FlatTable {
     return tags_.size() - tags_.size() / 4;
   }
 
+  void copy_index_from(const FlatTable& other) {
+    if (tags_.empty()) {
+      index_.reset();
+      return;
+    }
+    index_ = std::make_unique_for_overwrite<std::uint32_t[]>(tags_.size());
+    std::memcpy(index_.get(), other.index_.get(),
+                tags_.size() * sizeof(std::uint32_t));
+  }
+
   void resize_table(std::size_t buckets) {
     tags_.assign(buckets, kEmpty);
-    index_.resize(buckets);
+    // The slot-index half is left uninitialized on purpose: index_[pos] is
+    // only ever read where tags_[pos] != kEmpty, and every such bucket is
+    // written before it is tagged. A std::vector here made each rehash pay
+    // two extra full-table memory passes — resize() copied the old,
+    // entirely stale bucket array into the new allocation, then
+    // zero-filled the growth — which at the 50M-key bench size is ~GBs of
+    // dead traffic across the grow chain.
+    index_ = std::make_unique_for_overwrite<std::uint32_t[]>(buckets);
     mask_ = buckets - 1;
   }
 
@@ -221,9 +262,11 @@ class FlatTable {
     }
   }
 
-  std::vector<Slot> slots_;           // insertion order, dense
-  std::vector<std::uint8_t> tags_;    // per-bucket control byte, 0 = empty
-  std::vector<std::uint32_t> index_;  // per-bucket dense-slot index
+  std::vector<Slot> slots_;         // insertion order, dense
+  std::vector<std::uint8_t> tags_;  // per-bucket control byte, 0 = empty
+  // Per-bucket dense-slot index; tags_.size() entries, uninitialized where
+  // the control byte is kEmpty (see resize_table).
+  std::unique_ptr<std::uint32_t[]> index_;
   std::size_t mask_ = 0;
   [[no_unique_address]] Hash hash_{};
 };

@@ -1,0 +1,172 @@
+// keyed_run.h - streaming block format for MAC-keyed join spill runs.
+//
+// The cross-dataset join (src/join/, DESIGN.md §5l) radix-partitions both
+// input sides by MAC and spills every partition to disk so the working set
+// is bounded by one partition, never by the input. This is the run format:
+// fixed-width records (one 64-bit key plus three 64-bit payload columns)
+// packed into independently decodable blocks, each column zigzag-delta
+// varint encoded with the encoding.h codecs the v2 snapshot format uses,
+// each block carrying a CRC-32C and min/max stats over the key column.
+//
+// The stats are what make partition pruning free: a reader handed a key
+// window skips — without reading, let alone CRC-checking or decoding — every
+// block whose [key_min, key_max] cannot intersect it, exactly the §5j
+// block-skip predicate contract. Because the join's feed side arrives
+// MAC-sorted, its spilled blocks have tight key ranges and a MAC-disjoint
+// fixture genuinely prunes.
+//
+// Unlike SnapshotWriter (which buffers a day in memory and seeks a header
+// into place), runs are written strictly forward — open, append, finish —
+// so a spill never holds more than one block buffer: the block directory
+// and footer land at the end of the file and the reader finds them from a
+// fixed-size trailer.
+//
+// Layout (all integers little-endian):
+//   header   "SCNTKRUN" magic (8) | version u32 | payload columns u32
+//   blocks   concatenated varint payloads, back to back
+//   dir      per block: elements u32 | payload_bytes u32 | crc u32 |
+//            key_min u64 | key_max u64                       (28 B/block)
+//   footer   records u64 | blocks u32 | dir crc u32 | "KRUNDONE" (8)
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <functional>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace scent::corpus {
+
+/// One join record: the MAC key plus three opaque payload columns (the join
+/// layers assign meaning — network/asn/day on the rotation side, packed
+/// lat·lon/asn/day on the geo side).
+struct KeyedRecord {
+  std::uint64_t key = 0;
+  std::uint64_t c0 = 0;
+  std::uint64_t c1 = 0;
+  std::uint64_t c2 = 0;
+
+  friend constexpr bool operator==(const KeyedRecord&,
+                                   const KeyedRecord&) = default;
+};
+
+/// Records per block. Small enough that a partition pass holding one open
+/// writer per (shard, partition) stays at a few hundred KB per writer.
+inline constexpr std::size_t kKeyedRunBlockElements = 8192;
+
+/// Forward-only run writer: open(), append() in input order, finish().
+/// Records are buffered one block at a time; every full block is encoded
+/// and flushed immediately, so memory stays O(block) no matter the run size.
+class KeyedRunWriter {
+ public:
+  explicit KeyedRunWriter(
+      std::size_t block_elements = kKeyedRunBlockElements) noexcept
+      : block_elements_(block_elements < 1 ? 1 : block_elements) {}
+  ~KeyedRunWriter();
+  KeyedRunWriter(const KeyedRunWriter&) = delete;
+  KeyedRunWriter& operator=(const KeyedRunWriter&) = delete;
+
+  [[nodiscard]] bool open(const std::string& path);
+
+  void append(const KeyedRecord& record);
+
+  /// Flushes the tail block, writes the directory and footer, closes the
+  /// file. False on any I/O failure (including buffered writes surfacing at
+  /// close). The writer is unusable afterwards.
+  [[nodiscard]] bool finish();
+
+  [[nodiscard]] bool is_open() const noexcept { return file_ != nullptr; }
+  [[nodiscard]] std::uint64_t records() const noexcept { return records_; }
+
+  /// Total file bytes finish() produced (valid after finish()).
+  [[nodiscard]] std::uint64_t bytes_written() const noexcept {
+    return bytes_written_;
+  }
+
+ private:
+  struct DirEntry {
+    std::uint32_t elements = 0;
+    std::uint32_t payload_bytes = 0;
+    std::uint32_t crc = 0;
+    std::uint64_t key_min = 0;
+    std::uint64_t key_max = 0;
+  };
+
+  [[nodiscard]] bool flush_block();
+
+  std::size_t block_elements_;
+  std::FILE* file_ = nullptr;
+  bool io_ok_ = true;
+  std::vector<KeyedRecord> buffer_;
+  std::vector<DirEntry> dir_;
+  std::uint64_t records_ = 0;
+  std::uint64_t bytes_written_ = 0;
+};
+
+/// Run reader: validates the trailer-anchored directory at open, then
+/// streams records block by block. Key-window scans skip non-overlapping
+/// blocks without reading them, counted in blocks_skipped().
+class KeyedRunReader {
+ public:
+  KeyedRunReader() = default;
+  ~KeyedRunReader();
+  KeyedRunReader(const KeyedRunReader&) = delete;
+  KeyedRunReader& operator=(const KeyedRunReader&) = delete;
+
+  /// Validates magic, version, footer and directory CRC. False (reader
+  /// unusable) on any mismatch.
+  [[nodiscard]] bool open(const std::string& path);
+  void close();
+
+  [[nodiscard]] bool is_open() const noexcept { return file_ != nullptr; }
+  [[nodiscard]] std::uint64_t records() const noexcept { return records_; }
+  [[nodiscard]] std::size_t blocks() const noexcept { return dir_.size(); }
+
+  /// [min, max] over the key column, from block stats alone. nullopt for an
+  /// empty run.
+  [[nodiscard]] std::optional<std::pair<std::uint64_t, std::uint64_t>>
+  key_range() const noexcept;
+
+  /// Streams every record in stored order. False on CRC mismatch, decode
+  /// error or I/O failure.
+  [[nodiscard]] bool for_each(
+      const std::function<void(const KeyedRecord&)>& fn);
+
+  /// Streams only records with key in [key_lo, key_hi], skipping (not
+  /// reading) every block whose stats exclude the window. Records inside a
+  /// surviving block are still filtered exactly.
+  [[nodiscard]] bool for_each_overlapping(
+      std::uint64_t key_lo, std::uint64_t key_hi,
+      const std::function<void(const KeyedRecord&)>& fn);
+
+  [[nodiscard]] std::uint64_t blocks_read() const noexcept {
+    return blocks_read_;
+  }
+  [[nodiscard]] std::uint64_t blocks_skipped() const noexcept {
+    return blocks_skipped_;
+  }
+
+ private:
+  struct DirEntry {
+    std::uint64_t payload_offset = 0;  ///< Absolute file offset.
+    std::uint32_t elements = 0;
+    std::uint32_t payload_bytes = 0;
+    std::uint32_t crc = 0;
+    std::uint64_t key_min = 0;
+    std::uint64_t key_max = 0;
+  };
+
+  [[nodiscard]] bool read_block(
+      const DirEntry& entry, std::uint64_t key_lo, std::uint64_t key_hi,
+      const std::function<void(const KeyedRecord&)>& fn);
+
+  std::FILE* file_ = nullptr;
+  std::uint64_t records_ = 0;
+  std::vector<DirEntry> dir_;
+  std::uint64_t blocks_read_ = 0;
+  std::uint64_t blocks_skipped_ = 0;
+};
+
+}  // namespace scent::corpus

@@ -1,0 +1,32 @@
+// naive.h - single-pass hash-join oracle for the partitioned engine.
+//
+// The obviously-correct reference: hash every row of both sides into one
+// in-memory table keyed by MAC, then emit dossiers in ascending key order
+// through the same analysis::make_dossier the engine uses. No partitions,
+// no spill, no threads — its output is the definition the differential
+// test (and the bench equality leg) holds the engine to, byte for byte,
+// at every thread count and partition fan-out.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "analysis/dossier.h"
+#include "join/source.h"
+#include "routing/bgp_table.h"
+
+namespace scent::join {
+
+struct NaiveJoinInputs {
+  std::vector<CorpusDayFile> corpus_files;
+  std::vector<std::string> geo_feeds;
+  DayWindow window;
+  const routing::BgpTable* bgp = nullptr;
+};
+
+/// Runs the reference join. nullopt on any input failure.
+[[nodiscard]] std::optional<analysis::DossierTable> naive_join(
+    const NaiveJoinInputs& inputs);
+
+}  // namespace scent::join

@@ -1,0 +1,42 @@
+#include "join/source.h"
+
+#include "corpus/snapshot.h"
+#include "netbase/eui64.h"
+#include "sim/sim_time.h"
+
+namespace scent::join {
+
+ScanResult scan_corpus_file(
+    const CorpusDayFile& file, const DayWindow& window,
+    const routing::BgpTable* bgp, routing::AttributionCache& cache,
+    const std::function<void(const corpus::KeyedRecord&)>& fn) {
+  if (!window.contains(file.day)) return ScanResult::kPruned;
+  corpus::SnapshotReader reader;
+  if (!reader.open(file.path)) return ScanResult::kError;
+  if (const auto range = reader.time_range()) {
+    const std::int64_t lo = sim::day_of(range->first);
+    const std::int64_t hi = sim::day_of(range->second);
+    if ((window.first_day && hi < *window.first_day) ||
+        (window.last_day && lo > *window.last_day)) {
+      return ScanResult::kPruned;
+    }
+  }
+  const bool ok = reader.for_each_eui_pair(
+      [&](net::Ipv6Address target, net::Ipv6Address response) {
+        const auto mac = net::embedded_mac(response);
+        if (!mac) return;
+        std::uint64_t asn = 0;
+        if (bgp != nullptr) {
+          if (const auto* ad = bgp->attribute(target, cache)) {
+            asn = ad->origin_asn;
+          }
+        }
+        fn(corpus::KeyedRecord{.key = mac->bits(),
+                               .c0 = target.network(),
+                               .c1 = asn,
+                               .c2 = static_cast<std::uint64_t>(file.day)});
+      });
+  return ok ? ScanResult::kScanned : ScanResult::kError;
+}
+
+}  // namespace scent::join

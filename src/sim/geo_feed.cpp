@@ -1,0 +1,55 @@
+#include "sim/geo_feed.h"
+
+#include <algorithm>
+
+namespace scent::sim {
+
+GeoFeedGenerator::GeoFeedGenerator(GeoFeedSpec spec) : spec_(std::move(spec)) {
+  std::sort(spec_.ouis.begin(), spec_.ouis.end());
+  if (spec_.devices_per_oui == 0) spec_.devices_per_oui = 1;
+  if (spec_.serial_stride == 0) spec_.serial_stride = 1;
+  if (spec_.asn_count == 0) spec_.asn_count = 1;
+  if (spec_.last_day < spec_.first_day) spec_.last_day = spec_.first_day;
+}
+
+GeoRecord GeoFeedGenerator::record(std::uint64_t i) const noexcept {
+  const std::uint64_t oui_index = i / spec_.devices_per_oui;
+  const std::uint64_t serial_index = i % spec_.devices_per_oui;
+  const std::uint64_t serial =
+      (spec_.serial_offset + serial_index * spec_.serial_stride) & 0xffffffULL;
+  const std::uint64_t oui = spec_.ouis[oui_index];
+  GeoRecord r;
+  r.mac = net::MacAddress{(oui << 24) | serial};
+
+  // All stochastic fields are stateless functions of (seed, mac): the same
+  // device geolocates identically no matter how the feed is windowed.
+  const std::uint64_t h = mix64(spec_.seed, r.mac.bits());
+  r.asn = spec_.base_asn + static_cast<std::uint32_t>(h % spec_.asn_count);
+
+  // A city-sized anchor per (oui, asn) "deployment region", plus per-device
+  // street-level jitter of up to ~±0.05°.
+  const std::uint64_t region = mix64(spec_.seed, oui, r.asn);
+  const auto lat_center =
+      static_cast<std::int32_t>(region % 120000000ULL) - 60000000;
+  const auto lon_center =
+      static_cast<std::int32_t>((region >> 32) % 360000000ULL) - 180000000;
+  const std::uint64_t jitter = mix64(h, 0x6a177e5ULL);
+  r.lat_udeg = lat_center + static_cast<std::int32_t>(jitter % 100000) - 50000;
+  r.lon_udeg =
+      lon_center + static_cast<std::int32_t>((jitter >> 32) % 100000) - 50000;
+
+  const auto span =
+      static_cast<std::uint64_t>(spec_.last_day - spec_.first_day) + 1;
+  r.last_day = spec_.first_day +
+               static_cast<std::int64_t>(mix64(h, 0xdau) % span);
+  return r;
+}
+
+std::vector<GeoRecord> GeoFeedGenerator::generate() const {
+  std::vector<GeoRecord> out;
+  out.reserve(records());
+  for (std::uint64_t i = 0; i < records(); ++i) out.push_back(record(i));
+  return out;
+}
+
+}  // namespace scent::sim

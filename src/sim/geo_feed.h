@@ -1,0 +1,77 @@
+// geo_feed.h - synthetic IPvSeeYou-style WiFi-geolocation feed generator.
+//
+// The IPvSeeYou attack (PAPERS.md) couples EUI-64-leaked MACs with a public
+// WiFi-geolocation database: home routers broadcast a BSSID one or two off
+// their WAN MAC, wardriving databases record that BSSID with a street-level
+// fix, so any EUI-64 corpus joins against the feed to geolocate CPE. This
+// generator models that second dataset: a MAC-keyed table of geolocated
+// sightings — position, the AS the collector last saw the device behind, and
+// a last-heard day — deterministic from a single seed.
+//
+// Every record is a pure function of (seed, index): the generator never
+// materializes the feed, so the 100M-row join benchmark streams records
+// straight into the on-disk writer (corpus/geo_feed.h). Records enumerate
+// in ascending MAC order — OUIs sorted, serials ascending within each OUI —
+// matching how a BSSID-keyed database dumps its keyspace, and giving the
+// on-disk blocks the tight per-block MAC ranges the join's pruning feeds on.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "netbase/mac_address.h"
+#include "sim/rng.h"
+
+namespace scent::sim {
+
+/// One feed row: the device's MAC (BSSID) with its geolocation fix.
+/// Positions are micro-degrees, the natural integer unit for a feed that
+/// claims street-level accuracy (1 µ° ≈ 0.1 m of latitude).
+struct GeoRecord {
+  net::MacAddress mac;
+  std::int32_t lat_udeg = 0;
+  std::int32_t lon_udeg = 0;
+  std::uint32_t asn = 0;      ///< AS the collector last observed it behind.
+  std::int64_t last_day = 0;  ///< Last-heard day index.
+
+  friend constexpr bool operator==(const GeoRecord&,
+                                   const GeoRecord&) = default;
+};
+
+/// Shape of the generated feed. MACs are ouis[i / devices_per_oui] with
+/// serial (i % devices_per_oui) * serial_stride + serial_offset, so a
+/// corpus whose devices draw from the same OUI blocks overlaps the feed
+/// exactly where the serial ranges intersect — and an OUI absent from the
+/// corpus yields MAC-disjoint feed blocks, the pruning fixture.
+struct GeoFeedSpec {
+  std::uint64_t seed = 1;
+  std::vector<std::uint32_t> ouis;  ///< 24-bit OUIs; sorted by the generator.
+  std::uint64_t devices_per_oui = 1 << 16;
+  std::uint64_t serial_stride = 1;
+  std::uint64_t serial_offset = 0;
+  std::uint32_t base_asn = 64500;  ///< Feed-side collector AS tags.
+  unsigned asn_count = 8;
+  std::int64_t first_day = 0;
+  std::int64_t last_day = 30;
+};
+
+class GeoFeedGenerator {
+ public:
+  explicit GeoFeedGenerator(GeoFeedSpec spec);
+
+  [[nodiscard]] std::uint64_t records() const noexcept {
+    return spec_.ouis.size() * spec_.devices_per_oui;
+  }
+
+  /// The i-th record in ascending-MAC order. Deterministic in (spec, i).
+  [[nodiscard]] GeoRecord record(std::uint64_t i) const noexcept;
+
+  /// The whole feed in MAC order (small worlds / tests). Large feeds should
+  /// stream record(i) into a GeoFeedWriter instead.
+  [[nodiscard]] std::vector<GeoRecord> generate() const;
+
+ private:
+  GeoFeedSpec spec_;
+};
+
+}  // namespace scent::sim

@@ -1,0 +1,72 @@
+// Tests for the shared example CLI (examples/example_util.h), pinning the
+// --out-dir error contract: an out-dir that cannot be created must flip
+// out_dir_ok and make require_out_dir() return nonzero, so examples exit
+// loudly instead of silently writing nothing. The companion ctest entries
+// (CliOutDirFailure.*, WILL_FAIL) hold each example binary to actually
+// honoring it.
+
+#include "example_util.h"
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace scent::examples {
+namespace {
+
+Cli parse_args(std::vector<std::string> args) {
+  std::vector<char*> argv;
+  argv.push_back(const_cast<char*>("test"));
+  for (std::string& a : args) argv.push_back(a.data());
+  return Cli::parse(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(CliExamples, SharedFlagsParse) {
+  const Cli cli = parse_args({"--threads=8", "--pipeline",
+                              "--queue-capacity=4", "--snapshot-version=1",
+                              "--trace-out=t.json"});
+  EXPECT_EQ(cli.threads, 8u);
+  EXPECT_TRUE(cli.pipeline);
+  EXPECT_EQ(cli.queue_capacity, 4u);
+  EXPECT_EQ(cli.snapshot_version, 1u);
+  EXPECT_EQ(cli.trace_out, "t.json");
+  EXPECT_EQ(cli.out_dir, ".");
+  EXPECT_TRUE(cli.out_dir_ok);
+  EXPECT_EQ(cli.require_out_dir(), 0);
+}
+
+TEST(CliExamples, CreatesMissingOutDir) {
+  const std::string dir = std::string{::testing::TempDir()} +
+                          "/scent_cli_ok_" +
+                          std::to_string(reinterpret_cast<std::uintptr_t>(&dir));
+  const Cli cli = parse_args({"--out-dir=" + dir + "/nested"});
+  EXPECT_TRUE(cli.out_dir_ok);
+  EXPECT_EQ(cli.require_out_dir(), 0);
+  EXPECT_TRUE(std::filesystem::is_directory(dir + "/nested"));
+  EXPECT_EQ(cli.path("x.tsv"), dir + "/nested/x.tsv");
+  std::filesystem::remove_all(dir);
+}
+
+TEST(CliExamples, ExistingOutDirIsAccepted) {
+  const Cli cli = parse_args({"--out-dir=" + std::string{::testing::TempDir()}});
+  EXPECT_TRUE(cli.out_dir_ok);
+  EXPECT_EQ(cli.require_out_dir(), 0);
+}
+
+TEST(CliExamples, UncreatableOutDirFailsLoudly) {
+  // /dev/null is a file, so a directory can never be created beneath it.
+  const Cli cli = parse_args({"--out-dir=/dev/null/sub"});
+  EXPECT_FALSE(cli.out_dir_ok);
+  EXPECT_EQ(cli.require_out_dir(), 2);
+}
+
+TEST(CliExamples, EmptyOutDirFallsBackToDot) {
+  const Cli cli = parse_args({"--out-dir="});
+  EXPECT_EQ(cli.out_dir, ".");
+  EXPECT_TRUE(cli.out_dir_ok);
+}
+
+}  // namespace
+}  // namespace scent::examples

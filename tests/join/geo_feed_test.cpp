@@ -1,0 +1,223 @@
+// Tests for the geolocation feed: the deterministic generator
+// (sim/geo_feed.h), its block-compressed on-disk format
+// (corpus/geo_feed.h), and the dossier layer (analysis/dossier.h) both
+// join implementations share.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "analysis/dossier.h"
+#include "corpus/geo_feed.h"
+#include "oui/oui_registry.h"
+#include "sim/geo_feed.h"
+
+namespace scent {
+namespace {
+
+struct TempFile {
+  std::string path;
+  explicit TempFile(const char* tag) {
+    path = std::string{::testing::TempDir()} + "/scent_geo_" + tag + "_" +
+           std::to_string(reinterpret_cast<std::uintptr_t>(this)) + ".gfd";
+  }
+  ~TempFile() { std::remove(path.c_str()); }
+};
+
+sim::GeoFeedSpec small_spec() {
+  sim::GeoFeedSpec spec;
+  spec.seed = 99;
+  spec.ouis = {0x3810d5, 0x00259e};
+  spec.devices_per_oui = 500;
+  spec.first_day = 3;
+  spec.last_day = 17;
+  return spec;
+}
+
+TEST(JoinGeoGenerator, DeterministicAndMacAscending) {
+  const sim::GeoFeedGenerator a{small_spec()};
+  const sim::GeoFeedGenerator b{small_spec()};
+  ASSERT_EQ(a.records(), 1000u);
+  const auto rows_a = a.generate();
+  const auto rows_b = b.generate();
+  EXPECT_EQ(rows_a, rows_b);
+  for (std::size_t i = 1; i < rows_a.size(); ++i) {
+    EXPECT_LT(rows_a[i - 1].mac.bits(), rows_a[i].mac.bits());
+  }
+  for (const sim::GeoRecord& r : rows_a) {
+    EXPECT_GE(r.lat_udeg, -90000000);
+    EXPECT_LE(r.lat_udeg, 90000000);
+    EXPECT_GE(r.lon_udeg, -180050000);
+    EXPECT_LE(r.lon_udeg, 180050000);
+    EXPECT_GE(r.asn, small_spec().base_asn);
+    EXPECT_LT(r.asn, small_spec().base_asn + small_spec().asn_count);
+    EXPECT_GE(r.last_day, 3);
+    EXPECT_LE(r.last_day, 17);
+  }
+}
+
+TEST(JoinGeoFeed, RoundTripAcrossBlocks) {
+  const sim::GeoFeedGenerator generator{small_spec()};
+  const auto rows = generator.generate();
+  TempFile file{"roundtrip"};
+  {
+    corpus::GeoFeedWriter writer{64};
+    ASSERT_TRUE(writer.open(file.path));
+    for (const sim::GeoRecord& r : rows) writer.append(r);
+    ASSERT_TRUE(writer.finish());
+  }
+  corpus::GeoFeedReader reader;
+  ASSERT_TRUE(reader.open(file.path));
+  EXPECT_EQ(reader.records(), rows.size());
+  EXPECT_EQ(reader.blocks(), (rows.size() + 63) / 64);
+  const auto range = reader.mac_range();
+  ASSERT_TRUE(range.has_value());
+  EXPECT_EQ(range->first, rows.front().mac.bits());
+  EXPECT_EQ(range->second, rows.back().mac.bits());
+
+  std::vector<sim::GeoRecord> got;
+  ASSERT_TRUE(reader.for_each(
+      [&](const sim::GeoRecord& r) { got.push_back(r); }));
+  EXPECT_EQ(got, rows);
+}
+
+TEST(JoinGeoFeed, BlockRangeSlicesCoverExactly) {
+  const sim::GeoFeedGenerator generator{small_spec()};
+  const auto rows = generator.generate();
+  TempFile file{"slices"};
+  {
+    corpus::GeoFeedWriter writer{64};
+    ASSERT_TRUE(writer.open(file.path));
+    for (const sim::GeoRecord& r : rows) writer.append(r);
+    ASSERT_TRUE(writer.finish());
+  }
+  corpus::GeoFeedReader reader;
+  ASSERT_TRUE(reader.open(file.path));
+  // Three disjoint block windows reassemble the whole feed in order — the
+  // sharded partition scan's contract.
+  std::vector<sim::GeoRecord> got;
+  const std::size_t blocks = reader.blocks();
+  ASSERT_TRUE(reader.for_each_block_range(
+      0, 3, [&](const sim::GeoRecord& r) { got.push_back(r); }));
+  ASSERT_TRUE(reader.for_each_block_range(
+      3, 5, [&](const sim::GeoRecord& r) { got.push_back(r); }));
+  ASSERT_TRUE(reader.for_each_block_range(
+      8, blocks - 8, [&](const sim::GeoRecord& r) { got.push_back(r); }));
+  EXPECT_EQ(got, rows);
+}
+
+TEST(JoinGeoFeed, WindowScanSkipsDisjointBlocks) {
+  // Two OUIs = two well-separated MAC bands. A window over the first band
+  // must skip every second-band block unread.
+  const sim::GeoFeedGenerator generator{small_spec()};
+  const auto rows = generator.generate();
+  TempFile file{"window"};
+  {
+    corpus::GeoFeedWriter writer{64};
+    ASSERT_TRUE(writer.open(file.path));
+    for (const sim::GeoRecord& r : rows) writer.append(r);
+    ASSERT_TRUE(writer.finish());
+  }
+  corpus::GeoFeedReader reader;
+  ASSERT_TRUE(reader.open(file.path));
+  const std::uint64_t lo = 0x3810d5ULL << 24;
+  const std::uint64_t hi = (0x3810d5ULL << 24) | 0xffffff;
+  std::vector<sim::GeoRecord> got;
+  ASSERT_TRUE(reader.for_each_overlapping(
+      lo, hi, [&](const sim::GeoRecord& r) { got.push_back(r); }));
+  ASSERT_EQ(got.size(), 500u);
+  for (const sim::GeoRecord& r : got) {
+    EXPECT_EQ(r.mac.oui().value(), 0x3810d5u);
+  }
+  EXPECT_GT(reader.blocks_skipped(), 0u);
+  EXPECT_EQ(reader.blocks_read() + reader.blocks_skipped(), reader.blocks());
+}
+
+TEST(JoinGeoFeed, OutOfOrderAppendRejected) {
+  const sim::GeoFeedGenerator generator{small_spec()};
+  const auto rows = generator.generate();
+  TempFile file{"unsorted"};
+  corpus::GeoFeedWriter writer{64};
+  ASSERT_TRUE(writer.open(file.path));
+  writer.append(rows[1]);
+  writer.append(rows[0]);  // violates the sorted contract
+  EXPECT_FALSE(writer.finish());
+}
+
+TEST(JoinDossier, MakeDossierCanonicalizesOrderAndDuplicates) {
+  const net::MacAddress mac{0x3810d5000042ULL};
+  const std::vector<corpus::KeyedRecord> corpus_rows = {
+      {.key = mac.bits(), .c0 = 0xb0, .c1 = 65001, .c2 = 5},
+      {.key = mac.bits(), .c0 = 0xa0, .c1 = 65000, .c2 = 2},
+      {.key = mac.bits(), .c0 = 0xb0, .c1 = 65001, .c2 = 5},  // exact dup
+  };
+  const std::vector<corpus::KeyedRecord> geo_rows = {
+      {.key = mac.bits(),
+       .c0 = analysis::pack_latlon(52520000, 13400000),
+       .c1 = 64500,
+       .c2 = 9},
+      {.key = mac.bits(),
+       .c0 = analysis::pack_latlon(-33870000, 151210000),
+       .c1 = 64501,
+       .c2 = 1},
+  };
+  const auto forward = analysis::make_dossier(mac, corpus_rows, geo_rows);
+  const std::vector<corpus::KeyedRecord> corpus_reversed(corpus_rows.rbegin(),
+                                                         corpus_rows.rend());
+  const std::vector<corpus::KeyedRecord> geo_reversed(geo_rows.rbegin(),
+                                                      geo_rows.rend());
+  const auto backward = analysis::make_dossier(mac, corpus_reversed,
+                                               geo_reversed);
+  EXPECT_EQ(forward, backward);
+
+  ASSERT_EQ(forward.sightings.size(), 2u);  // dup collapsed
+  EXPECT_EQ(forward.sightings[0].day, 2);
+  EXPECT_EQ(forward.sightings[1].day, 5);
+  ASSERT_EQ(forward.anchors.size(), 2u);
+  EXPECT_EQ(forward.anchors[0].day, 1);
+  EXPECT_EQ(forward.anchors[0].lat_udeg, -33870000);
+  EXPECT_EQ(forward.anchors[1].lon_udeg, 13400000);
+}
+
+TEST(JoinDossier, DerivedReports) {
+  analysis::DossierTable table;
+  // Device A: two providers, switch on day 4, anchored.
+  analysis::DeviceDossier a;
+  a.mac = net::MacAddress{0x3810d5000001ULL};
+  a.sightings = {{.day = 1, .network = 0x10, .asn = 65000},
+                 {.day = 4, .network = 0x20, .asn = 65001},
+                 {.day = 6, .network = 0x30, .asn = 65001}};
+  a.anchors = {{.day = 2, .lat_udeg = 1, .lon_udeg = 2, .asn = 64500}};
+  table.on_dossier(a);
+  // Device B: one provider, no anchor.
+  analysis::DeviceDossier b;
+  b.mac = net::MacAddress{0x3810d5000002ULL};
+  b.sightings = {{.day = 1, .network = 0x40, .asn = 65000}};
+  table.on_dossier(b);
+
+  const auto reuse = analysis::cross_as_mac_reuse(table);
+  ASSERT_EQ(reuse.size(), 1u);
+  EXPECT_EQ(reuse[0].mac, a.mac);
+  EXPECT_EQ(reuse[0].asns, (std::vector<std::uint32_t>{65000, 65001}));
+  EXPECT_EQ(reuse[0].first_day, 1);
+  EXPECT_EQ(reuse[0].last_day, 6);
+
+  const auto switches = analysis::provider_switch_timeline(table);
+  ASSERT_EQ(switches.size(), 1u);
+  EXPECT_EQ(switches[0].from_asn, 65000u);
+  EXPECT_EQ(switches[0].to_asn, 65001u);
+  EXPECT_EQ(switches[0].day, 4);
+
+  EXPECT_DOUBLE_EQ(analysis::anchored_fraction(table), 0.5);
+
+  const auto census =
+      analysis::dossier_vendor_census(table, oui::builtin_registry());
+  ASSERT_EQ(census.size(), 1u);
+  EXPECT_EQ(census[0].first, "AVM GmbH");
+  EXPECT_EQ(census[0].second, 2u);
+}
+
+}  // namespace
+}  // namespace scent
